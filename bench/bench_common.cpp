@@ -1,0 +1,56 @@
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "util/cache_info.hpp"
+#include "util/timer.hpp"
+
+namespace spkadd::bench {
+
+void print_header(const std::string& title, const std::string& what) {
+  const auto info = util::detect_machine();
+  std::cout << "# " << title << "\n"
+            << "reproduces: " << what << "\n"
+            << "machine: " << info.summary() << "\n\n";
+}
+
+double time_best(int repeats, const std::function<void()>& fn) {
+  double best = -1.0;
+  for (int r = 0; r < std::max(1, repeats); ++r) {
+    util::WallTimer t;
+    fn();
+    const double s = t.seconds();
+    if (best < 0 || s < best) best = s;
+  }
+  return best;
+}
+
+double time_spkadd(const std::vector<CscMatrix<std::int32_t, double>>& inputs,
+                   core::Method method, const core::Options& base_opts,
+                   int repeats) {
+  core::Options opts = base_opts;
+  opts.method = method;
+  return time_best(repeats, [&] {
+    auto out = core::spkadd(inputs, opts);
+    // Keep the result alive through the timer so allocation+fill is counted
+    // but deallocation of the previous result is not part of the next lap.
+    static thread_local std::size_t sink = 0;
+    sink += out.nnz();
+  });
+}
+
+const std::vector<core::Method>& table_methods() {
+  static const std::vector<core::Method> methods = {
+      core::Method::TwoWayIncremental, core::Method::ReferenceIncremental,
+      core::Method::TwoWayTree,        core::Method::ReferenceTree,
+      core::Method::Heap,              core::Method::Spa,
+      core::Method::Hash,              core::Method::SlidingHash,
+  };
+  return methods;
+}
+
+std::string cell(double seconds) {
+  return seconds < 0 ? "n/a" : util::TablePrinter::fmt_seconds(seconds);
+}
+
+}  // namespace spkadd::bench

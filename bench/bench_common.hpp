@@ -1,0 +1,36 @@
+// Shared harness for the paper-reproduction benches: machine header
+// (Table II analog), repeat-and-min timing, and method sweeps.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/options.hpp"
+#include "core/spkadd.hpp"
+#include "matrix/csc.hpp"
+#include "util/cli.hpp"
+#include "util/table_printer.hpp"
+
+namespace spkadd::bench {
+
+/// Print the program banner + detected machine (every bench leads with the
+/// Table II analog so results are interpretable).
+void print_header(const std::string& title, const std::string& what);
+
+/// Best-of-`repeats` wall time of `fn` in seconds (min, the conventional
+/// benchmark statistic for compute kernels).
+double time_best(int repeats, const std::function<void()>& fn);
+
+/// Run one SpKAdd method over `inputs` and return best-of-`repeats` seconds.
+double time_spkadd(const std::vector<CscMatrix<std::int32_t, double>>& inputs,
+                   core::Method method, const core::Options& base_opts,
+                   int repeats);
+
+/// The method rows of Tables III/IV in paper order.
+const std::vector<core::Method>& table_methods();
+
+/// Shorthand: "0.0083" or "n/a" when seconds < 0 (method skipped).
+std::string cell(double seconds);
+
+}  // namespace spkadd::bench

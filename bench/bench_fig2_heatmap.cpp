@@ -1,0 +1,87 @@
+// Reproduces Fig. 2: for every (k, d) cell, which algorithm is fastest?
+// Prints one grid for ER and one for RMAT with the winning method per cell
+// (the paper's color map, rendered as text).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "gen/workload.hpp"
+#include "util/cli.hpp"
+
+using namespace spkadd;
+
+namespace {
+
+core::Method winner(const std::vector<CscMatrix<std::int32_t, double>>& inputs,
+                    int repeats, double op_budget) {
+  double best = -1;
+  core::Method best_m = core::Method::Hash;
+  for (core::Method m : bench::table_methods()) {
+    const double est =
+        (m == core::Method::TwoWayIncremental ||
+         m == core::Method::ReferenceIncremental)
+            ? 0.5 * static_cast<double>(inputs.size()) *
+                  static_cast<double>(gen::total_input_nnz(inputs))
+            : static_cast<double>(gen::total_input_nnz(inputs));
+    if (est > op_budget) continue;
+    const double t = bench::time_spkadd(inputs, m, core::Options{}, repeats);
+    if (best < 0 || t < best) {
+      best = t;
+      best_m = m;
+    }
+  }
+  return best_m;
+}
+
+void heatmap(gen::Pattern pattern, const std::vector<int>& ks,
+             const std::vector<std::int64_t>& ds, std::int64_t rows,
+             std::int64_t cols, int repeats, double op_budget) {
+  std::vector<std::string> headers{"k \\ d"};
+  for (auto d : ds) headers.push_back(std::to_string(d));
+  util::TablePrinter table(headers);
+  for (int k : ks) {
+    std::vector<std::string> row{std::to_string(k)};
+    for (auto d : ds) {
+      gen::WorkloadSpec spec;
+      spec.pattern = pattern;
+      spec.rows = rows;
+      spec.cols = cols;
+      spec.avg_nnz_per_col = d;
+      spec.k = k;
+      spec.seed = 3000 + static_cast<std::uint64_t>(d) * 100 +
+                  static_cast<std::uint64_t>(k);
+      const auto inputs = gen::make_workload(spec);
+      row.push_back(core::method_name(winner(inputs, repeats, op_budget)));
+      std::cerr << "." << std::flush;
+    }
+    table.add_row(std::move(row));
+  }
+  std::cerr << "\n";
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli("bench_fig2_heatmap",
+                      "Fig. 2: best algorithm per (k, d) cell");
+  const auto* rows = cli.add_int("rows", 1 << 15, "rows per matrix");
+  const auto* cols = cli.add_int("cols", 32, "cols per matrix");
+  const auto* repeats = cli.add_int("repeats", 2, "timing repetitions");
+  const auto* op_budget =
+      cli.add_int("op-budget", 1'000'000'000, "skip slower cells");
+  if (!cli.parse(argc, argv)) return 1;
+
+  bench::print_header("Fig. 2 — best-performing algorithm per (k, d)",
+                      "paper Fig. 2 heat maps (hash family should dominate; "
+                      "sliding hash appears toward large k*d; tree/heap can "
+                      "win the small-k RMAT corner)");
+
+  const std::vector<int> ks{4, 8, 16, 32, 64, 128};
+  std::cout << "## ER\n";
+  heatmap(gen::Pattern::ER, ks, {16, 64, 256, 1024, 2048}, *rows, *cols,
+          static_cast<int>(*repeats), static_cast<double>(*op_budget));
+  std::cout << "\n## RMAT\n";
+  heatmap(gen::Pattern::RMAT, ks, {16, 64, 256, 512}, *rows, *cols,
+          static_cast<int>(*repeats), static_cast<double>(*op_budget));
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Distributed SpGEMM demo (paper Fig. 5/6): multiply two sparse matrices
+// with the simulated sparse SUMMA schedule and compare the three SpKAdd
+// pipelines — the exact integration the paper ships in CombBLAS.
+//
+//   ./examples/distributed_spgemm [--scale 11] [--grid 4]
+#include <iostream>
+
+#include "gen/rmat.hpp"
+#include "matrix/validate.hpp"
+#include "spgemm/local_spgemm.hpp"
+#include "summa/sparse_summa.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  spkadd::util::CliParser cli("distributed_spgemm",
+                              "sparse SUMMA with pluggable SpKAdd reducers");
+  const auto* scale = cli.add_int("scale", 11, "log2 matrix dimension");
+  const auto* degree = cli.add_int("degree", 8, "avg nonzeros per column");
+  const auto* grid = cli.add_int("grid", 4, "process grid dimension");
+  if (!cli.parse(argc, argv)) return 1;
+
+  // A protein-similarity-shaped input (Graph500 R-MAT), squared — the
+  // Markov-cluster expansion step that motivated the paper's Cori runs.
+  const auto a = spkadd::gen::rmat_csc(spkadd::gen::RmatParams::g500(
+      static_cast<int>(*scale), static_cast<int>(*scale),
+      (1ull << *scale) * static_cast<std::uint64_t>(*degree), 99));
+  std::cout << "A: " << a.rows() << "x" << a.cols() << ", nnz=" << a.nnz()
+            << "; computing A*A on a " << *grid << "x" << *grid
+            << " simulated process grid\n\n";
+
+  const auto direct = spkadd::spgemm::multiply(a, a);
+
+  struct Pipeline {
+    const char* name;
+    spkadd::summa::SummaConfig cfg;
+  };
+  const Pipeline pipelines[] = {
+      {"Heap (CombBLAS legacy)",
+       spkadd::summa::heap_pipeline(static_cast<int>(*grid))},
+      {"Sorted Hash", spkadd::summa::sorted_hash_pipeline(static_cast<int>(*grid))},
+      {"Unsorted Hash",
+       spkadd::summa::unsorted_hash_pipeline(static_cast<int>(*grid))},
+  };
+  for (const auto& p : pipelines) {
+    const auto result = spkadd::summa::multiply(a, a, p.cfg);
+    const bool ok = spkadd::approx_equal(direct, result.c, 1e-9);
+    std::cout << p.name << ":\n"
+              << "  local multiply " << result.multiply_seconds << " s, "
+              << "SpKAdd " << result.spkadd_seconds << " s, "
+              << "intermediate cf " << result.compression_factor << "\n"
+              << "  matches direct product: " << (ok ? "yes" : "NO") << "\n";
+    if (!ok) return 1;
+  }
+  std::cout << "\nThe \"Unsorted Hash\" pipeline works because hash SpKAdd "
+               "accepts unsorted inputs (paper Table I), letting the local "
+               "multiplies skip their output sort entirely.\n";
+  return 0;
+}

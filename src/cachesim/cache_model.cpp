@@ -1,0 +1,52 @@
+#include "cachesim/cache_model.hpp"
+
+#include <stdexcept>
+
+#include "util/bit_ops.hpp"
+
+namespace spkadd::cachesim {
+
+CacheModel::CacheModel(const CacheConfig& config) {
+  if (config.line_bytes <= 0 || !util::is_pow2(
+          static_cast<std::uint64_t>(config.line_bytes)))
+    throw std::invalid_argument("CacheModel: line size must be a power of 2");
+  if (config.ways <= 0) throw std::invalid_argument("CacheModel: ways <= 0");
+  const std::uint64_t lines_total =
+      config.bytes / static_cast<std::uint64_t>(config.line_bytes);
+  sets_ = lines_total / static_cast<std::uint64_t>(config.ways);
+  if (sets_ == 0) sets_ = 1;
+  // Non-power-of-two set counts are allowed (indexing by modulo).
+  ways_ = config.ways;
+  line_shift_ = util::log2_floor(static_cast<std::uint64_t>(config.line_bytes));
+  lines_.assign(sets_ * static_cast<std::uint64_t>(ways_), Line{});
+}
+
+bool CacheModel::access(std::uint64_t addr) {
+  ++stats_.accesses;
+  ++tick_;
+  const std::uint64_t block = addr >> line_shift_;
+  const std::uint64_t set = block % sets_;
+  Line* base = lines_.data() + set * static_cast<std::uint64_t>(ways_);
+  Line* victim = base;
+  for (int w = 0; w < ways_; ++w) {
+    if (base[w].tag == block) {
+      base[w].lru = tick_;
+      return true;
+    }
+    if (base[w].lru < victim->lru) victim = &base[w];
+  }
+  ++stats_.misses;
+  victim->tag = block;
+  victim->lru = tick_;
+  return false;
+}
+
+void CacheModel::access_range(std::uint64_t addr, std::uint64_t size) {
+  if (size == 0) return;
+  const std::uint64_t line = 1ull << line_shift_;
+  const std::uint64_t first = addr & ~(line - 1);
+  const std::uint64_t last = (addr + size - 1) & ~(line - 1);
+  for (std::uint64_t a = first; a <= last; a += line) access(a);
+}
+
+}  // namespace spkadd::cachesim

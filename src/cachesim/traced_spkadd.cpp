@@ -1,0 +1,250 @@
+#include "cachesim/traced_spkadd.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/column_kernels.hpp"
+#include "core/workspace.hpp"
+#include "util/bit_ops.hpp"
+
+namespace spkadd::cachesim {
+namespace {
+
+using Csc = CscMatrix<std::int32_t, double>;
+using View = ColumnView<std::int32_t, double>;
+
+// Synthetic address layout: widely separated regions so streams never alias.
+constexpr std::uint64_t kInputBase = 0x1000'0000ull;
+constexpr std::uint64_t kInputStride = 0x4000'0000ull;  // per input matrix
+constexpr std::uint64_t kTableBase = 0x8000'0000'0000ull;
+constexpr std::uint64_t kOutputBase = 0xF000'0000'0000ull;
+
+constexpr std::uint64_t kSymEntryBytes = sizeof(std::int32_t);          // 4
+constexpr std::uint64_t kAddEntryBytes =
+    sizeof(std::int32_t) + sizeof(double);                              // 12
+
+/// One simulated thread's table-entry budget (Alg. 7/8 line 3 rearranged).
+std::size_t entry_cap(const TraceConfig& cfg, std::uint64_t entry_bytes) {
+  if (cfg.max_table_entries != 0)
+    return std::max<std::size_t>(cfg.max_table_entries, 8);
+  // Factor 2 mirrors core::detail::table_entry_cap: tables allocate 2x the
+  // key count for the <= 0.5 load factor.
+  const std::size_t cap = static_cast<std::size_t>(
+      cfg.cache.bytes /
+      (2 * entry_bytes *
+       static_cast<std::uint64_t>(std::max(1, cfg.threads))));
+  return std::max<std::size_t>(cap, 8);
+}
+
+/// Streaming read of `count` input entries of one matrix's column starting
+/// at in-matrix entry offset `first`.
+void stream_input(CacheModel& cache, std::size_t matrix_id, std::size_t first,
+                  std::size_t count, std::uint64_t entry_bytes) {
+  const std::uint64_t base = kInputBase + kInputStride * matrix_id;
+  cache.access_range(base + entry_bytes * first, entry_bytes * count);
+}
+
+/// Trace Alg. 6 on one set of (sub)columns; returns distinct-row count.
+/// `table` provides real collision behaviour; slot touches go to the cache.
+std::size_t trace_symbolic_part(CacheModel& cache,
+                                std::span<const View> views,
+                                std::span<const std::size_t> matrix_ids,
+                                std::span<const std::size_t> entry_offsets,
+                                core::SymbolicHashWorkspace<std::int32_t>& table) {
+  std::size_t inz = 0;
+  for (const auto& v : views) inz += v.nnz();
+  if (inz == 0) return 0;
+  const std::size_t entries = core::hash_table_entries(inz);
+  table.reset(entries);
+  // Table initialization sweeps the table once.
+  cache.access_range(kTableBase, entries * kSymEntryBytes);
+
+  std::size_t nz = 0;
+  for (std::size_t s = 0; s < views.size(); ++s) {
+    const View& v = views[s];
+    stream_input(cache, matrix_ids[s], entry_offsets[s], v.nnz(),
+                 kSymEntryBytes);
+    for (std::size_t i = 0; i < v.nnz(); ++i) {
+      const std::int32_t r = v.rows[i];
+      std::size_t h = core::hash_index(r, table.mask);
+      for (;;) {
+        cache.access(kTableBase + h * kSymEntryBytes);
+        if (table.keys[h] ==
+            core::SymbolicHashWorkspace<std::int32_t>::kEmpty) {
+          table.keys[h] = r;
+          ++nz;
+          break;
+        }
+        if (table.keys[h] == r) break;
+        h = (h + 1) & table.mask;
+      }
+    }
+  }
+  return nz;
+}
+
+/// Trace Alg. 5 on one set of (sub)columns; returns entries emitted.
+std::size_t trace_add_part(CacheModel& cache, std::span<const View> views,
+                           std::span<const std::size_t> matrix_ids,
+                           std::span<const std::size_t> entry_offsets,
+                           std::size_t expected, std::size_t out_cursor,
+                           core::SymbolicHashWorkspace<std::int32_t>& table) {
+  if (expected == 0) return 0;
+  const std::size_t entries = core::hash_table_entries(expected);
+  table.reset(entries);
+  cache.access_range(kTableBase, entries * kAddEntryBytes);
+
+  std::size_t emitted = 0;
+  for (std::size_t s = 0; s < views.size(); ++s) {
+    const View& v = views[s];
+    stream_input(cache, matrix_ids[s], entry_offsets[s], v.nnz(),
+                 kAddEntryBytes);
+    for (std::size_t i = 0; i < v.nnz(); ++i) {
+      const std::int32_t r = v.rows[i];
+      std::size_t h = core::hash_index(r, table.mask);
+      for (;;) {
+        cache.access(kTableBase + h * kAddEntryBytes);
+        if (table.keys[h] ==
+            core::SymbolicHashWorkspace<std::int32_t>::kEmpty) {
+          table.keys[h] = r;
+          ++emitted;
+          break;
+        }
+        if (table.keys[h] == r) break;
+        h = (h + 1) & table.mask;
+      }
+    }
+  }
+  // Output sweep: read the table once more, write the emitted run.
+  cache.access_range(kTableBase, entries * kAddEntryBytes);
+  cache.access_range(kOutputBase + out_cursor * kAddEntryBytes,
+                     emitted * kAddEntryBytes);
+  return emitted;
+}
+
+struct ColumnViews {
+  std::vector<View> views;
+  std::vector<std::size_t> matrix_ids;
+  std::vector<std::size_t> entry_offsets;  ///< in-matrix entry index of view start
+
+  void gather(std::span<const Csc> inputs, std::int32_t j) {
+    views.clear();
+    matrix_ids.clear();
+    entry_offsets.clear();
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      auto col = inputs[i].column(j);
+      if (col.empty()) continue;
+      views.push_back(col);
+      matrix_ids.push_back(i);
+      entry_offsets.push_back(static_cast<std::size_t>(
+          inputs[i].col_ptr()[static_cast<std::size_t>(j)]));
+    }
+  }
+
+  /// Restrict to a row range (binary search; offsets adjusted).
+  void restrict_rows(const ColumnViews& full, std::int32_t r1,
+                     std::int32_t r2) {
+    views.clear();
+    matrix_ids.clear();
+    entry_offsets.clear();
+    for (std::size_t s = 0; s < full.views.size(); ++s) {
+      const View& v = full.views[s];
+      auto sub = v.row_range(r1, r2);
+      if (sub.empty()) continue;
+      views.push_back(sub);
+      matrix_ids.push_back(full.matrix_ids[s]);
+      entry_offsets.push_back(full.entry_offsets[s] +
+                              static_cast<std::size_t>(sub.rows.data() -
+                                                       v.rows.data()));
+    }
+  }
+};
+
+}  // namespace
+
+TraceResult trace_hash_spkadd(std::span<const Csc> inputs,
+                              const TraceConfig& config) {
+  TraceResult result;
+  if (inputs.empty()) return result;
+  const std::int32_t cols = inputs[0].cols();
+  const std::int32_t rows = inputs[0].rows();
+
+  // One thread's fair share of the LLC.
+  CacheConfig share = config.cache;
+  share.bytes = std::max<std::uint64_t>(
+      share.bytes / static_cast<std::uint64_t>(std::max(1, config.threads)),
+      static_cast<std::uint64_t>(share.line_bytes * share.ways));
+  CacheModel cache(share);
+
+  core::SymbolicHashWorkspace<std::int32_t> table;
+  ColumnViews full, part;
+  std::vector<std::size_t> out_nnz(static_cast<std::size_t>(cols), 0);
+
+  const std::size_t sym_cap = entry_cap(config, kSymEntryBytes);
+  const std::size_t add_cap = entry_cap(config, kAddEntryBytes);
+
+  // ---- Symbolic phase over all columns ----
+  for (std::int32_t j = 0; j < cols; ++j) {
+    full.gather(inputs, j);
+    std::size_t inz = 0;
+    for (const auto& v : full.views) inz += v.nnz();
+    if (inz == 0) continue;
+    const std::size_t parts =
+        config.sliding ? util::ceil_div(inz, sym_cap) : 1;
+    std::size_t nz = 0;
+    if (parts <= 1) {
+      nz = trace_symbolic_part(cache, full.views, full.matrix_ids,
+                               full.entry_offsets, table);
+    } else {
+      for (std::size_t p = 0; p < parts; ++p) {
+        const auto r1 = static_cast<std::int32_t>(
+            static_cast<std::size_t>(rows) * p / parts);
+        const auto r2 = static_cast<std::int32_t>(
+            static_cast<std::size_t>(rows) * (p + 1) / parts);
+        part.restrict_rows(full, r1, r2);
+        nz += trace_symbolic_part(cache, part.views, part.matrix_ids,
+                                  part.entry_offsets, table);
+      }
+    }
+    out_nnz[static_cast<std::size_t>(j)] = nz;
+  }
+  result.symbolic = cache.stats();
+  cache.reset_stats();
+
+  // ---- Addition phase over all columns ----
+  std::size_t out_cursor = 0;
+  for (std::int32_t j = 0; j < cols; ++j) {
+    const std::size_t onz = out_nnz[static_cast<std::size_t>(j)];
+    if (onz == 0) continue;
+    full.gather(inputs, j);
+    const std::size_t parts =
+        config.sliding ? util::ceil_div(onz, add_cap) : 1;
+    if (parts <= 1) {
+      out_cursor += trace_add_part(cache, full.views, full.matrix_ids,
+                                   full.entry_offsets, onz, out_cursor, table);
+    } else {
+      for (std::size_t p = 0; p < parts; ++p) {
+        const auto r1 = static_cast<std::int32_t>(
+            static_cast<std::size_t>(rows) * p / parts);
+        const auto r2 = static_cast<std::int32_t>(
+            static_cast<std::size_t>(rows) * (p + 1) / parts);
+        part.restrict_rows(full, r1, r2);
+        std::size_t part_in = 0;
+        for (const auto& v : part.views) part_in += v.nnz();
+        if (part_in == 0) continue;
+        // Mirror the driver: keys-only symbolic over the part, then an
+        // output-sized numeric table (see kway.hpp).
+        const std::size_t part_onz =
+            trace_symbolic_part(cache, part.views, part.matrix_ids,
+                                part.entry_offsets, table);
+        out_cursor +=
+            trace_add_part(cache, part.views, part.matrix_ids,
+                           part.entry_offsets, part_onz, out_cursor, table);
+      }
+    }
+  }
+  result.numeric = cache.stats();
+  return result;
+}
+
+}  // namespace spkadd::cachesim

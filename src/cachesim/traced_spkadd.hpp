@@ -1,0 +1,46 @@
+// Address-trace instrumented (sliding-)hash SpKAdd.
+//
+// Replays the memory behaviour of Alg. 5-8 through the CacheModel to count
+// last-level misses (the paper's Table V): input columns stream
+// sequentially, the hash table is hit at the probed slots, and the output
+// streams sequentially. One thread is simulated against its fair share of
+// the LLC (capacity / threads), which models T threads competing for a
+// shared LLC the same way the paper's table-size analysis does
+// (MemAdd = b*T*nnz > M <=> per-thread need > M/T).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "cachesim/cache_model.hpp"
+#include "matrix/csc.hpp"
+
+namespace spkadd::cachesim {
+
+struct TraceConfig {
+  CacheConfig cache;     ///< the physical LLC being modeled
+  int threads = 48;      ///< threads sharing it (the paper's Skylake run)
+  bool sliding = false;  ///< Alg. 7/8 (sliding) vs Alg. 5/6 (plain)
+  /// Force the sliding table entry cap (0 = derive from cache/threads as
+  /// table_entry_cap does). Mirrors the x-axis of Fig. 4.
+  std::size_t max_table_entries = 0;
+};
+
+struct TraceResult {
+  CacheStats symbolic;  ///< misses during the symbolic phase
+  CacheStats numeric;   ///< misses during the addition phase
+  [[nodiscard]] std::uint64_t total_misses() const {
+    return symbolic.misses + numeric.misses;
+  }
+  [[nodiscard]] std::uint64_t total_accesses() const {
+    return symbolic.accesses + numeric.accesses;
+  }
+};
+
+/// Replay hash (or sliding-hash) SpKAdd over `inputs` and return per-phase
+/// LL miss counts. Structural only: values never affect the trace.
+TraceResult trace_hash_spkadd(
+    std::span<const CscMatrix<std::int32_t, double>> inputs,
+    const TraceConfig& config);
+
+}  // namespace spkadd::cachesim

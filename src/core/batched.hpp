@@ -1,0 +1,55 @@
+// Batched SpKAdd — the paper's §V extension for memory-constrained settings:
+// "we can still arrange input matrices in multiple batches and then use
+// SpKAdd for each batch."
+//
+// The collection is processed in batches of `batch_size` addends; each
+// batch is reduced with the configured k-way method and the partial sums
+// are folded into a running accumulator with one extra SpKAdd level. Peak
+// extra memory is one batch of inputs' worth of intermediates instead of
+// all k, at the cost of re-streaming the accumulator once per batch —
+// exactly the streaming trade-off the paper sketches.
+#pragma once
+
+#include <span>
+
+#include "core/spkadd.hpp"
+
+namespace spkadd::core {
+
+/// B = sum of `inputs`, reduced `batch_size` addends at a time.
+/// batch_size >= 2; batch_size >= k degenerates to a single spkadd call.
+template <class IndexT, class ValueT>
+[[nodiscard]] CscMatrix<IndexT, ValueT> spkadd_batched(
+    std::span<const CscMatrix<IndexT, ValueT>> inputs, std::size_t batch_size,
+    const Options& opts = {}) {
+  if (batch_size < 2)
+    throw std::invalid_argument("spkadd_batched: batch_size must be >= 2");
+  detail::check_conformant(inputs);
+  if (inputs.size() <= batch_size) return spkadd(inputs, opts);
+
+  CscMatrix<IndexT, ValueT> acc;
+  bool have_acc = false;
+  std::vector<CscMatrix<IndexT, ValueT>> batch;
+  for (std::size_t begin = 0; begin < inputs.size(); begin += batch_size) {
+    const std::size_t end = std::min(inputs.size(), begin + batch_size);
+    // Reduce this batch (leave one slot for the accumulator so the batch
+    // plus running sum never exceeds batch_size live matrices).
+    batch.clear();
+    if (have_acc) batch.push_back(std::move(acc));
+    for (std::size_t i = begin; i < end; ++i) batch.push_back(inputs[i]);
+    acc = spkadd(std::span<const CscMatrix<IndexT, ValueT>>(batch), opts);
+    have_acc = true;
+  }
+  return acc;
+}
+
+/// Convenience overload for vectors.
+template <class IndexT, class ValueT>
+[[nodiscard]] CscMatrix<IndexT, ValueT> spkadd_batched(
+    const std::vector<CscMatrix<IndexT, ValueT>>& inputs,
+    std::size_t batch_size, const Options& opts = {}) {
+  return spkadd_batched(std::span<const CscMatrix<IndexT, ValueT>>(inputs),
+                        batch_size, opts);
+}
+
+}  // namespace spkadd::core

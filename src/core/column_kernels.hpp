@@ -1,0 +1,312 @@
+// Sequential per-column kernels — the building blocks of every SpKAdd
+// algorithm. Each kernel adds the jth columns of all k inputs into the jth
+// output column; the drivers in this module's siblings run them inside a
+// column-parallel OpenMP loop on thread-private workspaces (paper §III-A).
+//
+//   merge2_*           ColAdd of Alg. 1 (2-way merge of sorted columns)
+//   heap_add_column    Alg. 3 (k-way min-heap merge)
+//   spa_add_column     Alg. 4 (sparse accumulator)
+//   hash_symbolic_column  Alg. 6 (count nnz(B(:,j)))
+//   hash_add_column    Alg. 5 (hash-table accumulation)
+//
+// All kernels optionally count operations into an OpCounters for the
+// Table I complexity bench.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+
+#include "core/options.hpp"
+#include "core/workspace.hpp"
+#include "matrix/column_view.hpp"
+#include "util/bit_ops.hpp"
+#include "util/radix_sort.hpp"
+
+namespace spkadd::core {
+
+/// Multiplicative masking hash of the paper: h = (a * r) & (2^q - 1) with a
+/// prime multiplier (Knuth's 2654435761). `mask` must be 2^q - 1.
+template <class IndexT>
+[[nodiscard]] inline std::size_t hash_index(IndexT r, std::size_t mask) {
+  return (static_cast<std::size_t>(static_cast<std::uint64_t>(r) *
+                                   2654435761ULL)) &
+         mask;
+}
+
+// ---------------------------------------------------------------------------
+// 2-way merge (ColAdd)
+// ---------------------------------------------------------------------------
+
+/// Count the merged size of two sorted columns (symbolic ColAdd).
+template <class IndexT, class ValueT>
+[[nodiscard]] std::size_t merge2_count(const ColumnView<IndexT, ValueT>& a,
+                                       const ColumnView<IndexT, ValueT>& b,
+                                       OpCounters* counters = nullptr) {
+  std::size_t ia = 0, ib = 0, out = 0;
+  while (ia < a.nnz() && ib < b.nnz()) {
+    const IndexT ra = a.rows[ia];
+    const IndexT rb = b.rows[ib];
+    ia += (ra <= rb);
+    ib += (rb <= ra);
+    ++out;
+  }
+  out += (a.nnz() - ia) + (b.nnz() - ib);
+  if (counters) counters->merge_ops += a.nnz() + b.nnz();
+  return out;
+}
+
+/// Merge-add two sorted columns into (out_rows, out_vals); returns the
+/// number of entries written. Output arrays must have room for
+/// a.nnz() + b.nnz() in the worst case.
+template <class IndexT, class ValueT>
+std::size_t merge2_add(const ColumnView<IndexT, ValueT>& a,
+                       const ColumnView<IndexT, ValueT>& b, IndexT* out_rows,
+                       ValueT* out_vals, OpCounters* counters = nullptr) {
+  std::size_t ia = 0, ib = 0, out = 0;
+  while (ia < a.nnz() && ib < b.nnz()) {
+    const IndexT ra = a.rows[ia];
+    const IndexT rb = b.rows[ib];
+    if (ra < rb) {
+      out_rows[out] = ra;
+      out_vals[out++] = a.vals[ia++];
+    } else if (rb < ra) {
+      out_rows[out] = rb;
+      out_vals[out++] = b.vals[ib++];
+    } else {
+      out_rows[out] = ra;
+      out_vals[out++] = a.vals[ia++] + b.vals[ib++];
+    }
+  }
+  for (; ia < a.nnz(); ++ia) {
+    out_rows[out] = a.rows[ia];
+    out_vals[out++] = a.vals[ia];
+  }
+  for (; ib < b.nnz(); ++ib) {
+    out_rows[out] = b.rows[ib];
+    out_vals[out++] = b.vals[ib];
+  }
+  if (counters) counters->merge_ops += a.nnz() + b.nnz();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// k-way heap merge (Alg. 3)
+// ---------------------------------------------------------------------------
+
+/// k-way merge-add of sorted columns through a binary min-heap keyed on row
+/// index. Output is sorted by construction. Returns entries written; output
+/// arrays must hold sum of input nnz in the worst case.
+template <class IndexT, class ValueT>
+std::size_t heap_add_column(std::span<const ColumnView<IndexT, ValueT>> cols,
+                            HeapWorkspace<IndexT>& ws, IndexT* out_rows,
+                            ValueT* out_vals, OpCounters* counters = nullptr) {
+  using Node = typename HeapWorkspace<IndexT>::Node;
+  ws.ensure_k(cols.size());
+  ws.nodes.clear();
+  std::uint64_t ops = 0;
+
+  // Lines 3-5: seed the heap with the first entry of each column.
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    ws.cursor[i] = 0;
+    if (!cols[i].empty())
+      ws.nodes.push_back(Node{cols[i].rows[0], static_cast<std::int32_t>(i)});
+  }
+  auto less = [](const Node& x, const Node& y) { return x.row > y.row; };
+  std::make_heap(ws.nodes.begin(), ws.nodes.end(), less);
+  ops += ws.nodes.size();
+
+  std::size_t out = 0;
+  while (!ws.nodes.empty()) {
+    const Node top = ws.nodes.front();
+    const auto src = static_cast<std::size_t>(top.source);
+    const ValueT v = cols[src].vals[ws.cursor[src]];
+    // Lines 8-11: extend or accumulate into the (sorted) output tail.
+    if (out > 0 && out_rows[out - 1] == top.row) {
+      out_vals[out - 1] += v;
+    } else {
+      out_rows[out] = top.row;
+      out_vals[out++] = v;
+    }
+    // Lines 12-14: replace the root with the source's next entry (replace +
+    // sift-down rather than pop+push: one O(lg k) operation per element).
+    const std::size_t next = ++ws.cursor[src];
+    if (next < cols[src].nnz()) {
+      ws.nodes.front().row = cols[src].rows[next];
+      // sift down (counting one op per level, the lg k factor of Table I)
+      std::size_t hole = 0;
+      const std::size_t n = ws.nodes.size();
+      const Node item = ws.nodes[0];
+      for (;;) {
+        std::size_t child = 2 * hole + 1;
+        if (child >= n) break;
+        ++ops;
+        if (child + 1 < n && ws.nodes[child + 1].row < ws.nodes[child].row)
+          ++child;
+        if (ws.nodes[child].row >= item.row) break;
+        ws.nodes[hole] = ws.nodes[child];
+        hole = child;
+      }
+      ws.nodes[hole] = item;
+    } else {
+      ops += ws.nodes.empty()
+                 ? 0
+                 : util::log2_floor(
+                       static_cast<std::uint64_t>(ws.nodes.size())) +
+                       1;
+      std::pop_heap(ws.nodes.begin(), ws.nodes.end(), less);
+      ws.nodes.pop_back();
+    }
+    ++ops;
+  }
+  if (counters) counters->heap_ops += ops;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SPA (Alg. 4)
+// ---------------------------------------------------------------------------
+
+/// Accumulate k columns through a dense sparse accumulator; works on sorted
+/// or unsorted inputs. When `sorted_output`, the touched-row list is sorted
+/// before emission (Alg. 4 line 8). Returns entries written.
+template <class IndexT, class ValueT>
+std::size_t spa_add_column(std::span<const ColumnView<IndexT, ValueT>> cols,
+                           SpaWorkspace<IndexT, ValueT>& ws, IndexT* out_rows,
+                           ValueT* out_vals, bool sorted_output,
+                           OpCounters* counters = nullptr) {
+  ws.new_column();
+  std::uint64_t touches = 0;
+  for (const auto& col : cols) {
+    for (std::size_t i = 0; i < col.nnz(); ++i) ws.add(col.rows[i], col.vals[i]);
+    touches += col.nnz();
+  }
+  if (sorted_output) {
+    thread_local std::vector<IndexT> sort_scratch;
+    util::radix_sort_keys(ws.touched.data(), ws.touched.size(), sort_scratch);
+  }
+  std::size_t out = 0;
+  for (const IndexT r : ws.touched) {
+    out_rows[out] = r;
+    out_vals[out++] = ws.values[static_cast<std::size_t>(r)];
+  }
+  if (counters) counters->spa_touches += touches + ws.touched.size();
+  return out;
+}
+
+/// Symbolic SPA: count distinct row indices (used when the SPA driver needs
+/// exact output sizes without a hash table).
+template <class IndexT, class ValueT>
+std::size_t spa_symbolic_column(
+    std::span<const ColumnView<IndexT, ValueT>> cols,
+    SpaWorkspace<IndexT, ValueT>& ws, OpCounters* counters = nullptr) {
+  ws.new_column();
+  std::uint64_t touches = 0;
+  for (const auto& col : cols) {
+    for (std::size_t i = 0; i < col.nnz(); ++i) ws.add(col.rows[i], ValueT{});
+    touches += col.nnz();
+  }
+  if (counters) counters->spa_touches += touches;
+  return ws.touched.size();
+}
+
+// ---------------------------------------------------------------------------
+// Hash (Alg. 5 / Alg. 6)
+// ---------------------------------------------------------------------------
+
+/// Alg. 6: count nnz of the added column with a keys-only hash table sized
+/// by the total input nnz of this column (upper bound on distinct rows).
+template <class IndexT, class ValueT>
+std::size_t hash_symbolic_column(
+    std::span<const ColumnView<IndexT, ValueT>> cols,
+    SymbolicHashWorkspace<IndexT>& ws, OpCounters* counters = nullptr) {
+  std::size_t input_nnz = 0;
+  for (const auto& col : cols) input_nnz += col.nnz();
+  if (input_nnz == 0) return 0;
+  const std::size_t entries = hash_table_entries(input_nnz);
+  ws.reset(entries);
+
+  std::uint64_t probes = 0;
+  std::size_t nz = 0;
+  for (const auto& col : cols) {
+    for (std::size_t i = 0; i < col.nnz(); ++i) {
+      const IndexT r = col.rows[i];
+      std::size_t h = hash_index(r, ws.mask);
+      for (;;) {
+        ++probes;
+        if (ws.keys[h] == SymbolicHashWorkspace<IndexT>::kEmpty) {
+          ws.keys[h] = r;
+          ++nz;
+          break;
+        }
+        if (ws.keys[h] == r) break;
+        h = (h + 1) & ws.mask;  // linear probing
+      }
+    }
+  }
+  if (counters) {
+    counters->hash_probes += probes;
+    counters->table_inits += entries;
+  }
+  return nz;
+}
+
+/// Alg. 5: accumulate k columns into a hash table sized by `expected_nnz`
+/// (the symbolic result), then emit. Works on sorted or unsorted inputs.
+/// Returns entries written (== expected_nnz).
+template <class IndexT, class ValueT>
+std::size_t hash_add_column(std::span<const ColumnView<IndexT, ValueT>> cols,
+                            std::size_t expected_nnz,
+                            HashWorkspace<IndexT, ValueT>& ws,
+                            IndexT* out_rows, ValueT* out_vals,
+                            bool sorted_output,
+                            OpCounters* counters = nullptr) {
+  if (expected_nnz == 0) return 0;
+  const std::size_t entries = hash_table_entries(expected_nnz);
+  ws.reset(entries);
+
+  std::uint64_t probes = 0;
+  for (const auto& col : cols) {
+    for (std::size_t i = 0; i < col.nnz(); ++i) {
+      const IndexT r = col.rows[i];
+      const ValueT v = col.vals[i];
+      std::size_t h = hash_index(r, ws.mask);
+      for (;;) {
+        ++probes;
+        if (ws.keys[h] == HashWorkspace<IndexT, ValueT>::kEmpty) {
+          ws.keys[h] = r;
+          ws.vals[h] = v;
+          break;
+        }
+        if (ws.keys[h] == r) {
+          ws.vals[h] += v;
+          break;
+        }
+        h = (h + 1) & ws.mask;
+      }
+    }
+  }
+
+  // Lines 13-14: sweep valid slots into the output...
+  std::size_t out = 0;
+  for (std::size_t h = 0; h < entries; ++h) {
+    if (ws.keys[h] != HashWorkspace<IndexT, ValueT>::kEmpty) {
+      out_rows[out] = ws.keys[h];
+      out_vals[out++] = ws.vals[h];
+    }
+  }
+  // ...then sort if the caller wants canonical columns (line 15). Radix
+  // sort: comparison sorting would dominate the numeric phase on dense
+  // columns (see util/radix_sort.hpp).
+  if (sorted_output && out > 1) {
+    thread_local util::RadixScratch<IndexT, ValueT> sort_scratch;
+    util::radix_sort_pairs(out_rows, out_vals, out, sort_scratch);
+  }
+  if (counters) {
+    counters->hash_probes += probes;
+    counters->table_inits += entries;
+  }
+  return out;
+}
+
+}  // namespace spkadd::core

@@ -1,0 +1,90 @@
+// Shared plumbing for the SpKAdd drivers: input checking, the column-
+// parallel loop with per-thread counter reduction, and view gathering.
+#pragma once
+
+#include <omp.h>
+
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/options.hpp"
+#include "matrix/csc.hpp"
+
+namespace spkadd::core::detail {
+
+/// Throw unless all inputs share one shape; returns (rows, cols).
+template <class IndexT, class ValueT>
+std::pair<IndexT, IndexT> check_conformant(
+    std::span<const CscMatrix<IndexT, ValueT>> inputs) {
+  if (inputs.empty())
+    throw std::invalid_argument("spkadd: empty input collection");
+  const IndexT rows = inputs[0].rows();
+  const IndexT cols = inputs[0].cols();
+  for (const auto& m : inputs)
+    if (m.rows() != rows || m.cols() != cols)
+      throw std::invalid_argument("spkadd: inputs are not conformant");
+  return {rows, cols};
+}
+
+/// Throw unless every input has sorted columns (merge/heap precondition).
+template <class IndexT, class ValueT>
+void require_sorted_inputs(std::span<const CscMatrix<IndexT, ValueT>> inputs,
+                           const char* algo) {
+  for (const auto& m : inputs)
+    if (!m.is_sorted())
+      throw std::invalid_argument(std::string(algo) +
+                                  ": requires sorted input columns "
+                                  "(set Options::inputs_sorted or sort)");
+}
+
+/// Column-parallel loop honoring Options::{threads, schedule}; `body` is
+/// called as body(j, OpCounters*) where the counter pointer is thread-
+/// private (or null when opts.counters is null) and reduced afterwards.
+template <class IndexT, class Body>
+void for_each_column(IndexT n, const Options& opts, Body&& body) {
+  const int nthreads =
+      opts.threads > 0 ? opts.threads : omp_get_max_threads();
+  std::vector<OpCounters> per(static_cast<std::size_t>(nthreads));
+  const bool dynamic = opts.schedule == Schedule::Dynamic;
+
+#pragma omp parallel num_threads(nthreads)
+  {
+    OpCounters* c =
+        opts.counters
+            ? &per[static_cast<std::size_t>(omp_get_thread_num())]
+            : nullptr;
+    if (dynamic) {
+#pragma omp for schedule(dynamic, 8) nowait
+      for (IndexT j = 0; j < n; ++j) body(j, c);
+    } else {
+#pragma omp for schedule(static) nowait
+      for (IndexT j = 0; j < n; ++j) body(j, c);
+    }
+  }
+  if (opts.counters)
+    for (const auto& c : per) *opts.counters += c;
+}
+
+/// Gather the jth column views of all inputs into `views` (reused scratch);
+/// empty columns are skipped — they contribute nothing to any kernel.
+template <class IndexT, class ValueT>
+void gather_views(std::span<const CscMatrix<IndexT, ValueT>> inputs, IndexT j,
+                  std::vector<ColumnView<IndexT, ValueT>>& views) {
+  views.clear();
+  for (const auto& m : inputs) {
+    auto col = m.column(j);
+    if (!col.empty()) views.push_back(col);
+  }
+}
+
+/// Streamed-bytes model of Table I's I/O column: every input nonzero read
+/// once plus every output nonzero written once.
+template <class IndexT, class ValueT>
+std::uint64_t streamed_bytes(std::size_t input_nnz, std::size_t output_nnz) {
+  constexpr std::uint64_t entry = sizeof(IndexT) + sizeof(ValueT);
+  return entry * (static_cast<std::uint64_t>(input_nnz) +
+                  static_cast<std::uint64_t>(output_nnz));
+}
+
+}  // namespace spkadd::core::detail

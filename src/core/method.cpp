@@ -1,0 +1,20 @@
+#include "core/options.hpp"
+
+namespace spkadd::core {
+
+std::string method_name(Method m) {
+  switch (m) {
+    case Method::TwoWayIncremental: return "2-way Incremental";
+    case Method::TwoWayTree: return "2-way Tree";
+    case Method::Heap: return "Heap";
+    case Method::Spa: return "SPA";
+    case Method::Hash: return "Hash";
+    case Method::SlidingHash: return "Sliding Hash";
+    case Method::ReferenceIncremental: return "Ref(MKL) Incremental";
+    case Method::ReferenceTree: return "Ref(MKL) Tree";
+    case Method::Auto: return "Auto";
+  }
+  return "?";
+}
+
+}  // namespace spkadd::core

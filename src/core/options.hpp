@@ -1,0 +1,89 @@
+// Options, method selection and instrumentation counters for SpKAdd.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace spkadd::core {
+
+/// The algorithm family of the paper (§II-B, §II-C, §III-B) plus the
+/// library-style reference baseline standing in for MKL.
+enum class Method {
+  TwoWayIncremental,  ///< Alg. 1: fold pairwise, left to right
+  TwoWayTree,         ///< balanced binary tree of pairwise adds
+  Heap,               ///< Alg. 3: k-way merge through a min-heap
+  Spa,                ///< Alg. 4: dense sparse-accumulator of length m
+  Hash,               ///< Alg. 5/6: per-column hash table
+  SlidingHash,        ///< Alg. 7/8: cache-capped hash slid over row ranges
+  ReferenceIncremental,  ///< MKL-substitute pairwise add, folded
+  ReferenceTree,         ///< MKL-substitute pairwise add, tree
+  Auto,               ///< pick per Fig. 2's decision surface
+};
+
+[[nodiscard]] std::string method_name(Method m);
+
+/// Loop schedule for the column-parallel outer loop. The paper uses dynamic
+/// scheduling keyed on per-column nnz to balance skewed (RMAT) workloads;
+/// Static is kept for the ablation bench.
+enum class Schedule { Dynamic, Static };
+
+/// Operation counters, filled when Options::counters is non-null. These
+/// measure the "Work" and "I/O (from memory)" columns of Table I so the
+/// complexity bench can verify the analytic growth rates.
+struct OpCounters {
+  std::uint64_t merge_ops = 0;    ///< 2-way merge element steps
+  std::uint64_t heap_ops = 0;     ///< heap inserts + extract-mins
+  std::uint64_t hash_probes = 0;  ///< hash slots inspected (incl. collisions)
+  std::uint64_t spa_touches = 0;  ///< SPA reads+writes
+  std::uint64_t bytes_moved = 0;  ///< streamed matrix bytes (I/O model)
+  std::uint64_t table_inits = 0;  ///< hash-table slots initialized
+
+  OpCounters& operator+=(const OpCounters& o) {
+    merge_ops += o.merge_ops;
+    heap_ops += o.heap_ops;
+    hash_probes += o.hash_probes;
+    spa_touches += o.spa_touches;
+    bytes_moved += o.bytes_moved;
+    table_inits += o.table_inits;
+    return *this;
+  }
+
+  /// Total "work" events across data structures (Table I's Work column).
+  [[nodiscard]] std::uint64_t work() const {
+    return merge_ops + heap_ops + hash_probes + spa_touches;
+  }
+};
+
+struct Options {
+  Method method = Method::Auto;
+
+  /// Emit columns with strictly ascending row indices. Hash/SPA can skip
+  /// their final sort when false (the "unsorted hash" of Fig. 6); merge and
+  /// heap methods always produce sorted output.
+  bool sorted_output = true;
+
+  /// Declare that the *inputs* have sorted columns. Merge/heap require this
+  /// and throw otherwise; sliding hash uses it to slice row ranges by binary
+  /// search instead of scanning.
+  bool inputs_sorted = true;
+
+  /// 0 = current omp_get_max_threads().
+  int threads = 0;
+
+  /// LLC budget for sliding hash (bytes); 0 = detected machine value (or
+  /// the util::set_llc_override if active).
+  std::size_t llc_bytes = 0;
+
+  /// Force the per-thread hash table entry cap for SlidingHash (the x-axis
+  /// of Fig. 4). 0 = derive from llc_bytes / threads as in Alg. 7/8.
+  std::size_t max_table_entries = 0;
+
+  Schedule schedule = Schedule::Dynamic;
+
+  /// When non-null, kernels count their operations here (not thread-safe to
+  /// share across concurrent spkadd() calls; one counter per call).
+  OpCounters* counters = nullptr;
+};
+
+}  // namespace spkadd::core

@@ -1,0 +1,100 @@
+// Unified SpKAdd entry point.
+//
+//   CscMatrix<> B = core::spkadd(inputs);                    // Auto policy
+//   CscMatrix<> B = core::spkadd(inputs, {.method = Method::SlidingHash});
+//
+// Method::Auto implements the decision surface of the paper's Fig. 2:
+// hash-family methods win everywhere at k >= 8; the only question is plain
+// hash vs sliding hash, decided by whether all threads' numeric-phase hash
+// tables fit in the last-level cache. For tiny k on skewed inputs the 2-way
+// tree/heap corner of Fig. 2 is honored.
+#pragma once
+
+#include <span>
+
+#include "core/kway.hpp"
+#include "core/options.hpp"
+#include "core/reference_add.hpp"
+#include "core/twoway.hpp"
+#include "util/cache_info.hpp"
+#include "util/thread_control.hpp"
+
+namespace spkadd::core {
+
+/// Estimate whether the numeric-phase hash tables of all threads overflow
+/// the LLC budget: b * T * max-column output nnz > M, with output nnz
+/// approximated by the per-column *input* nnz upper bound (cheap, no
+/// symbolic pass; overestimates by at most the compression factor, which
+/// only moves the boundary toward sliding hash — the safe direction).
+template <class IndexT, class ValueT>
+[[nodiscard]] bool auto_prefers_sliding(
+    std::span<const CscMatrix<IndexT, ValueT>> inputs, const Options& opts) {
+  const IndexT cols = inputs.empty() ? 0 : inputs[0].cols();
+  std::size_t max_col_nnz = 0;
+  for (IndexT j = 0; j < cols; ++j) {
+    std::size_t col = 0;
+    for (const auto& m : inputs) col += m.col_nnz(j);
+    max_col_nnz = std::max(max_col_nnz, col);
+  }
+  const std::size_t b = sizeof(IndexT) + sizeof(ValueT);
+  const int threads =
+      opts.threads > 0 ? opts.threads : util::current_max_threads();
+  const std::size_t llc =
+      opts.llc_bytes != 0 ? opts.llc_bytes : util::effective_llc_bytes();
+  return b * static_cast<std::size_t>(threads) * max_col_nnz > llc;
+}
+
+/// Pick a concrete method for Method::Auto (exposed for tests/benches).
+template <class IndexT, class ValueT>
+[[nodiscard]] Method auto_select(
+    std::span<const CscMatrix<IndexT, ValueT>> inputs, const Options& opts) {
+  if (inputs.size() <= 2 && opts.inputs_sorted) return Method::TwoWayTree;
+  return auto_prefers_sliding(inputs, opts) ? Method::SlidingHash
+                                            : Method::Hash;
+}
+
+/// Add a collection of conformant sparse matrices: B = sum_i inputs[i].
+template <class IndexT, class ValueT>
+[[nodiscard]] CscMatrix<IndexT, ValueT> spkadd(
+    std::span<const CscMatrix<IndexT, ValueT>> inputs,
+    const Options& opts = {}) {
+  detail::check_conformant(inputs);
+  if (inputs.size() == 1) {
+    CscMatrix<IndexT, ValueT> out = inputs[0];
+    if (opts.sorted_output && !out.is_sorted()) out.sort_columns();
+    return out;
+  }
+  Method method = opts.method;
+  if (method == Method::Auto) method = auto_select(inputs, opts);
+  switch (method) {
+    case Method::TwoWayIncremental:
+      return spkadd_twoway_incremental(inputs, opts);
+    case Method::TwoWayTree:
+      return spkadd_twoway_tree(inputs, opts);
+    case Method::Heap:
+      return spkadd_heap(inputs, opts);
+    case Method::Spa:
+      return spkadd_spa(inputs, opts);
+    case Method::Hash:
+      return spkadd_hash(inputs, opts);
+    case Method::SlidingHash:
+      return spkadd_sliding_hash(inputs, opts);
+    case Method::ReferenceIncremental:
+      return spkadd_reference_incremental(inputs);
+    case Method::ReferenceTree:
+      return spkadd_reference_tree(inputs);
+    case Method::Auto:
+      break;  // unreachable: resolved above
+  }
+  throw std::logic_error("spkadd: unresolved method");
+}
+
+/// Convenience overload for a vector of matrices.
+template <class IndexT, class ValueT>
+[[nodiscard]] CscMatrix<IndexT, ValueT> spkadd(
+    const std::vector<CscMatrix<IndexT, ValueT>>& inputs,
+    const Options& opts = {}) {
+  return spkadd(std::span<const CscMatrix<IndexT, ValueT>>(inputs), opts);
+}
+
+}  // namespace spkadd::core

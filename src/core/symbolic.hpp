@@ -1,0 +1,154 @@
+// Symbolic phase of SpKAdd (paper §II-D, Alg. 6 and Alg. 7).
+//
+// Every k-way algorithm needs nnz(B(:,j)) per output column to preallocate
+// the result and size the hash tables. This module computes that vector with
+// the hash-based symbolic kernel, optionally using the sliding partition of
+// Alg. 7 so symbolic tables stay inside the last-level cache. The symbolic
+// table stores keys only (b = sizeof(IndexT) bytes per entry).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/column_kernels.hpp"
+#include "core/detail.hpp"
+#include "util/cache_info.hpp"
+#include "util/thread_control.hpp"
+
+namespace spkadd::core {
+
+namespace detail {
+
+/// Per-thread hash-table entry budget from the LLC size: M / (b * T)
+/// (Alg. 7 line 3 rearranged), optionally overridden by
+/// Options::max_table_entries. Never below a small floor so degenerate
+/// configurations stay functional.
+inline std::size_t table_entry_cap(const Options& opts,
+                                   std::size_t bytes_per_entry) {
+  if (opts.max_table_entries != 0) return std::max<std::size_t>(opts.max_table_entries, 8);
+  const std::size_t llc =
+      opts.llc_bytes != 0 ? opts.llc_bytes : util::effective_llc_bytes();
+  const int threads =
+      opts.threads > 0 ? opts.threads : util::current_max_threads();
+  // Factor 2: hash_table_entries allocates 2x the key count for its <= 0.5
+  // load factor, so the memory per *key* is 2 * bytes_per_entry.
+  const std::size_t cap =
+      llc / (2 * bytes_per_entry *
+             static_cast<std::size_t>(std::max(1, threads)));
+  return std::max<std::size_t>(cap, 8);
+}
+
+/// Filter the entries of `views` with row index in [r1, r2) into scratch
+/// arrays and return views over the filtered copies. Used for sliding over
+/// *unsorted* inputs, where binary-search slicing is unavailable.
+template <class IndexT, class ValueT>
+void filter_range(std::span<const ColumnView<IndexT, ValueT>> views, IndexT r1,
+                  IndexT r2, std::vector<IndexT>& rows_scratch,
+                  std::vector<ValueT>& vals_scratch,
+                  std::vector<std::size_t>& bounds,
+                  std::vector<ColumnView<IndexT, ValueT>>& out_views) {
+  rows_scratch.clear();
+  vals_scratch.clear();
+  bounds.clear();
+  bounds.push_back(0);
+  for (const auto& v : views) {
+    for (std::size_t i = 0; i < v.nnz(); ++i) {
+      if (v.rows[i] >= r1 && v.rows[i] < r2) {
+        rows_scratch.push_back(v.rows[i]);
+        vals_scratch.push_back(v.vals[i]);
+      }
+    }
+    bounds.push_back(rows_scratch.size());
+  }
+  out_views.clear();
+  for (std::size_t s = 0; s + 1 < bounds.size(); ++s) {
+    const std::size_t lo = bounds[s];
+    const std::size_t len = bounds[s + 1] - lo;
+    if (len == 0) continue;
+    out_views.push_back(ColumnView<IndexT, ValueT>{
+        std::span<const IndexT>(rows_scratch).subspan(lo, len),
+        std::span<const ValueT>(vals_scratch).subspan(lo, len)});
+  }
+}
+
+}  // namespace detail
+
+/// Scratch owned by one thread across the symbolic loop (kept out of the
+/// inner loop so tables/buffers are reused column to column).
+template <class IndexT, class ValueT>
+struct SymbolicScratch {
+  SymbolicHashWorkspace<IndexT> table;
+  std::vector<ColumnView<IndexT, ValueT>> views;
+  std::vector<ColumnView<IndexT, ValueT>> part_views;
+  std::vector<IndexT> rows_scratch;
+  std::vector<ValueT> vals_scratch;
+  std::vector<std::size_t> bounds;
+};
+
+/// Alg. 7 for one column: plain hash symbolic when the table fits the cache
+/// budget, otherwise slide over `parts` row ranges.
+template <class IndexT, class ValueT>
+std::size_t sliding_symbolic_column(
+    std::span<const ColumnView<IndexT, ValueT>> views, IndexT rows,
+    std::size_t cap_entries, bool inputs_sorted,
+    SymbolicScratch<IndexT, ValueT>& scratch, OpCounters* counters) {
+  std::size_t inz = 0;
+  for (const auto& v : views) inz += v.nnz();
+  if (inz == 0) return 0;
+  const std::size_t parts = util::ceil_div(inz, cap_entries);
+  if (parts <= 1)
+    return hash_symbolic_column(views, scratch.table, counters);
+
+  std::size_t nz = 0;
+  for (std::size_t p = 0; p < parts; ++p) {
+    const auto r1 = static_cast<IndexT>(
+        static_cast<std::size_t>(rows) * p / parts);
+    const auto r2 = static_cast<IndexT>(
+        static_cast<std::size_t>(rows) * (p + 1) / parts);
+    if (inputs_sorted) {
+      scratch.part_views.clear();
+      for (const auto& v : views) {
+        auto sub = v.row_range(r1, r2);
+        if (!sub.empty()) scratch.part_views.push_back(sub);
+      }
+    } else {
+      detail::filter_range(views, r1, r2, scratch.rows_scratch,
+                           scratch.vals_scratch, scratch.bounds,
+                           scratch.part_views);
+    }
+    nz += hash_symbolic_column(
+        std::span<const ColumnView<IndexT, ValueT>>(scratch.part_views),
+        scratch.table, counters);
+  }
+  return nz;
+}
+
+/// Compute nnz(B(:,j)) for every column. `sliding` selects Alg. 7 (cache-
+/// capped tables) vs plain Alg. 6.
+template <class IndexT, class ValueT>
+std::vector<IndexT> symbolic_nnz_per_column(
+    std::span<const CscMatrix<IndexT, ValueT>> inputs, const Options& opts,
+    bool sliding) {
+  const auto [rows, cols] = detail::check_conformant(inputs);
+  std::vector<IndexT> counts(static_cast<std::size_t>(cols));
+  const std::size_t cap =
+      sliding ? detail::table_entry_cap(opts, sizeof(IndexT)) : 0;
+
+  std::vector<SymbolicScratch<IndexT, ValueT>> scratch(
+      static_cast<std::size_t>(
+          opts.threads > 0 ? opts.threads : util::current_max_threads()));
+  const IndexT rows_copy = rows;
+  detail::for_each_column(cols, opts, [&](IndexT j, OpCounters* c) {
+    auto& s = scratch[static_cast<std::size_t>(omp_get_thread_num())];
+    detail::gather_views(inputs, j, s.views);
+    const std::span<const ColumnView<IndexT, ValueT>> views(s.views);
+    const std::size_t nz =
+        sliding ? sliding_symbolic_column(views, rows_copy, cap,
+                                          opts.inputs_sorted, s, c)
+                : hash_symbolic_column(views, s.table, c);
+    counts[static_cast<std::size_t>(j)] = static_cast<IndexT>(nz);
+  });
+  return counts;
+}
+
+}  // namespace spkadd::core

@@ -1,0 +1,103 @@
+// 2-way SpKAdd algorithms (paper §II-B).
+//
+// `add2` is the parallel pairwise addition (ColAdd over all columns, two
+// passes: count then fill). On top of it:
+//   * spkadd_twoway_incremental — Alg. 1, fold left: B += A_i one at a time.
+//     Work O(k^2 nd) for ER inputs because the growing partial sum is
+//     re-streamed every iteration.
+//   * spkadd_twoway_tree — balanced binary reduction, work O(k nd lg k).
+// Both require sorted input columns and always produce sorted output.
+#pragma once
+
+#include <span>
+
+#include "core/column_kernels.hpp"
+#include "core/detail.hpp"
+#include "util/prefix_sum.hpp"
+
+namespace spkadd::core {
+
+/// Parallel 2-way addition of conformant sorted CSC matrices.
+template <class IndexT, class ValueT>
+[[nodiscard]] CscMatrix<IndexT, ValueT> add2(
+    const CscMatrix<IndexT, ValueT>& a, const CscMatrix<IndexT, ValueT>& b,
+    const Options& opts = {}) {
+  if (a.rows() != b.rows() || a.cols() != b.cols())
+    throw std::invalid_argument("add2: shape mismatch");
+  const IndexT n = a.cols();
+
+  // Pass 1 (symbolic): exact merged size per column.
+  std::vector<IndexT> counts(static_cast<std::size_t>(n));
+  detail::for_each_column(n, opts, [&](IndexT j, OpCounters* c) {
+    counts[static_cast<std::size_t>(j)] = static_cast<IndexT>(
+        merge2_count(a.column(j), b.column(j), c));
+  });
+  std::vector<IndexT> col_ptr =
+      util::counts_to_offsets(std::span<const IndexT>(counts));
+
+  // Pass 2 (numeric): merge each column into its slice.
+  CscMatrix<IndexT, ValueT> out(a.rows(), a.cols());
+  out.set_structure(std::move(col_ptr));
+  auto* out_rows = out.mutable_row_idx().data();
+  auto* out_vals = out.mutable_values().data();
+  const auto cp = out.col_ptr();
+  detail::for_each_column(n, opts, [&](IndexT j, OpCounters* c) {
+    const auto lo = static_cast<std::size_t>(cp[static_cast<std::size_t>(j)]);
+    merge2_add(a.column(j), b.column(j), out_rows + lo, out_vals + lo, c);
+  });
+  if (opts.counters)
+    opts.counters->bytes_moved +=
+        detail::streamed_bytes<IndexT, ValueT>(a.nnz() + b.nnz(), out.nnz());
+  return out;
+}
+
+/// Alg. 1: incremental (left fold) 2-way SpKAdd.
+template <class IndexT, class ValueT>
+[[nodiscard]] CscMatrix<IndexT, ValueT> spkadd_twoway_incremental(
+    std::span<const CscMatrix<IndexT, ValueT>> inputs,
+    const Options& opts = {}) {
+  detail::check_conformant(inputs);
+  if (opts.inputs_sorted)
+    detail::require_sorted_inputs(inputs, "spkadd_twoway_incremental");
+  else
+    throw std::invalid_argument(
+        "spkadd_twoway_incremental: requires sorted inputs");
+  CscMatrix<IndexT, ValueT> acc = inputs[0];
+  for (std::size_t i = 1; i < inputs.size(); ++i)
+    acc = add2(acc, inputs[i], opts);
+  return acc;
+}
+
+/// Balanced-tree 2-way SpKAdd: leaves are the inputs, each level halves the
+/// count. Intermediate results are materialized (that is the point: the
+/// algorithm's I/O is O(lg k * sum nnz)).
+template <class IndexT, class ValueT>
+[[nodiscard]] CscMatrix<IndexT, ValueT> spkadd_twoway_tree(
+    std::span<const CscMatrix<IndexT, ValueT>> inputs,
+    const Options& opts = {}) {
+  detail::check_conformant(inputs);
+  if (!opts.inputs_sorted)
+    throw std::invalid_argument("spkadd_twoway_tree: requires sorted inputs");
+  detail::require_sorted_inputs(inputs, "spkadd_twoway_tree");
+  if (inputs.size() == 1) return inputs[0];
+
+  // First level reads the inputs directly; later levels consume the
+  // intermediate vector.
+  std::vector<CscMatrix<IndexT, ValueT>> level;
+  level.reserve((inputs.size() + 1) / 2);
+  for (std::size_t i = 0; i + 1 < inputs.size(); i += 2)
+    level.push_back(add2(inputs[i], inputs[i + 1], opts));
+  if (inputs.size() % 2 != 0) level.push_back(inputs.back());
+
+  while (level.size() > 1) {
+    std::vector<CscMatrix<IndexT, ValueT>> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+      next.push_back(add2(level[i], level[i + 1], opts));
+    if (level.size() % 2 != 0) next.push_back(std::move(level.back()));
+    level = std::move(next);
+  }
+  return std::move(level.front());
+}
+
+}  // namespace spkadd::core

@@ -1,0 +1,138 @@
+// Thread-private scratch spaces reused across columns.
+//
+// The paper's parallelization (§III-A) keeps one data structure per thread —
+// heap of size k, SPA of size m, hash table sized to the current column —
+// and the per-column kernels run sequentially on that private scratch.
+// Reusing the scratch across columns is what keeps the hash tables hot in
+// cache; the SPA avoids O(m) clearing per column with generation stamps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bit_ops.hpp"
+
+namespace spkadd::core {
+
+/// Hash-table scratch for the numeric phase: open addressing with linear
+/// probing, keys = row indices (kEmpty = free slot). Sized per column to the
+/// smallest power of two > nnz(B(:,j)) as in Alg. 5.
+template <class IndexT, class ValueT>
+struct HashWorkspace {
+  static constexpr IndexT kEmpty = static_cast<IndexT>(-1);
+
+  std::vector<IndexT> keys;
+  std::vector<ValueT> vals;
+  std::size_t mask = 0;
+
+  /// Prepare a table with `entries` slots (must be a power of two). Only
+  /// grows the backing store; re-initializes exactly `entries` slots, which
+  /// is the O(table) init the paper charges to the hash algorithm.
+  void reset(std::size_t entries) {
+    if (keys.size() < entries) {
+      keys.resize(entries);
+      vals.resize(entries);
+    }
+    std::fill(keys.begin(), keys.begin() + static_cast<std::ptrdiff_t>(entries),
+              kEmpty);
+    mask = entries - 1;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return mask + 1; }
+};
+
+/// Symbolic-phase hash scratch: keys only (the paper notes the symbolic
+/// table stores indices only, b = 4 bytes).
+template <class IndexT>
+struct SymbolicHashWorkspace {
+  static constexpr IndexT kEmpty = static_cast<IndexT>(-1);
+
+  std::vector<IndexT> keys;
+  std::size_t mask = 0;
+
+  void reset(std::size_t entries) {
+    if (keys.size() < entries) keys.resize(entries);
+    std::fill(keys.begin(), keys.begin() + static_cast<std::ptrdiff_t>(entries),
+              kEmpty);
+    mask = entries - 1;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return mask + 1; }
+};
+
+/// Sparse accumulator (Alg. 4): dense value array of length m plus the list
+/// of touched rows. Generation stamps make new_column() O(1) instead of
+/// clearing m entries.
+template <class IndexT, class ValueT>
+struct SpaWorkspace {
+  std::vector<ValueT> values;
+  std::vector<std::uint32_t> stamp;
+  std::vector<IndexT> touched;
+  std::uint32_t generation = 0;
+
+  /// Allocate for matrices with `rows` rows (idempotent).
+  void ensure_rows(std::size_t rows) {
+    if (values.size() < rows) {
+      values.resize(rows);
+      stamp.resize(rows, 0);
+      generation = 0;
+      std::fill(stamp.begin(), stamp.end(), 0u);
+    }
+  }
+
+  /// Begin accumulating a fresh column.
+  void new_column() {
+    touched.clear();
+    ++generation;
+    if (generation == 0) {  // stamp wrap-around: hard reset
+      std::fill(stamp.begin(), stamp.end(), 0u);
+      generation = 1;
+    }
+  }
+
+  [[nodiscard]] bool occupied(IndexT r) const {
+    return stamp[static_cast<std::size_t>(r)] == generation;
+  }
+
+  /// Add v at row r, tracking first touches.
+  void add(IndexT r, ValueT v) {
+    const auto ri = static_cast<std::size_t>(r);
+    if (stamp[ri] == generation) {
+      values[ri] += v;
+    } else {
+      stamp[ri] = generation;
+      values[ri] = v;
+      touched.push_back(r);
+    }
+  }
+};
+
+/// Min-heap scratch for Alg. 3: array-based binary heap of (row, source)
+/// pairs plus one cursor per input column. Values are read through the
+/// cursor on extraction, so the heap nodes stay 8 bytes.
+template <class IndexT>
+struct HeapWorkspace {
+  struct Node {
+    IndexT row;
+    std::int32_t source;
+  };
+  std::vector<Node> nodes;
+  std::vector<std::size_t> cursor;
+
+  void ensure_k(std::size_t k) {
+    if (nodes.capacity() < k) nodes.reserve(k);
+    if (cursor.size() < k) cursor.resize(k);
+  }
+};
+
+/// Size of the hash table allocated for `need` distinct keys. Alg. 5 line 2
+/// asks for "a power of two greater than nnz"; taken literally that allows
+/// load factors arbitrarily close to 1 (e.g. 1023 keys in 1024 slots), where
+/// linear probing degenerates and the O(1)-probe analysis of Table I breaks.
+/// We therefore size at the smallest power of two >= 2*need, guaranteeing a
+/// load factor <= 0.5 — the standard engineering reading of the algorithm.
+[[nodiscard]] inline std::size_t hash_table_entries(std::size_t need) {
+  return static_cast<std::size_t>(util::next_pow2(2 * need));
+}
+
+}  // namespace spkadd::core

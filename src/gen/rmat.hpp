@@ -1,0 +1,77 @@
+// R-MAT recursive matrix generator (Chakrabarti, Zhan, Faloutsos, SDM'04).
+//
+// The paper's synthetic workloads (§IV-A) are all R-MAT:
+//   * ER    — seeds a=b=c=d=0.25, i.e. uniform Erdős–Rényi sparsity;
+//   * RMAT  — Graph500 seeds a=0.57, b=c=0.19, d=0.05, power-law rows.
+// Dimensions are powers of two (row_scale / col_scale); for each edge the
+// generator descends the 2^row_scale x 2^col_scale quadtree choosing a
+// quadrant per level. Rectangular shapes descend only the larger dimension
+// once the smaller one is exhausted. Duplicate edges are summed by
+// CooMatrix::compress, so the realized nnz is slightly below the target for
+// skewed seeds — exactly like the original generator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/coo.hpp"
+#include "matrix/csc.hpp"
+
+namespace spkadd::gen {
+
+struct RmatParams {
+  int row_scale = 16;  ///< rows = 2^row_scale
+  int col_scale = 10;  ///< cols = 2^col_scale
+  /// Quadrant probabilities (upper-left, upper-right, lower-left,
+  /// lower-right); must sum to ~1.
+  double a = 0.25, b = 0.25, c = 0.25, d = 0.25;
+  std::uint64_t edges = 1 << 16;  ///< edges drawn before deduplication
+  std::uint64_t seed = 1;
+  /// Per-level +-noise applied to (a,b,c,d) so repeated quadrants do not
+  /// produce artificial ridges; 0 disables.
+  double noise = 0.1;
+
+  /// Paper's ER seeds.
+  static RmatParams er(int row_scale, int col_scale, std::uint64_t edges,
+                       std::uint64_t seed) {
+    RmatParams p;
+    p.row_scale = row_scale;
+    p.col_scale = col_scale;
+    p.a = p.b = p.c = p.d = 0.25;
+    p.noise = 0.0;
+    p.edges = edges;
+    p.seed = seed;
+    return p;
+  }
+
+  /// Paper's Graph500 seeds.
+  static RmatParams g500(int row_scale, int col_scale, std::uint64_t edges,
+                         std::uint64_t seed) {
+    RmatParams p;
+    p.row_scale = row_scale;
+    p.col_scale = col_scale;
+    p.a = 0.57;
+    p.b = 0.19;
+    p.c = 0.19;
+    p.d = 0.05;
+    p.edges = edges;
+    p.seed = seed;
+    return p;
+  }
+};
+
+/// Draw `edges` R-MAT triples with uniform(0,1] values, sum duplicates,
+/// return canonical COO. Parallelized over edges with per-thread RNG
+/// streams; deterministic for a fixed (params, thread-count-independent).
+CooMatrix<std::int32_t, double> rmat_coo(const RmatParams& params);
+
+/// Same, converted to sorted CSC.
+CscMatrix<std::int32_t, double> rmat_csc(const RmatParams& params);
+
+/// The paper's workload recipe (§IV-A): generate one m x (k*n) matrix and
+/// split it along columns into k matrices of shape m x n. Column indices are
+/// re-based per slab so the k results are conformant addends.
+std::vector<CscMatrix<std::int32_t, double>> split_columns(
+    const CscMatrix<std::int32_t, double>& m, int k);
+
+}  // namespace spkadd::gen

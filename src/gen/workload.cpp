@@ -1,0 +1,69 @@
+#include "gen/workload.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "gen/rmat.hpp"
+#include "util/bit_ops.hpp"
+#include "util/rng.hpp"
+
+namespace spkadd::gen {
+
+std::string WorkloadSpec::describe() const {
+  std::ostringstream ss;
+  ss << (pattern == Pattern::ER ? "ER" : "RMAT") << " m=" << rows
+     << " n=" << cols << " d=" << avg_nnz_per_col << " k=" << k
+     << " seed=" << seed;
+  return ss.str();
+}
+
+std::vector<CscMatrix<std::int32_t, double>> make_workload(
+    const WorkloadSpec& spec) {
+  if (spec.k <= 0) throw std::invalid_argument("make_workload: k must be > 0");
+  const int row_scale =
+      static_cast<int>(util::log2_floor(util::next_pow2(
+          static_cast<std::uint64_t>(std::max<std::int64_t>(1, spec.rows)))));
+  // Combined matrix has k*n columns; k and n both rounded to powers of two.
+  const auto k_pow = util::next_pow2(static_cast<std::uint64_t>(spec.k));
+  if (k_pow != static_cast<std::uint64_t>(spec.k))
+    throw std::invalid_argument("make_workload: k must be a power of two");
+  const auto cols_pow = util::next_pow2(
+      static_cast<std::uint64_t>(std::max<std::int64_t>(1, spec.cols)));
+  const int col_scale = static_cast<int>(
+      util::log2_floor(cols_pow * static_cast<std::uint64_t>(spec.k)));
+  if (row_scale > 30 || col_scale > 30)
+    throw std::invalid_argument("make_workload: dimensions too large");
+
+  const std::uint64_t edges = static_cast<std::uint64_t>(spec.avg_nnz_per_col) *
+                              cols_pow * static_cast<std::uint64_t>(spec.k);
+  RmatParams p = spec.pattern == Pattern::ER
+                     ? RmatParams::er(row_scale, col_scale, edges, spec.seed)
+                     : RmatParams::g500(row_scale, col_scale, edges, spec.seed);
+  return split_columns(rmat_csc(p), spec.k);
+}
+
+std::size_t total_input_nnz(
+    const std::vector<CscMatrix<std::int32_t, double>>& inputs) {
+  std::size_t total = 0;
+  for (const auto& m : inputs) total += m.nnz();
+  return total;
+}
+
+void shuffle_columns(CscMatrix<std::int32_t, double>& m, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  auto rows = m.mutable_row_idx();
+  auto vals = m.mutable_values();
+  const auto cp = m.col_ptr();
+  for (std::int32_t j = 0; j < m.cols(); ++j) {
+    const auto lo = static_cast<std::size_t>(cp[static_cast<std::size_t>(j)]);
+    const auto hi = static_cast<std::size_t>(cp[static_cast<std::size_t>(j) + 1]);
+    for (std::size_t i = hi; i > lo + 1; --i) {
+      const std::size_t pick = lo + rng.bounded(i - lo);
+      std::swap(rows[i - 1], rows[pick]);
+      std::swap(vals[i - 1], vals[pick]);
+    }
+  }
+}
+
+}  // namespace spkadd::gen

@@ -1,0 +1,146 @@
+#include "io/matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace spkadd::io {
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+/// Read the next non-comment, non-blank line; false at EOF.
+bool next_data_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    std::size_t i = 0;
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])))
+      ++i;
+    if (i == line.size() || line[i] == '%') continue;
+    return true;
+  }
+  return false;
+}
+
+struct Banner {
+  bool pattern = false;
+  bool symmetric = false;
+  bool skew = false;
+};
+
+Banner parse_banner(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("%%MatrixMarket", 0) != 0)
+    throw std::runtime_error("MatrixMarket: missing %%MatrixMarket banner");
+  std::istringstream ss(line);
+  std::string tag, object, format, field, symmetry;
+  ss >> tag >> object >> format >> field >> symmetry;
+  object = lower(object);
+  format = lower(format);
+  field = lower(field);
+  symmetry = lower(symmetry);
+  if (object != "matrix")
+    throw std::runtime_error("MatrixMarket: unsupported object '" + object + "'");
+  if (format != "coordinate")
+    throw std::runtime_error("MatrixMarket: only coordinate format supported");
+  Banner b;
+  if (field == "pattern") {
+    b.pattern = true;
+  } else if (field != "real" && field != "integer" && field != "double") {
+    throw std::runtime_error("MatrixMarket: unsupported field '" + field + "'");
+  }
+  if (symmetry == "symmetric") {
+    b.symmetric = true;
+  } else if (symmetry == "skew-symmetric") {
+    b.symmetric = true;
+    b.skew = true;
+  } else if (symmetry != "general") {
+    throw std::runtime_error("MatrixMarket: unsupported symmetry '" +
+                             symmetry + "'");
+  }
+  return b;
+}
+
+}  // namespace
+
+MmHeader read_mm_header(std::istream& in) {
+  const Banner b = parse_banner(in);
+  std::string line;
+  if (!next_data_line(in, line))
+    throw std::runtime_error("MatrixMarket: missing size line");
+  MmHeader h;
+  std::istringstream ss(line);
+  if (!(ss >> h.rows >> h.cols >> h.stored_entries))
+    throw std::runtime_error("MatrixMarket: malformed size line");
+  h.pattern = b.pattern;
+  h.symmetric = b.symmetric;
+  h.skew = b.skew;
+  return h;
+}
+
+CooMatrix<std::int32_t, double> read_mm_coo(std::istream& in) {
+  const MmHeader h = read_mm_header(in);
+  if (h.rows > INT32_MAX || h.cols > INT32_MAX)
+    throw std::runtime_error("MatrixMarket: dimensions exceed int32");
+  CooMatrix<std::int32_t, double> m(static_cast<std::int32_t>(h.rows),
+                                    static_cast<std::int32_t>(h.cols));
+  m.reserve(static_cast<std::size_t>(h.stored_entries) * (h.symmetric ? 2 : 1));
+  std::string line;
+  for (std::int64_t e = 0; e < h.stored_entries; ++e) {
+    if (!next_data_line(in, line))
+      throw std::runtime_error("MatrixMarket: truncated entry list at entry " +
+                               std::to_string(e));
+    std::istringstream ss(line);
+    std::int64_t r = 0, c = 0;
+    double v = 1.0;
+    if (!(ss >> r >> c)) throw std::runtime_error("MatrixMarket: bad entry");
+    if (!h.pattern && !(ss >> v))
+      throw std::runtime_error("MatrixMarket: missing value at entry " +
+                               std::to_string(e));
+    if (r < 1 || r > h.rows || c < 1 || c > h.cols)
+      throw std::runtime_error("MatrixMarket: 1-based index out of range");
+    const auto ri = static_cast<std::int32_t>(r - 1);
+    const auto ci = static_cast<std::int32_t>(c - 1);
+    m.push(ri, ci, v);
+    if (h.symmetric && ri != ci) m.push(ci, ri, h.skew ? -v : v);
+  }
+  m.compress();
+  return m;
+}
+
+CooMatrix<std::int32_t, double> read_mm_coo_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_mm_coo(in);
+}
+
+CscMatrix<std::int32_t, double> read_mm_csc_file(const std::string& path) {
+  return read_mm_coo_file(path).to_csc();
+}
+
+void write_mm(std::ostream& out, const CscMatrix<std::int32_t, double>& m) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << "% written by spkadd\n";
+  out << m.rows() << ' ' << m.cols() << ' ' << m.nnz() << '\n';
+  out.precision(17);
+  for (std::int32_t j = 0; j < m.cols(); ++j) {
+    const auto col = m.column(j);
+    for (std::size_t i = 0; i < col.nnz(); ++i)
+      out << (col.rows[i] + 1) << ' ' << (j + 1) << ' ' << col.vals[i] << '\n';
+  }
+}
+
+void write_mm_file(const std::string& path,
+                   const CscMatrix<std::int32_t, double>& m) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  write_mm(out, m);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace spkadd::io

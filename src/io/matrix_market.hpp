@@ -1,0 +1,46 @@
+// Matrix Market (.mtx) reader/writer.
+//
+// The paper's real-world inputs (Eukarya / Isolates / Metaclust50 protein
+// similarity networks, SuiteSparse matrices) are distributed as Matrix
+// Market files; this module lets users run the benches on those files.
+// Supported: `matrix coordinate {real|integer|pattern} {general|symmetric|
+// skew-symmetric}`. Pattern entries get value 1. Symmetric storage is
+// expanded to full storage on read (off-diagonals mirrored).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "matrix/coo.hpp"
+#include "matrix/csc.hpp"
+
+namespace spkadd::io {
+
+/// Header fields of a Matrix Market file.
+struct MmHeader {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::int64_t stored_entries = 0;  ///< entries in the file (before symmetry expansion)
+  bool pattern = false;
+  bool symmetric = false;
+  bool skew = false;
+};
+
+/// Parse only the banner + size line (cheap metadata probe).
+MmHeader read_mm_header(std::istream& in);
+
+/// Read a full file into COO (duplicates summed, triples (col,row)-sorted).
+CooMatrix<std::int32_t, double> read_mm_coo(std::istream& in);
+CooMatrix<std::int32_t, double> read_mm_coo_file(const std::string& path);
+
+/// Read straight into canonical sorted CSC.
+CscMatrix<std::int32_t, double> read_mm_csc_file(const std::string& path);
+
+/// Write CSC as `matrix coordinate real general` (1-based, column-major
+/// entry order). Round-trips with the reader.
+void write_mm(std::ostream& out, const CscMatrix<std::int32_t, double>& m);
+void write_mm_file(const std::string& path,
+                   const CscMatrix<std::int32_t, double>& m);
+
+}  // namespace spkadd::io

@@ -1,0 +1,41 @@
+// Non-owning view of one sparse column: parallel spans of row indices and
+// values. This is the unit every SpKAdd kernel operates on — "the jth column
+// of A_i is an array of (rowid, val) tuples" (paper §II-B).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+
+namespace spkadd {
+
+template <class IndexT, class ValueT>
+struct ColumnView {
+  std::span<const IndexT> rows;
+  std::span<const ValueT> vals;
+
+  [[nodiscard]] std::size_t nnz() const { return rows.size(); }
+  [[nodiscard]] bool empty() const { return rows.empty(); }
+
+  /// Sub-view restricted to row indices in [r1, r2). Requires the column to
+  /// be sorted by row index; bounds are located by binary search. This is
+  /// how the sliding-hash algorithm (paper Alg. 7/8 line 9-10) slices
+  /// A_i(r1:r2, j) without copying.
+  [[nodiscard]] ColumnView row_range(IndexT r1, IndexT r2) const {
+    const auto* base = rows.data();
+    const auto* lo = std::lower_bound(base, base + rows.size(), r1);
+    const auto* hi = std::lower_bound(lo, base + rows.size(), r2);
+    const std::size_t off = static_cast<std::size_t>(lo - base);
+    const std::size_t len = static_cast<std::size_t>(hi - lo);
+    return ColumnView{rows.subspan(off, len), vals.subspan(off, len)};
+  }
+
+  /// True when row indices are strictly ascending (CSC canonical form).
+  [[nodiscard]] bool is_sorted_strict() const {
+    for (std::size_t i = 1; i < rows.size(); ++i)
+      if (rows[i] <= rows[i - 1]) return false;
+    return true;
+  }
+};
+
+}  // namespace spkadd

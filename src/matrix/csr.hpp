@@ -1,0 +1,123 @@
+// Compressed Sparse Row matrix.
+//
+// The paper notes (§II-A) that all SpKAdd algorithms apply equally to CSR;
+// we provide CSR as a thin mirror of CSC plus O(nnz) transposition-based
+// conversions, so row-major producers (e.g. graph adjacency streams) can use
+// the library without reformatting by hand.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "matrix/csc.hpp"
+#include "util/prefix_sum.hpp"
+
+namespace spkadd {
+
+template <class IndexT = std::int32_t, class ValueT = double>
+class CsrMatrix {
+ public:
+  using index_type = IndexT;
+  using value_type = ValueT;
+
+  CsrMatrix() : row_ptr_(1, 0) {}
+
+  CsrMatrix(IndexT rows, IndexT cols, std::vector<IndexT> row_ptr,
+            std::vector<IndexT> col_idx, std::vector<ValueT> values)
+      : rows_(rows), cols_(cols), row_ptr_(std::move(row_ptr)),
+        col_idx_(std::move(col_idx)), values_(std::move(values)) {
+    if (row_ptr_.size() != static_cast<std::size_t>(rows) + 1)
+      throw std::invalid_argument("CsrMatrix: row_ptr size mismatch");
+    const auto nz = static_cast<std::size_t>(row_ptr_.back());
+    if (col_idx_.size() != nz || values_.size() != nz)
+      throw std::invalid_argument("CsrMatrix: array length != row_ptr.back()");
+  }
+
+  [[nodiscard]] IndexT rows() const { return rows_; }
+  [[nodiscard]] IndexT cols() const { return cols_; }
+  [[nodiscard]] std::size_t nnz() const {
+    return static_cast<std::size_t>(row_ptr_.back());
+  }
+
+  [[nodiscard]] std::span<const IndexT> row_ptr() const { return row_ptr_; }
+  [[nodiscard]] std::span<const IndexT> col_idx() const { return col_idx_; }
+  [[nodiscard]] std::span<const ValueT> values() const { return values_; }
+
+  friend bool operator==(const CsrMatrix& a, const CsrMatrix& b) = default;
+
+ private:
+  IndexT rows_ = 0;
+  IndexT cols_ = 0;
+  std::vector<IndexT> row_ptr_;
+  std::vector<IndexT> col_idx_;
+  std::vector<ValueT> values_;
+};
+
+/// CSC -> CSR by counting-sort transposition; O(nnz + rows). The result rows
+/// come out with ascending column indices (canonical).
+template <class IndexT, class ValueT>
+[[nodiscard]] CsrMatrix<IndexT, ValueT> csc_to_csr(
+    const CscMatrix<IndexT, ValueT>& m) {
+  std::vector<IndexT> counts(static_cast<std::size_t>(m.rows()), 0);
+  for (const IndexT r : m.row_idx()) ++counts[static_cast<std::size_t>(r)];
+  std::vector<IndexT> row_ptr =
+      util::counts_to_offsets(std::span<const IndexT>(counts));
+  std::vector<IndexT> cursor(row_ptr.begin(), row_ptr.end() - 1);
+  std::vector<IndexT> col_idx(m.nnz());
+  std::vector<ValueT> values(m.nnz());
+  for (IndexT j = 0; j < m.cols(); ++j) {
+    const auto col = m.column(j);
+    for (std::size_t i = 0; i < col.nnz(); ++i) {
+      auto& cur = cursor[static_cast<std::size_t>(col.rows[i])];
+      col_idx[static_cast<std::size_t>(cur)] = j;
+      values[static_cast<std::size_t>(cur)] = col.vals[i];
+      ++cur;
+    }
+  }
+  return CsrMatrix<IndexT, ValueT>(m.rows(), m.cols(), std::move(row_ptr),
+                                   std::move(col_idx), std::move(values));
+}
+
+/// CSR -> CSC, the symmetric operation.
+template <class IndexT, class ValueT>
+[[nodiscard]] CscMatrix<IndexT, ValueT> csr_to_csc(
+    const CsrMatrix<IndexT, ValueT>& m) {
+  std::vector<IndexT> counts(static_cast<std::size_t>(m.cols()), 0);
+  for (const IndexT c : m.col_idx()) ++counts[static_cast<std::size_t>(c)];
+  std::vector<IndexT> col_ptr =
+      util::counts_to_offsets(std::span<const IndexT>(counts));
+  std::vector<IndexT> cursor(col_ptr.begin(), col_ptr.end() - 1);
+  std::vector<IndexT> row_idx(m.nnz());
+  std::vector<ValueT> values(m.nnz());
+  const auto rp = m.row_ptr();
+  const auto ci = m.col_idx();
+  const auto vals = m.values();
+  for (IndexT r = 0; r < m.rows(); ++r) {
+    for (auto i = static_cast<std::size_t>(rp[static_cast<std::size_t>(r)]);
+         i < static_cast<std::size_t>(rp[static_cast<std::size_t>(r) + 1]); ++i) {
+      auto& cur = cursor[static_cast<std::size_t>(ci[i])];
+      row_idx[static_cast<std::size_t>(cur)] = r;
+      values[static_cast<std::size_t>(cur)] = vals[i];
+      ++cur;
+    }
+  }
+  return CscMatrix<IndexT, ValueT>(m.rows(), m.cols(), std::move(col_ptr),
+                                   std::move(row_idx), std::move(values));
+}
+
+/// Transpose of a CSC matrix, returned as CSC (columns of the result are
+/// rows of the input). Implemented via the CSR bridge.
+template <class IndexT, class ValueT>
+[[nodiscard]] CscMatrix<IndexT, ValueT> transpose(
+    const CscMatrix<IndexT, ValueT>& m) {
+  const CsrMatrix<IndexT, ValueT> r = csc_to_csr(m);
+  return CscMatrix<IndexT, ValueT>(
+      m.cols(), m.rows(),
+      std::vector<IndexT>(r.row_ptr().begin(), r.row_ptr().end()),
+      std::vector<IndexT>(r.col_idx().begin(), r.col_idx().end()),
+      std::vector<ValueT>(r.values().begin(), r.values().end()));
+}
+
+}  // namespace spkadd

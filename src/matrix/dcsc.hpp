@@ -1,0 +1,135 @@
+// Doubly Compressed Sparse Column (DCSC) — Buluç & Gilbert's hypersparse
+// format. The paper notes (§II-A) that all SpKAdd algorithms apply to
+// doubly-compressed formats, and the distributed SUMMA use case is exactly
+// where DCSC matters: at large process grids each block holds far fewer
+// nonzeros than columns (nnz << n), so CSC's O(n) column-pointer array
+// dominates memory. DCSC stores pointers only for the columns that have
+// nonzeros:
+//
+//   jc[nzc]      the nonempty column indices (ascending)
+//   cp[nzc+1]    entry offsets per nonempty column
+//   row_idx/values[nnz]  as in CSC
+//
+// SpKAdd consumes DCSC through the same ColumnView abstraction as CSC
+// (empty columns simply produce empty views), so conversions here are all
+// that is needed to run the whole algorithm family on hypersparse blocks.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "matrix/column_view.hpp"
+#include "matrix/csc.hpp"
+
+namespace spkadd {
+
+template <class IndexT = std::int32_t, class ValueT = double>
+class DcscMatrix {
+ public:
+  using index_type = IndexT;
+  using value_type = ValueT;
+
+  DcscMatrix() : cp_(1, 0) {}
+
+  DcscMatrix(IndexT rows, IndexT cols, std::vector<IndexT> jc,
+             std::vector<IndexT> cp, std::vector<IndexT> row_idx,
+             std::vector<ValueT> values)
+      : rows_(rows), cols_(cols), jc_(std::move(jc)), cp_(std::move(cp)),
+        row_idx_(std::move(row_idx)), values_(std::move(values)) {
+    if (rows < 0 || cols < 0)
+      throw std::invalid_argument("DcscMatrix: negative dimension");
+    if (cp_.size() != jc_.size() + 1 || cp_.front() != 0)
+      throw std::invalid_argument("DcscMatrix: cp/jc size mismatch");
+    const auto nz = static_cast<std::size_t>(cp_.back());
+    if (row_idx_.size() != nz || values_.size() != nz)
+      throw std::invalid_argument("DcscMatrix: array length != cp.back()");
+    for (std::size_t i = 0; i < jc_.size(); ++i) {
+      if (jc_[i] < 0 || jc_[i] >= cols)
+        throw std::invalid_argument("DcscMatrix: column index out of range");
+      if (i > 0 && jc_[i] <= jc_[i - 1])
+        throw std::invalid_argument("DcscMatrix: jc not strictly ascending");
+    }
+  }
+
+  [[nodiscard]] IndexT rows() const { return rows_; }
+  [[nodiscard]] IndexT cols() const { return cols_; }
+  [[nodiscard]] std::size_t nnz() const {
+    return static_cast<std::size_t>(cp_.back());
+  }
+  /// Number of nonempty columns (the "nzc" of the format).
+  [[nodiscard]] std::size_t nonempty_cols() const { return jc_.size(); }
+
+  [[nodiscard]] std::span<const IndexT> jc() const { return jc_; }
+  [[nodiscard]] std::span<const IndexT> cp() const { return cp_; }
+  [[nodiscard]] std::span<const IndexT> row_idx() const { return row_idx_; }
+  [[nodiscard]] std::span<const ValueT> values() const { return values_; }
+
+  /// View of column j; empty when j holds no entries. O(log nzc) lookup.
+  [[nodiscard]] ColumnView<IndexT, ValueT> column(IndexT j) const {
+    auto it = std::lower_bound(jc_.begin(), jc_.end(), j);
+    if (it == jc_.end() || *it != j) return {};
+    const auto slot = static_cast<std::size_t>(it - jc_.begin());
+    const auto lo = static_cast<std::size_t>(cp_[slot]);
+    const auto len = static_cast<std::size_t>(cp_[slot + 1] - cp_[slot]);
+    return ColumnView<IndexT, ValueT>{
+        std::span<const IndexT>(row_idx_).subspan(lo, len),
+        std::span<const ValueT>(values_).subspan(lo, len)};
+  }
+
+  /// Heap bytes held; compare with CscMatrix::storage_bytes() to see the
+  /// hypersparse saving (no O(cols) pointer array).
+  [[nodiscard]] std::size_t storage_bytes() const {
+    return (jc_.capacity() + cp_.capacity() + row_idx_.capacity()) *
+               sizeof(IndexT) +
+           values_.capacity() * sizeof(ValueT);
+  }
+
+  friend bool operator==(const DcscMatrix& a, const DcscMatrix& b) = default;
+
+ private:
+  IndexT rows_ = 0;
+  IndexT cols_ = 0;
+  std::vector<IndexT> jc_;
+  std::vector<IndexT> cp_;
+  std::vector<IndexT> row_idx_;
+  std::vector<ValueT> values_;
+};
+
+/// CSC -> DCSC: drop the pointers of empty columns. O(cols + nnz).
+template <class IndexT, class ValueT>
+[[nodiscard]] DcscMatrix<IndexT, ValueT> csc_to_dcsc(
+    const CscMatrix<IndexT, ValueT>& m) {
+  std::vector<IndexT> jc;
+  std::vector<IndexT> cp{0};
+  for (IndexT j = 0; j < m.cols(); ++j) {
+    const auto n = m.col_nnz(j);
+    if (n == 0) continue;
+    jc.push_back(j);
+    cp.push_back(cp.back() + static_cast<IndexT>(n));
+  }
+  return DcscMatrix<IndexT, ValueT>(
+      m.rows(), m.cols(), std::move(jc), std::move(cp),
+      std::vector<IndexT>(m.row_idx().begin(), m.row_idx().end()),
+      std::vector<ValueT>(m.values().begin(), m.values().end()));
+}
+
+/// DCSC -> CSC: re-expand the column-pointer array. O(cols + nnz).
+template <class IndexT, class ValueT>
+[[nodiscard]] CscMatrix<IndexT, ValueT> dcsc_to_csc(
+    const DcscMatrix<IndexT, ValueT>& m) {
+  std::vector<IndexT> col_ptr(static_cast<std::size_t>(m.cols()) + 1, 0);
+  const auto jc = m.jc();
+  const auto cp = m.cp();
+  for (std::size_t s = 0; s < jc.size(); ++s)
+    col_ptr[static_cast<std::size_t>(jc[s]) + 1] = cp[s + 1] - cp[s];
+  for (std::size_t j = 0; j < static_cast<std::size_t>(m.cols()); ++j)
+    col_ptr[j + 1] += col_ptr[j];
+  return CscMatrix<IndexT, ValueT>(
+      m.rows(), m.cols(), std::move(col_ptr),
+      std::vector<IndexT>(m.row_idx().begin(), m.row_idx().end()),
+      std::vector<ValueT>(m.values().begin(), m.values().end()));
+}
+
+}  // namespace spkadd

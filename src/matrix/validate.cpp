@@ -1,0 +1,19 @@
+#include "matrix/validate.hpp"
+
+namespace spkadd {
+
+std::string describe_range_error(long long col, long long row,
+                                 long long rows) {
+  return "column " + std::to_string(col) + ": row index " +
+         std::to_string(row) + " out of range [0, " + std::to_string(rows) +
+         ")";
+}
+
+std::string describe_order_error(long long col, long long prev,
+                                 long long cur) {
+  return "column " + std::to_string(col) + ": row indices not strictly " +
+         "ascending (" + std::to_string(prev) + " then " +
+         std::to_string(cur) + ")";
+}
+
+}  // namespace spkadd

@@ -1,0 +1,95 @@
+// Structural validation and comparison helpers for CSC matrices.
+//
+// Tests use `validate()` to assert every algorithm emits a well-formed
+// matrix, and `approx_equal()` to compare against the dense reference sum
+// (floating-point addition order differs between algorithms, so exact
+// equality of values is not guaranteed).
+#pragma once
+
+#include <cmath>
+#include <string>
+
+#include "matrix/csc.hpp"
+
+namespace spkadd {
+
+/// Result of a structural check; `ok()` or a human-readable reason.
+struct ValidationResult {
+  bool valid = true;
+  std::string reason;
+  static ValidationResult ok() { return {}; }
+  static ValidationResult fail(std::string why) {
+    return ValidationResult{false, std::move(why)};
+  }
+  explicit operator bool() const { return valid; }
+};
+
+/// Render "column 7: row index 12 out of range [0, 10)" style messages.
+/// (Out-of-line so the templated checker below stays light.)
+std::string describe_range_error(long long col, long long row, long long rows);
+std::string describe_order_error(long long col, long long prev, long long cur);
+
+/// Check CSC invariants: monotone col_ptr, in-range row indices, and — when
+/// `require_sorted` — strictly ascending rows per column (no duplicates).
+template <class IndexT, class ValueT>
+[[nodiscard]] ValidationResult validate(const CscMatrix<IndexT, ValueT>& m,
+                                        bool require_sorted = true) {
+  const auto cp = m.col_ptr();
+  for (std::size_t j = 0; j + 1 < cp.size(); ++j)
+    if (cp[j + 1] < cp[j])
+      return ValidationResult::fail("col_ptr not monotone at column " +
+                                    std::to_string(j));
+  for (IndexT j = 0; j < m.cols(); ++j) {
+    const auto col = m.column(j);
+    for (std::size_t i = 0; i < col.nnz(); ++i) {
+      if (col.rows[i] < 0 || col.rows[i] >= m.rows())
+        return ValidationResult::fail(
+            describe_range_error(j, col.rows[i], m.rows()));
+      if (require_sorted && i > 0 && col.rows[i] <= col.rows[i - 1])
+        return ValidationResult::fail(
+            describe_order_error(j, col.rows[i - 1], col.rows[i]));
+    }
+  }
+  return ValidationResult::ok();
+}
+
+/// Same sparsity pattern and values equal within `tol` (absolute+relative).
+/// Requires both matrices in sorted canonical form.
+template <class IndexT, class ValueT>
+[[nodiscard]] bool approx_equal(const CscMatrix<IndexT, ValueT>& a,
+                                const CscMatrix<IndexT, ValueT>& b,
+                                double tol = 1e-9) {
+  if (a.rows() != b.rows() || a.cols() != b.cols() || a.nnz() != b.nnz())
+    return false;
+  if (!std::equal(a.col_ptr().begin(), a.col_ptr().end(),
+                  b.col_ptr().begin()))
+    return false;
+  if (!std::equal(a.row_idx().begin(), a.row_idx().end(),
+                  b.row_idx().begin()))
+    return false;
+  const auto av = a.values();
+  const auto bv = b.values();
+  for (std::size_t i = 0; i < av.size(); ++i) {
+    const double x = static_cast<double>(av[i]);
+    const double y = static_cast<double>(bv[i]);
+    const double scale = std::max({1.0, std::abs(x), std::abs(y)});
+    if (std::abs(x - y) > tol * scale) return false;
+  }
+  return true;
+}
+
+/// Compression factor of an SpKAdd instance: sum(nnz inputs) / nnz(output)
+/// (paper §II-A). cf == 1 means inputs are disjoint; large cf means heavy
+/// overlap (e.g. Eukarya's 22.6).
+template <class IndexT, class ValueT>
+[[nodiscard]] double compression_factor(
+    std::span<const CscMatrix<IndexT, ValueT>> inputs,
+    const CscMatrix<IndexT, ValueT>& output) {
+  std::size_t in_nnz = 0;
+  for (const auto& a : inputs) in_nnz += a.nnz();
+  return output.nnz() == 0
+             ? 1.0
+             : static_cast<double>(in_nnz) / static_cast<double>(output.nnz());
+}
+
+}  // namespace spkadd

@@ -1,0 +1,8 @@
+// Anchor translation unit for the spgemm library (all algorithms are
+// templates in local_spgemm.hpp).
+#include "spgemm/local_spgemm.hpp"
+
+namespace spkadd::spgemm {
+// Intentionally empty: ensures the header parses standalone and gives the
+// static library at least one object file.
+}  // namespace spkadd::spgemm

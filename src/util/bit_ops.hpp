@@ -1,0 +1,36 @@
+// Small bit utilities shared by the hash kernels (power-of-two table sizing,
+// multiplicative-mask hashing) and the cache simulator (log2 of line size).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace spkadd::util {
+
+/// Smallest power of two strictly greater than `x` (the paper sizes hash
+/// tables as "a power of two and greater than nnz").
+[[nodiscard]] constexpr std::uint64_t next_pow2_greater(std::uint64_t x) {
+  return std::bit_ceil(x + 1);
+}
+
+/// Smallest power of two >= x, with next_pow2(0) == 1.
+[[nodiscard]] constexpr std::uint64_t next_pow2(std::uint64_t x) {
+  return std::bit_ceil(x == 0 ? 1 : x);
+}
+
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t x) {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// floor(log2(x)) for x > 0.
+[[nodiscard]] constexpr unsigned log2_floor(std::uint64_t x) {
+  return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+/// Integer ceil division.
+template <class T>
+[[nodiscard]] constexpr T ceil_div(T a, T b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace spkadd::util

@@ -1,0 +1,143 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace spkadd::util {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+const std::int64_t* CliParser::add_int(const std::string& name,
+                                       std::int64_t def,
+                                       const std::string& help) {
+  Flag f{Kind::Int, help};
+  f.int_value = def;
+  auto [it, fresh] = flags_.emplace(name, std::move(f));
+  if (fresh) order_.push_back(name);
+  return &it->second.int_value;
+}
+
+const double* CliParser::add_double(const std::string& name, double def,
+                                    const std::string& help) {
+  Flag f{Kind::Double, help};
+  f.double_value = def;
+  auto [it, fresh] = flags_.emplace(name, std::move(f));
+  if (fresh) order_.push_back(name);
+  return &it->second.double_value;
+}
+
+const bool* CliParser::add_flag(const std::string& name,
+                                const std::string& help) {
+  Flag f{Kind::Bool, help};
+  auto [it, fresh] = flags_.emplace(name, std::move(f));
+  if (fresh) order_.push_back(name);
+  return &it->second.bool_value;
+}
+
+const std::string* CliParser::add_string(const std::string& name,
+                                         std::string def,
+                                         const std::string& help) {
+  Flag f{Kind::String, help};
+  f.string_value = std::move(def);
+  auto [it, fresh] = flags_.emplace(name, std::move(f));
+  if (fresh) order_.push_back(name);
+  return &it->second.string_value;
+}
+
+bool CliParser::assign(Flag& flag, const std::string& text) {
+  try {
+    switch (flag.kind) {
+      case Kind::Int:
+        flag.int_value = std::stoll(text);
+        return true;
+      case Kind::Double:
+        flag.double_value = std::stod(text);
+        return true;
+      case Kind::Bool:
+        flag.bool_value = (text == "1" || text == "true" || text == "yes");
+        return true;
+      case Kind::String:
+        flag.string_value = text;
+        return true;
+    }
+  } catch (...) {
+  }
+  return false;
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage();
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::cerr << program_ << ": unexpected positional argument '" << arg
+                << "'\n"
+                << usage();
+      return false;
+    }
+    arg.erase(0, 2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg.erase(eq);
+      has_value = true;
+    }
+    auto it = flags_.find(arg);
+    if (it == flags_.end()) {
+      std::cerr << program_ << ": unknown flag '--" << arg << "'\n" << usage();
+      return false;
+    }
+    Flag& flag = it->second;
+    if (flag.kind == Kind::Bool && !has_value) {
+      flag.bool_value = true;
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        std::cerr << program_ << ": flag '--" << arg << "' needs a value\n";
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (!assign(flag, value)) {
+      std::cerr << program_ << ": bad value '" << value << "' for '--" << arg
+                << "'\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream ss;
+  ss << "usage: " << program_ << " [flags]\n";
+  if (!description_.empty()) ss << description_ << "\n";
+  for (const auto& name : order_) {
+    const Flag& f = flags_.at(name);
+    ss << "  --" << name;
+    switch (f.kind) {
+      case Kind::Int:
+        ss << " <int>    (default " << f.int_value << ")";
+        break;
+      case Kind::Double:
+        ss << " <float>  (default " << f.double_value << ")";
+        break;
+      case Kind::Bool:
+        ss << "          (flag)";
+        break;
+      case Kind::String:
+        ss << " <str>    (default \"" << f.string_value << "\")";
+        break;
+    }
+    ss << "  " << f.help << "\n";
+  }
+  return ss.str();
+}
+
+}  // namespace spkadd::util

@@ -1,0 +1,61 @@
+// Minimal command-line flag parsing for the bench/example binaries.
+//
+// All benches share flags like --rows, --scale, --threads, --llc-bytes; this
+// parser supports "--name value", "--name=value" and boolean "--name" forms
+// and prints a generated --help.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace spkadd::util {
+
+/// Declarative flag registry + parser.
+///
+///   CliParser cli("bench_table3");
+///   auto& rows = cli.add_int("rows", 1 << 17, "number of matrix rows");
+///   cli.parse(argc, argv);           // exits(0) on --help
+///   use(*rows)
+class CliParser {
+ public:
+  explicit CliParser(std::string program, std::string description = {});
+
+  /// Register flags; the returned pointer stays valid for the parser's
+  /// lifetime and holds the default until parse() overwrites it.
+  const std::int64_t* add_int(const std::string& name, std::int64_t def,
+                              const std::string& help);
+  const double* add_double(const std::string& name, double def,
+                           const std::string& help);
+  const bool* add_flag(const std::string& name, const std::string& help);
+  const std::string* add_string(const std::string& name, std::string def,
+                                const std::string& help);
+
+  /// Parse argv. Unknown flags are an error (returns false and prints usage);
+  /// `--help` prints usage and calls std::exit(0).
+  bool parse(int argc, const char* const* argv);
+
+  /// Usage text (also printed by --help).
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Kind { Int, Double, Bool, String };
+  struct Flag {
+    Kind kind;
+    std::string help;
+    std::int64_t int_value = 0;
+    double double_value = 0;
+    bool bool_value = false;
+    std::string string_value;
+  };
+  bool assign(Flag& flag, const std::string& text);
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace spkadd::util

@@ -1,0 +1,91 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// The R-MAT generator and the property-based tests need streams that are
+// (a) reproducible across runs and platforms, and (b) cheaply splittable so
+// each OpenMP thread / each generated matrix gets an independent stream.
+// SplitMix64 seeds Xoshiro256**, the standard recipe from Blackman & Vigna.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace spkadd::util {
+
+/// SplitMix64: tiny, high-quality 64-bit mixer. Used to expand one user seed
+/// into the 256-bit Xoshiro state and to derive per-stream sub-seeds.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: fast general-purpose PRNG with 256-bit state.
+/// Satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x5eed5eed5eedULL) {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  std::uint64_t bounded(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    // Fast path without 128-bit math corrections is biased by at most
+    // 2^-64 * bound; for test/generator purposes we use the unbiased loop.
+    std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      std::uint64_t r = (*this)();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Derive an independent generator for stream index `i` (thread/matrix id).
+  [[nodiscard]] Xoshiro256 split(std::uint64_t i) const {
+    SplitMix64 sm(s_[0] ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+    Xoshiro256 out(sm.next());
+    return out;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace spkadd::util

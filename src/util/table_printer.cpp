@@ -1,0 +1,72 @@
+#include "util/table_printer.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace spkadd::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << ' ' << cell << std::string(width[c] - cell.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+
+  emit(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << std::string(width[c] + 2, '-') << "|";
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string TablePrinter::fmt_seconds(double s) {
+  std::ostringstream ss;
+  if (s < 1.0)
+    ss << std::fixed << std::setprecision(4) << s;
+  else
+    ss << std::fixed << std::setprecision(3) << s;
+  return ss.str();
+}
+
+std::string TablePrinter::fmt_ratio(double r) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(2) << r << "x";
+  return ss.str();
+}
+
+std::string TablePrinter::fmt_count(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  int seen = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (seen != 0 && seen % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++seen;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace spkadd::util

@@ -1,0 +1,39 @@
+// Markdown-style table printing for the benchmark harness.
+//
+// Every bench binary reproduces one table/figure of the paper; this printer
+// renders rows in the same layout (algorithm x parameter grid) so the output
+// can be compared to the paper side by side and pasted into EXPERIMENTS.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace spkadd::util {
+
+/// Column-aligned markdown table accumulated row by row and printed at once.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Append one row; missing cells are padded with "", extras are dropped.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render as a GitHub-flavored markdown table.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Format seconds with 4 significant digits ("0.0832", "12.93").
+  static std::string fmt_seconds(double s);
+  /// Format a ratio like "3.2x".
+  static std::string fmt_ratio(double r);
+  /// Format a large count with thousands grouping ("1,234,567").
+  static std::string fmt_count(std::uint64_t v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace spkadd::util

@@ -1,0 +1,19 @@
+#include "util/thread_control.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+
+namespace spkadd::util {
+
+int current_max_threads() { return omp_get_max_threads(); }
+
+void set_num_threads(int n) { omp_set_num_threads(std::max(1, n)); }
+
+ThreadCountGuard::ThreadCountGuard(int n) : previous_(omp_get_max_threads()) {
+  set_num_threads(n);
+}
+
+ThreadCountGuard::~ThreadCountGuard() { set_num_threads(previous_); }
+
+}  // namespace spkadd::util

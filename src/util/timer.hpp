@@ -1,0 +1,82 @@
+// Wall-clock timing utilities used by the benchmark harness and by the
+// per-phase breakdowns (symbolic vs computation) reported in Fig. 4 of the
+// paper.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace spkadd::util {
+
+/// Monotonic wall-clock stopwatch.
+///
+/// `WallTimer t; ... double s = t.seconds();` measures the elapsed wall time
+/// since construction or the last `reset()`.
+class WallTimer {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  WallTimer() : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction / last reset.
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction / last reset.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  clock::time_point start_;
+};
+
+/// Accumulates named phase timings (e.g. "symbolic", "compute") so a bench
+/// can report the same per-phase breakdown as the paper's Fig. 4.
+class PhaseTimer {
+ public:
+  /// Add `seconds` to phase `name`.
+  void add(const std::string& name, double seconds) { acc_[name] += seconds; }
+
+  /// Run `fn` and charge its wall time to phase `name`; returns fn's result.
+  template <class Fn>
+  auto time(const std::string& name, Fn&& fn) {
+    WallTimer t;
+    if constexpr (std::is_void_v<decltype(fn())>) {
+      fn();
+      add(name, t.seconds());
+    } else {
+      auto result = fn();
+      add(name, t.seconds());
+      return result;
+    }
+  }
+
+  /// Accumulated seconds for `name` (0 if never recorded).
+  [[nodiscard]] double get(const std::string& name) const {
+    auto it = acc_.find(name);
+    return it == acc_.end() ? 0.0 : it->second;
+  }
+
+  /// Sum over all phases.
+  [[nodiscard]] double total() const {
+    double s = 0;
+    for (const auto& [_, v] : acc_) s += v;
+    return s;
+  }
+
+  void clear() { acc_.clear(); }
+
+  [[nodiscard]] const std::map<std::string, double>& phases() const {
+    return acc_;
+  }
+
+ private:
+  std::map<std::string, double> acc_;
+};
+
+}  // namespace spkadd::util

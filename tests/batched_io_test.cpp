@@ -1,0 +1,129 @@
+// Batched SpKAdd (the paper's §V memory-constrained extension) and the
+// binary matrix container.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/batched.hpp"
+#include "io/binary_io.hpp"
+#include "io/matrix_market.hpp"
+#include "matrix/validate.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace spkadd;
+using namespace spkadd::core;
+using spkadd::testing::dense_sum_oracle;
+using spkadd::testing::random_collection;
+using spkadd::testing::random_matrix;
+
+using Csc = spkadd::testing::Csc;
+
+// ------------------------------------------------------------- batched
+TEST(Batched, MatchesUnbatchedForAllBatchSizes) {
+  const auto inputs = random_collection(13, 128, 16, 250, 1);
+  const auto oracle = dense_sum_oracle(std::span<const Csc>(inputs));
+  for (std::size_t b : {2u, 3u, 4u, 7u, 13u, 100u}) {
+    const auto out =
+        spkadd_batched(std::span<const Csc>(inputs), b, Options{});
+    EXPECT_TRUE(approx_equal(oracle, out)) << "batch_size=" << b;
+  }
+}
+
+TEST(Batched, WorksWithEveryMethod) {
+  const auto inputs = random_collection(9, 64, 8, 120, 2);
+  const auto oracle = dense_sum_oracle(std::span<const Csc>(inputs));
+  for (auto m : {Method::TwoWayTree, Method::Heap, Method::Spa, Method::Hash,
+                 Method::SlidingHash}) {
+    Options opts;
+    opts.method = m;
+    EXPECT_TRUE(approx_equal(
+        oracle, spkadd_batched(std::span<const Csc>(inputs), 4, opts)))
+        << method_name(m);
+  }
+}
+
+TEST(Batched, RejectsDegenerateBatchSize) {
+  const auto inputs = random_collection(4, 16, 4, 20, 3);
+  EXPECT_THROW(spkadd_batched(std::span<const Csc>(inputs), 1, Options{}),
+               std::invalid_argument);
+  EXPECT_THROW(spkadd_batched(std::span<const Csc>(inputs), 0, Options{}),
+               std::invalid_argument);
+}
+
+TEST(Batched, SingleBatchDegeneratesToPlainSpkadd) {
+  const auto inputs = random_collection(4, 32, 4, 50, 4);
+  EXPECT_TRUE(spkadd_batched(std::span<const Csc>(inputs), 8, Options{}) ==
+              core::spkadd(inputs));
+}
+
+TEST(Batched, VectorOverload) {
+  const auto inputs = random_collection(6, 32, 4, 50, 5);
+  EXPECT_TRUE(spkadd_batched(inputs, 3) == core::spkadd(inputs));
+}
+
+// ------------------------------------------------------------- binary io
+TEST(BinaryIo, RoundTripsExactly) {
+  const auto m = random_matrix(256, 32, 1000, 6);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  io::write_binary(buf, m);
+  EXPECT_TRUE(io::read_binary(buf) == m);
+}
+
+TEST(BinaryIo, RoundTripsEmptyMatrix) {
+  const Csc m(10, 5);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  io::write_binary(buf, m);
+  const auto back = io::read_binary(buf);
+  EXPECT_EQ(back.rows(), 10);
+  EXPECT_EQ(back.cols(), 5);
+  EXPECT_EQ(back.nnz(), 0u);
+}
+
+TEST(BinaryIo, FileRoundTrip) {
+  const auto m = random_matrix(64, 8, 200, 7);
+  const std::string path = ::testing::TempDir() + "/spkadd_bin_test.spkb";
+  io::write_binary_file(path, m);
+  EXPECT_TRUE(io::read_binary_file(path) == m);
+  EXPECT_THROW(io::read_binary_file(path + ".missing"), std::runtime_error);
+}
+
+TEST(BinaryIo, RejectsCorruptedStreams) {
+  const auto m = random_matrix(32, 4, 60, 8);
+  std::stringstream good(std::ios::in | std::ios::out | std::ios::binary);
+  io::write_binary(good, m);
+  const std::string bytes = good.str();
+
+  {  // bad magic
+    std::string s = bytes;
+    s[0] = 'X';
+    std::istringstream in(s);
+    EXPECT_THROW(io::read_binary(in), std::runtime_error);
+  }
+  {  // truncated halfway
+    std::istringstream in(bytes.substr(0, bytes.size() / 2));
+    EXPECT_THROW(io::read_binary(in), std::runtime_error);
+  }
+  {  // corrupt a row index beyond the row count
+    std::string s = bytes;
+    // Header is 4 + 4 + 4 + 4 + 8*3 = 40 bytes, then col_ptr (5 ints).
+    const std::size_t row_idx_offset = 40 + 5 * sizeof(std::int32_t);
+    std::int32_t huge = 1 << 20;
+    std::memcpy(s.data() + row_idx_offset, &huge, sizeof(huge));
+    std::istringstream in(s);
+    EXPECT_THROW(io::read_binary(in), std::runtime_error);
+  }
+}
+
+TEST(BinaryIo, MatrixMarketAndBinaryAgree) {
+  const auto m = random_matrix(128, 16, 400, 9);
+  std::stringstream bin(std::ios::in | std::ios::out | std::ios::binary);
+  io::write_binary(bin, m);
+  std::stringstream mm;
+  io::write_mm(mm, m);
+  EXPECT_TRUE(approx_equal(io::read_binary(bin),
+                           io::read_mm_coo(mm).to_csc(), 1e-15));
+}
+
+}  // namespace

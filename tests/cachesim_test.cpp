@@ -1,0 +1,164 @@
+// Cache model unit tests + the Table V property: sliding hash suffers fewer
+// simulated LL misses than plain hash once tables outgrow the cache budget.
+#include <gtest/gtest.h>
+
+#include "cachesim/cache_model.hpp"
+#include "cachesim/traced_spkadd.hpp"
+#include "gen/workload.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace spkadd::cachesim;
+using spkadd::gen::Pattern;
+using spkadd::gen::WorkloadSpec;
+
+using Csc = spkadd::testing::Csc;
+
+TEST(CacheModel, ColdMissesThenHits) {
+  CacheModel cache(CacheConfig{1 << 12, 4, 64});
+  EXPECT_FALSE(cache.access(0));       // cold miss
+  EXPECT_TRUE(cache.access(0));        // hit
+  EXPECT_TRUE(cache.access(63));       // same line
+  EXPECT_FALSE(cache.access(64));      // next line
+  EXPECT_EQ(cache.stats().accesses, 4u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_DOUBLE_EQ(cache.stats().miss_rate(), 0.5);
+}
+
+TEST(CacheModel, LruEvictsOldest) {
+  // 1 set x 2 ways x 64B lines = 128B cache: set-conflicting lines evict LRU.
+  CacheModel cache(CacheConfig{128, 2, 64});
+  ASSERT_EQ(cache.sets(), 1u);
+  cache.access(0 * 64);
+  cache.access(1 * 64);
+  EXPECT_TRUE(cache.access(0 * 64));   // refresh line 0
+  cache.access(2 * 64);                // evicts line 1 (LRU)
+  EXPECT_TRUE(cache.access(0 * 64));
+  EXPECT_FALSE(cache.access(1 * 64));  // was evicted
+}
+
+TEST(CacheModel, AssociativityIsolatesSets) {
+  // 2 sets: even lines -> set 0, odd lines -> set 1.
+  CacheModel cache(CacheConfig{256, 2, 64});
+  ASSERT_EQ(cache.sets(), 2u);
+  cache.access(0 * 64);
+  cache.access(2 * 64);
+  cache.access(1 * 64);  // different set, no interference
+  EXPECT_TRUE(cache.access(0 * 64));
+  EXPECT_TRUE(cache.access(2 * 64));
+}
+
+TEST(CacheModel, WorkingSetLargerThanCacheThrashes) {
+  CacheModel cache(CacheConfig{1 << 10, 4, 64});  // 16 lines
+  for (int pass = 0; pass < 3; ++pass)
+    for (std::uint64_t line = 0; line < 64; ++line) cache.access(line * 64);
+  // Cyclic sweep over 4x capacity with LRU: every access misses.
+  EXPECT_EQ(cache.stats().misses, cache.stats().accesses);
+}
+
+TEST(CacheModel, AccessRangeTouchesEveryLine) {
+  CacheModel cache(CacheConfig{1 << 12, 4, 64});
+  cache.access_range(10, 200);  // spans lines 0..3
+  EXPECT_EQ(cache.stats().accesses, 4u);
+  cache.access_range(0, 0);  // empty range is a no-op
+  EXPECT_EQ(cache.stats().accesses, 4u);
+}
+
+TEST(CacheModel, RejectsBadConfig) {
+  EXPECT_THROW(CacheModel(CacheConfig{1 << 12, 4, 63}), std::invalid_argument);
+  EXPECT_THROW(CacheModel(CacheConfig{1 << 12, 0, 64}), std::invalid_argument);
+}
+
+TEST(CacheModel, ResetStatsKeepsContents) {
+  CacheModel cache(CacheConfig{1 << 12, 4, 64});
+  cache.access(0);
+  cache.reset_stats();
+  EXPECT_EQ(cache.stats().accesses, 0u);
+  EXPECT_TRUE(cache.access(0));  // still cached
+}
+
+// ---------------------------------------------------------------- traces
+std::vector<Csc> workload(Pattern p, int k, int d) {
+  WorkloadSpec spec;
+  spec.pattern = p;
+  spec.rows = 1 << 12;
+  spec.cols = 8;
+  spec.avg_nnz_per_col = d;
+  spec.k = k;
+  spec.seed = 7;
+  return spkadd::gen::make_workload(spec);
+}
+
+TEST(TracedSpkadd, SlidingNeverWorseWhenTablesOverflow) {
+  // Dense-enough columns that per-thread tables overflow the modeled share:
+  // the heart of Table V cases (b)/(c).
+  const auto inputs = workload(Pattern::ER, 16, 512);
+  TraceConfig cfg;
+  cfg.cache = CacheConfig{1 << 16, 16, 64};  // 64KB LLC model
+  cfg.threads = 4;                           // 16KB per-thread share
+  cfg.sliding = false;
+  const auto plain = trace_hash_spkadd(std::span<const Csc>(inputs), cfg);
+  cfg.sliding = true;
+  const auto sliding = trace_hash_spkadd(std::span<const Csc>(inputs), cfg);
+  EXPECT_GT(plain.total_accesses(), 0u);
+  EXPECT_LT(sliding.total_misses(), plain.total_misses());
+}
+
+TEST(TracedSpkadd, NoBenefitWhenTablesFit) {
+  // Table V cases (a)/(d): small tables => sliding == plain (same trace).
+  const auto inputs = workload(Pattern::ER, 4, 4);
+  TraceConfig cfg;
+  cfg.cache = CacheConfig{32u << 20, 16, 64};
+  cfg.threads = 2;
+  cfg.sliding = false;
+  const auto plain = trace_hash_spkadd(std::span<const Csc>(inputs), cfg);
+  cfg.sliding = true;
+  const auto sliding = trace_hash_spkadd(std::span<const Csc>(inputs), cfg);
+  EXPECT_EQ(plain.total_misses(), sliding.total_misses());
+}
+
+TEST(TracedSpkadd, PhasesBothCounted) {
+  const auto inputs = workload(Pattern::RMAT, 8, 32);
+  TraceConfig cfg;
+  cfg.cache = CacheConfig{1 << 20, 16, 64};
+  cfg.threads = 2;
+  const auto r = trace_hash_spkadd(std::span<const Csc>(inputs), cfg);
+  EXPECT_GT(r.symbolic.accesses, 0u);
+  EXPECT_GT(r.numeric.accesses, 0u);
+  EXPECT_EQ(r.total_accesses(), r.symbolic.accesses + r.numeric.accesses);
+}
+
+TEST(TracedSpkadd, EmptyInputsAreHarmless) {
+  std::vector<Csc> empty;
+  const auto r = trace_hash_spkadd(std::span<const Csc>(empty), TraceConfig{});
+  EXPECT_EQ(r.total_accesses(), 0u);
+  std::vector<Csc> zeros{Csc(16, 4), Csc(16, 4)};
+  const auto z = trace_hash_spkadd(std::span<const Csc>(zeros), TraceConfig{});
+  EXPECT_EQ(z.total_misses(), 0u);
+}
+
+TEST(TracedSpkadd, DeterministicTrace) {
+  const auto inputs = workload(Pattern::ER, 4, 16);
+  TraceConfig cfg;
+  cfg.cache = CacheConfig{1 << 18, 8, 64};
+  const auto a = trace_hash_spkadd(std::span<const Csc>(inputs), cfg);
+  const auto b = trace_hash_spkadd(std::span<const Csc>(inputs), cfg);
+  EXPECT_EQ(a.total_misses(), b.total_misses());
+  EXPECT_EQ(a.total_accesses(), b.total_accesses());
+}
+
+TEST(TracedSpkadd, MaxTableEntriesOverrideControlsPartitioning) {
+  const auto inputs = workload(Pattern::ER, 8, 128);
+  TraceConfig cfg;
+  cfg.cache = CacheConfig{1 << 20, 16, 64};
+  cfg.threads = 1;
+  cfg.sliding = true;
+  cfg.max_table_entries = 64;  // tiny tables -> many parts -> more streaming
+  const auto small = trace_hash_spkadd(std::span<const Csc>(inputs), cfg);
+  cfg.max_table_entries = 1 << 20;  // one part
+  const auto large = trace_hash_spkadd(std::span<const Csc>(inputs), cfg);
+  EXPECT_NE(small.total_accesses(), large.total_accesses());
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+// COO canonicalization, CSR conversions and transposition.
+#include <gtest/gtest.h>
+
+#include "matrix/coo.hpp"
+#include "matrix/csr.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using spkadd::CooMatrix;
+using spkadd::CscMatrix;
+using spkadd::csc_to_csr;
+using spkadd::csr_to_csc;
+using spkadd::transpose;
+using spkadd::testing::from_triplets;
+using spkadd::testing::random_matrix;
+
+TEST(Coo, PushValidatesRange) {
+  CooMatrix<> m(3, 3);
+  EXPECT_THROW(m.push(3, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(m.push(0, -1, 1.0), std::out_of_range);
+  m.push(2, 2, 1.0);
+  EXPECT_EQ(m.nnz(), 1u);
+}
+
+TEST(Coo, CompressSumsDuplicatesAndSorts) {
+  CooMatrix<> m(4, 2);
+  m.push(3, 1, 1.0);
+  m.push(0, 0, 2.0);
+  m.push(3, 1, 4.0);  // duplicate of the first
+  m.push(1, 0, 3.0);
+  m.compress();
+  ASSERT_EQ(m.nnz(), 3u);
+  EXPECT_EQ(m.entries()[0].col, 0);
+  EXPECT_EQ(m.entries()[0].row, 0);
+  EXPECT_DOUBLE_EQ(m.entries()[2].val, 5.0);  // 1 + 4
+}
+
+TEST(Coo, ToCscProducesSortedColumns) {
+  CooMatrix<> m(5, 3);
+  m.push(4, 2, 1.0);
+  m.push(0, 0, 2.0);
+  m.push(2, 0, 3.0);
+  m.compress();
+  const auto csc = m.to_csc();
+  EXPECT_TRUE(csc.is_sorted());
+  EXPECT_EQ(csc.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(csc.at(2, 0), 3.0);
+}
+
+TEST(Coo, RoundTripThroughCsc) {
+  const auto csc = random_matrix(64, 16, 200, 5);
+  auto coo = CooMatrix<>::from_csc(csc);
+  coo.compress();
+  EXPECT_TRUE(csc == coo.to_csc());
+}
+
+TEST(Coo, EmptyMatrixConverts) {
+  CooMatrix<> m(4, 4);
+  const auto csc = m.to_csc();
+  EXPECT_EQ(csc.nnz(), 0u);
+  EXPECT_EQ(csc.cols(), 4);
+}
+
+TEST(Csr, ConversionPreservesEntries) {
+  const auto csc = from_triplets(4, 3, {{0, 0, 1.0}, {3, 0, 2.0},
+                                        {1, 1, 3.0}, {3, 2, 4.0}});
+  const auto csr = csc_to_csr(csc);
+  EXPECT_EQ(csr.nnz(), 4u);
+  EXPECT_EQ(csr.rows(), 4);
+  EXPECT_EQ(csr.cols(), 3);
+  // Row 3 holds two entries with ascending column indices.
+  const auto rp = csr.row_ptr();
+  EXPECT_EQ(rp[4] - rp[3], 2);
+  const auto back = csr_to_csc(csr);
+  EXPECT_TRUE(back == csc);
+}
+
+TEST(Csr, RoundTripOnRandomMatrix) {
+  const auto csc = random_matrix(128, 32, 512, 17);
+  EXPECT_TRUE(csr_to_csc(csc_to_csr(csc)) == csc);
+}
+
+TEST(Csr, RejectsMalformedArrays) {
+  EXPECT_THROW((spkadd::CsrMatrix<>(2, 2, {0, 1}, {0}, {1.0, 2.0})),
+               std::invalid_argument);
+  EXPECT_THROW((spkadd::CsrMatrix<>(2, 2, {0, 1}, {0, 1}, {1.0, 2.0})),
+               std::invalid_argument);
+}
+
+TEST(Transpose, DoubleTransposeIsIdentity) {
+  const auto m = random_matrix(64, 48, 300, 23);
+  EXPECT_TRUE(transpose(transpose(m)) == m);
+}
+
+TEST(Transpose, SwapsCoordinates) {
+  const auto m = from_triplets(3, 5, {{2, 4, 7.0}, {0, 1, 3.0}});
+  const auto t = transpose(m);
+  EXPECT_EQ(t.rows(), 5);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_DOUBLE_EQ(t.at(4, 2), 7.0);
+  EXPECT_DOUBLE_EQ(t.at(1, 0), 3.0);
+}
+
+TEST(Transpose, EmptyMatrix) {
+  const CscMatrix<> m(3, 2);
+  const auto t = transpose(m);
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.nnz(), 0u);
+}
+
+}  // namespace

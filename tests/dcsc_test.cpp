@@ -1,0 +1,90 @@
+// DCSC hypersparse format: conversions, column lookup, storage saving, and
+// SpKAdd over hypersparse collections.
+#include <gtest/gtest.h>
+
+#include "core/spkadd.hpp"
+#include "matrix/dcsc.hpp"
+#include "matrix/validate.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace spkadd;
+using spkadd::testing::from_triplets;
+using spkadd::testing::random_matrix;
+
+using Csc = spkadd::testing::Csc;
+using Dcsc = DcscMatrix<std::int32_t, double>;
+
+TEST(Dcsc, RoundTripsThroughCsc) {
+  const auto m = random_matrix(128, 64, 150, 1);
+  const auto d = csc_to_dcsc(m);
+  EXPECT_EQ(d.nnz(), m.nnz());
+  EXPECT_TRUE(dcsc_to_csc(d) == m);
+}
+
+TEST(Dcsc, SkipsEmptyColumns) {
+  const auto m = from_triplets(8, 100, {{1, 3, 1.0}, {2, 3, 2.0}, {5, 97, 3.0}});
+  const auto d = csc_to_dcsc(m);
+  EXPECT_EQ(d.nonempty_cols(), 2u);
+  EXPECT_EQ(d.jc()[0], 3);
+  EXPECT_EQ(d.jc()[1], 97);
+  EXPECT_EQ(d.column(3).nnz(), 2u);
+  EXPECT_EQ(d.column(97).nnz(), 1u);
+  EXPECT_TRUE(d.column(0).empty());
+  EXPECT_TRUE(d.column(50).empty());
+}
+
+TEST(Dcsc, HypersparseStorageIsSmaller) {
+  // 4 nonzeros spread over 1e5 columns: CSC pays O(cols) pointers, DCSC
+  // pays O(nzc).
+  Csc wide = from_triplets(16, 100000,
+                           {{0, 0, 1.0}, {1, 50, 1.0}, {2, 99999, 1.0}});
+  const auto d = csc_to_dcsc(wide);
+  EXPECT_LT(d.storage_bytes() * 100, wide.storage_bytes());
+  EXPECT_TRUE(dcsc_to_csc(d) == wide);
+}
+
+TEST(Dcsc, EmptyMatrix) {
+  const Csc m(16, 8);
+  const auto d = csc_to_dcsc(m);
+  EXPECT_EQ(d.nonempty_cols(), 0u);
+  EXPECT_EQ(d.nnz(), 0u);
+  EXPECT_TRUE(dcsc_to_csc(d) == m);
+}
+
+TEST(Dcsc, ValidatesConstructorInvariants) {
+  // cp/jc size mismatch
+  EXPECT_THROW(Dcsc(4, 4, {0, 1}, {0, 1}, {0}, {1.0}), std::invalid_argument);
+  // jc out of range
+  EXPECT_THROW(Dcsc(4, 4, {5}, {0, 1}, {0}, {1.0}), std::invalid_argument);
+  // jc not ascending
+  EXPECT_THROW(Dcsc(4, 4, {2, 1}, {0, 1, 2}, {0, 1}, {1.0, 1.0}),
+               std::invalid_argument);
+  // array length mismatch
+  EXPECT_THROW(Dcsc(4, 4, {1}, {0, 2}, {0}, {1.0}), std::invalid_argument);
+}
+
+TEST(Dcsc, SpkaddOverHypersparseCollection) {
+  // The SUMMA-at-scale scenario: k hypersparse blocks, most columns empty.
+  std::vector<Dcsc> hyper;
+  std::vector<Csc> dense_view;
+  for (int i = 0; i < 8; ++i) {
+    Csc m = from_triplets(
+        64, 4096,
+        {{i, (i * 513) % 4096, 1.0}, {63 - i, (i * 1025 + 7) % 4096, 2.0},
+         {i * 3, 2048, 1.0}});
+    dense_view.push_back(m);
+    hyper.push_back(csc_to_dcsc(m));
+  }
+  // Expand to CSC at the add boundary; the sum matches the plain-CSC sum.
+  std::vector<Csc> expanded;
+  for (const auto& d : hyper) expanded.push_back(dcsc_to_csc(d));
+  const auto sum_h = core::spkadd(expanded);
+  const auto sum_c = core::spkadd(dense_view);
+  EXPECT_TRUE(sum_h == sum_c);
+  // All eight inputs contribute one entry (row i*3) to column 2048.
+  EXPECT_EQ(sum_c.col_nnz(2048), 8u);
+}
+
+}  // namespace

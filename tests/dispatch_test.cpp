@@ -1,0 +1,108 @@
+// Unified spkadd() dispatch, the Auto policy and Options plumbing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/spkadd.hpp"
+#include "gen/workload.hpp"
+#include "matrix/validate.hpp"
+#include "test_helpers.hpp"
+#include "util/cache_info.hpp"
+
+namespace {
+
+using namespace spkadd;
+using namespace spkadd::core;
+using spkadd::testing::dense_sum_oracle;
+using spkadd::testing::random_collection;
+
+using Csc = spkadd::testing::Csc;
+
+TEST(Dispatch, EveryMethodProducesTheSameSum) {
+  const auto inputs = random_collection(8, 128, 16, 300, 1);
+  const auto oracle = dense_sum_oracle(std::span<const Csc>(inputs));
+  for (auto m : {Method::TwoWayIncremental, Method::TwoWayTree, Method::Heap,
+                 Method::Spa, Method::Hash, Method::SlidingHash,
+                 Method::ReferenceIncremental, Method::ReferenceTree,
+                 Method::Auto}) {
+    Options opts;
+    opts.method = m;
+    EXPECT_TRUE(approx_equal(oracle, core::spkadd(inputs, opts)))
+        << method_name(m);
+  }
+}
+
+TEST(Dispatch, SingleInputIsCopiedThrough) {
+  const auto inputs = random_collection(1, 32, 4, 40, 3);
+  const auto out = core::spkadd(inputs);
+  EXPECT_TRUE(out == inputs[0]);
+}
+
+TEST(Dispatch, SingleUnsortedInputIsCanonicalizedOnRequest) {
+  auto inputs = random_collection(1, 64, 8, 120, 4);
+  const auto sorted_original = inputs[0];
+  spkadd::gen::shuffle_columns(inputs[0], 5);
+  Options opts;
+  opts.inputs_sorted = false;
+  opts.sorted_output = true;
+  EXPECT_TRUE(core::spkadd(inputs, opts) == sorted_original);
+}
+
+TEST(Dispatch, EmptyCollectionThrows) {
+  std::vector<Csc> empty;
+  EXPECT_THROW(core::spkadd(empty), std::invalid_argument);
+}
+
+TEST(AutoPolicy, SmallTablesPickPlainHash) {
+  const auto inputs = random_collection(4, 256, 16, 200, 7);
+  Options opts;
+  opts.llc_bytes = 32u << 20;  // plenty of cache
+  opts.threads = 1;
+  EXPECT_EQ(auto_select(std::span<const Csc>(inputs), opts), Method::Hash);
+}
+
+TEST(AutoPolicy, CacheOverflowPicksSlidingHash) {
+  const auto inputs = random_collection(8, 1 << 12, 2, 3000, 8);
+  Options opts;
+  opts.llc_bytes = 1 << 10;  // 1KB "LLC": tables cannot fit
+  opts.threads = 4;
+  EXPECT_EQ(auto_select(std::span<const Csc>(inputs), opts),
+            Method::SlidingHash);
+}
+
+TEST(AutoPolicy, PairOfSortedInputsUsesTree) {
+  const auto inputs = random_collection(2, 64, 8, 100, 9);
+  EXPECT_EQ(auto_select(std::span<const Csc>(inputs), Options{}),
+            Method::TwoWayTree);
+}
+
+TEST(AutoPolicy, RespectsGlobalLlcOverride) {
+  const auto inputs = random_collection(8, 1 << 12, 2, 3000, 10);
+  Options opts;
+  opts.threads = 4;
+  util::set_llc_override(1 << 10);
+  const auto with_small = auto_select(std::span<const Csc>(inputs), opts);
+  util::set_llc_override(1u << 30);
+  const auto with_large = auto_select(std::span<const Csc>(inputs), opts);
+  util::set_llc_override(0);
+  EXPECT_EQ(with_small, Method::SlidingHash);
+  EXPECT_EQ(with_large, Method::Hash);
+}
+
+TEST(MethodName, AllNamesDistinct) {
+  std::set<std::string> names;
+  for (auto m : {Method::TwoWayIncremental, Method::TwoWayTree, Method::Heap,
+                 Method::Spa, Method::Hash, Method::SlidingHash,
+                 Method::ReferenceIncremental, Method::ReferenceTree,
+                 Method::Auto})
+    names.insert(method_name(m));
+  EXPECT_EQ(names.size(), 9u);
+}
+
+TEST(Dispatch, VectorOverloadMatchesSpanOverload) {
+  const auto inputs = random_collection(4, 64, 8, 100, 11);
+  EXPECT_TRUE(core::spkadd(inputs) ==
+              core::spkadd(std::span<const Csc>(inputs), Options{}));
+}
+
+}  // namespace

@@ -1,0 +1,175 @@
+// R-MAT / ER generators, column splitter, workload factory.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gen/rmat.hpp"
+#include "gen/workload.hpp"
+#include "matrix/validate.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace spkadd::gen;
+using spkadd::CscMatrix;
+using spkadd::validate;
+
+TEST(Rmat, ShapeAndDeterminism) {
+  const auto p = RmatParams::er(10, 6, 4096, 42);
+  const auto a = rmat_csc(p);
+  const auto b = rmat_csc(p);
+  EXPECT_EQ(a.rows(), 1024);
+  EXPECT_EQ(a.cols(), 64);
+  EXPECT_TRUE(a == b);  // bit-identical for same params
+  EXPECT_TRUE(a.is_sorted());
+  EXPECT_TRUE(validate(a).valid);
+}
+
+TEST(Rmat, DifferentSeedsDiffer) {
+  const auto a = rmat_csc(RmatParams::er(8, 4, 1024, 1));
+  const auto b = rmat_csc(RmatParams::er(8, 4, 1024, 2));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Rmat, NnzNearTargetForER) {
+  // ER at low density rarely collides: realized nnz within a few % of drawn.
+  const auto m = rmat_csc(RmatParams::er(14, 6, 8192, 9));
+  EXPECT_GT(m.nnz(), 8192u * 95 / 100);
+  EXPECT_LE(m.nnz(), 8192u);
+}
+
+TEST(Rmat, ErIsRoughlyUniformAcrossRowHalves) {
+  const auto m = rmat_csc(RmatParams::er(12, 6, 1 << 14, 5));
+  std::size_t top = 0;
+  for (std::int32_t j = 0; j < m.cols(); ++j) {
+    const auto col = m.column(j);
+    for (std::size_t i = 0; i < col.nnz(); ++i)
+      top += (col.rows[i] < m.rows() / 2);
+  }
+  const double frac = static_cast<double>(top) / static_cast<double>(m.nnz());
+  EXPECT_NEAR(frac, 0.5, 0.05);
+}
+
+TEST(Rmat, G500IsSkewedTowardLowRows) {
+  // With a=0.57 the mass concentrates in low row indices (each level picks
+  // the upper half w.p. ~0.76), so the top half holds well over 60%.
+  const auto m = rmat_csc(RmatParams::g500(12, 6, 1 << 14, 5));
+  std::size_t top = 0;
+  for (std::int32_t j = 0; j < m.cols(); ++j) {
+    const auto col = m.column(j);
+    for (std::size_t i = 0; i < col.nnz(); ++i)
+      top += (col.rows[i] < m.rows() / 2);
+  }
+  const double frac = static_cast<double>(top) / static_cast<double>(m.nnz());
+  EXPECT_GT(frac, 0.6);
+}
+
+TEST(Rmat, G500HasSkewedColumnDistribution) {
+  // Power-law-ish columns: the max column nnz far exceeds the mean.
+  const auto m = rmat_csc(RmatParams::g500(12, 8, 1 << 15, 21));
+  std::size_t max_col = 0;
+  for (std::int32_t j = 0; j < m.cols(); ++j)
+    max_col = std::max(max_col, m.col_nnz(j));
+  const double mean =
+      static_cast<double>(m.nnz()) / static_cast<double>(m.cols());
+  EXPECT_GT(static_cast<double>(max_col), 3.0 * mean);
+}
+
+TEST(Rmat, RejectsBadParams) {
+  RmatParams p;
+  p.row_scale = 31;
+  EXPECT_THROW(rmat_coo(p), std::invalid_argument);
+  RmatParams q;
+  q.a = 0.9;  // probabilities no longer sum to 1
+  EXPECT_THROW(rmat_coo(q), std::invalid_argument);
+}
+
+TEST(SplitColumns, SlabsReassembleToOriginal) {
+  const auto m = rmat_csc(RmatParams::er(8, 6, 2048, 3));
+  const auto slabs = split_columns(m, 4);
+  ASSERT_EQ(slabs.size(), 4u);
+  std::size_t nnz = 0;
+  for (const auto& s : slabs) {
+    EXPECT_EQ(s.rows(), m.rows());
+    EXPECT_EQ(s.cols(), m.cols() / 4);
+    EXPECT_TRUE(validate(s).valid);
+    nnz += s.nnz();
+  }
+  EXPECT_EQ(nnz, m.nnz());
+  // Column j of slab i is column i*slab+j of the original.
+  for (int i = 0; i < 4; ++i) {
+    const auto& s = slabs[static_cast<std::size_t>(i)];
+    for (std::int32_t j = 0; j < s.cols(); ++j) {
+      const auto orig = m.column(static_cast<std::int32_t>(i) * s.cols() + j);
+      const auto got = s.column(j);
+      ASSERT_EQ(orig.nnz(), got.nnz());
+      for (std::size_t t = 0; t < got.nnz(); ++t) {
+        EXPECT_EQ(orig.rows[t], got.rows[t]);
+        EXPECT_EQ(orig.vals[t], got.vals[t]);
+      }
+    }
+  }
+}
+
+TEST(SplitColumns, RejectsBadK) {
+  const auto m = rmat_csc(RmatParams::er(4, 4, 64, 1));
+  EXPECT_THROW(split_columns(m, 0), std::invalid_argument);
+  EXPECT_THROW(split_columns(m, 3), std::invalid_argument);  // 16 % 3 != 0
+}
+
+TEST(Workload, MakesConformantCollection) {
+  WorkloadSpec spec;
+  spec.pattern = Pattern::RMAT;
+  spec.rows = 512;
+  spec.cols = 32;
+  spec.avg_nnz_per_col = 8;
+  spec.k = 4;
+  const auto inputs = make_workload(spec);
+  ASSERT_EQ(inputs.size(), 4u);
+  for (const auto& m : inputs) {
+    EXPECT_EQ(m.rows(), 512);
+    EXPECT_EQ(m.cols(), 32);
+    EXPECT_TRUE(m.is_sorted());
+  }
+  // Total nnz is near d * n * k (dedup shaves a little).
+  const auto total = total_input_nnz(inputs);
+  EXPECT_GT(total, 8u * 32u * 4u / 2);
+  EXPECT_LE(total, 8u * 32u * 4u);
+  EXPECT_NE(spec.describe().find("RMAT"), std::string::npos);
+}
+
+TEST(Workload, RejectsNonPow2K) {
+  WorkloadSpec spec;
+  spec.k = 3;
+  EXPECT_THROW(make_workload(spec), std::invalid_argument);
+}
+
+TEST(Workload, DeterministicAcrossCalls) {
+  WorkloadSpec spec;
+  spec.rows = 256;
+  spec.cols = 16;
+  spec.avg_nnz_per_col = 4;
+  spec.k = 2;
+  const auto a = make_workload(spec);
+  const auto b = make_workload(spec);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_TRUE(a[i] == b[i]);
+}
+
+TEST(ShuffleColumns, PreservesEntriesButBreaksOrder) {
+  WorkloadSpec spec;
+  spec.rows = 512;
+  spec.cols = 16;
+  spec.avg_nnz_per_col = 16;
+  spec.k = 2;
+  auto inputs = make_workload(spec);
+  const auto original = inputs[0];
+  shuffle_columns(inputs[0], 99);
+  EXPECT_FALSE(inputs[0].is_sorted());
+  EXPECT_EQ(inputs[0].nnz(), original.nnz());
+  // Sorting back recovers the original exactly.
+  auto sorted = inputs[0];
+  sorted.sort_columns();
+  EXPECT_TRUE(sorted == original);
+}
+
+}  // namespace

@@ -1,0 +1,149 @@
+// Matrix Market reader/writer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/matrix_market.hpp"
+#include "matrix/validate.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace spkadd::io;
+using spkadd::testing::random_matrix;
+
+TEST(MatrixMarket, ParsesHeader) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "\n"
+      "5 4 3\n");
+  const auto h = read_mm_header(in);
+  EXPECT_EQ(h.rows, 5);
+  EXPECT_EQ(h.cols, 4);
+  EXPECT_EQ(h.stored_entries, 3);
+  EXPECT_FALSE(h.pattern);
+  EXPECT_FALSE(h.symmetric);
+}
+
+TEST(MatrixMarket, ReadsGeneralReal) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 3\n"
+      "1 1 1.5\n"
+      "3 2 2.5\n"
+      "2 3 -1.0\n");
+  const auto m = read_mm_coo(in).to_csc();
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(m.at(2, 1), 2.5);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), -1.0);
+}
+
+TEST(MatrixMarket, PatternEntriesGetUnitValues) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 1\n"
+      "2 2\n");
+  const auto m = read_mm_coo(in).to_csc();
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 1.0);
+}
+
+TEST(MatrixMarket, SymmetricExpansion) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 3\n"
+      "1 1 5.0\n"
+      "2 1 1.0\n"
+      "3 2 2.0\n");
+  const auto m = read_mm_coo(in).to_csc();
+  EXPECT_EQ(m.nnz(), 5u);  // diagonal not mirrored
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 2.0);
+}
+
+TEST(MatrixMarket, SkewSymmetricNegatesMirror) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "2 2 1\n"
+      "2 1 3.0\n");
+  const auto m = read_mm_coo(in).to_csc();
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -3.0);
+}
+
+TEST(MatrixMarket, IntegerFieldReads) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "2 2 1\n"
+      "1 2 7\n");
+  const auto m = read_mm_coo(in).to_csc();
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 7.0);
+}
+
+TEST(MatrixMarket, DuplicateEntriesAreSummed) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 1.0\n"
+      "1 1 2.0\n");
+  const auto m = read_mm_coo(in).to_csc();
+  EXPECT_EQ(m.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.0);
+}
+
+TEST(MatrixMarket, RejectsMalformedInputs) {
+  {
+    std::istringstream in("not a banner\n1 1 0\n");
+    EXPECT_THROW(read_mm_coo(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("%%MatrixMarket matrix array real general\n1 1 1\n");
+    EXPECT_THROW(read_mm_coo(in), std::runtime_error);
+  }
+  {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate complex general\n1 1 1\n");
+    EXPECT_THROW(read_mm_coo(in), std::runtime_error);
+  }
+  {  // truncated entries
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 1.0\n");
+    EXPECT_THROW(read_mm_coo(in), std::runtime_error);
+  }
+  {  // out-of-range 1-based index
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n");
+    EXPECT_THROW(read_mm_coo(in), std::runtime_error);
+  }
+  {  // missing value on real matrix
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n");
+    EXPECT_THROW(read_mm_coo(in), std::runtime_error);
+  }
+}
+
+TEST(MatrixMarket, WriteReadRoundTrip) {
+  const auto m = random_matrix(64, 16, 150, 77);
+  std::ostringstream out;
+  write_mm(out, m);
+  std::istringstream in(out.str());
+  const auto back = read_mm_coo(in).to_csc();
+  EXPECT_TRUE(spkadd::approx_equal(m, back, 1e-15));
+}
+
+TEST(MatrixMarket, FileRoundTrip) {
+  const auto m = random_matrix(32, 8, 60, 3);
+  const std::string path = ::testing::TempDir() + "/spkadd_io_test.mtx";
+  write_mm_file(path, m);
+  const auto back = read_mm_csc_file(path);
+  EXPECT_TRUE(spkadd::approx_equal(m, back, 1e-15));
+  EXPECT_THROW(read_mm_csc_file(path + ".does-not-exist"),
+               std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,186 @@
+// Unit tests for the CSC container, column views, dense oracle and block
+// extraction.
+#include <gtest/gtest.h>
+
+#include "matrix/block.hpp"
+#include "matrix/csc.hpp"
+#include "matrix/dense.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using spkadd::ColumnView;
+using spkadd::CscMatrix;
+using spkadd::DenseMatrix;
+using spkadd::extract_block;
+using spkadd::partition_bounds;
+using spkadd::testing::from_triplets;
+
+TEST(Csc, DefaultIsEmpty) {
+  CscMatrix<> m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_EQ(m.nnz(), 0u);
+  EXPECT_TRUE(m.empty());
+  EXPECT_TRUE(m.is_sorted());
+}
+
+TEST(Csc, ShapeOnlyConstructor) {
+  CscMatrix<> m(5, 3);
+  EXPECT_EQ(m.rows(), 5);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.nnz(), 0u);
+  EXPECT_EQ(m.col_ptr().size(), 4u);
+}
+
+TEST(Csc, RejectsNegativeDimensions) {
+  EXPECT_THROW((CscMatrix<>(-1, 3)), std::invalid_argument);
+  EXPECT_THROW((CscMatrix<>(3, -1)), std::invalid_argument);
+}
+
+TEST(Csc, RejectsMalformedArrays) {
+  // col_ptr size mismatch
+  EXPECT_THROW(CscMatrix<>(2, 2, {0, 1}, {0}, {1.0}), std::invalid_argument);
+  // col_ptr[0] != 0
+  EXPECT_THROW(CscMatrix<>(2, 1, {1, 1}, {}, {}), std::invalid_argument);
+  // array length mismatch
+  EXPECT_THROW(CscMatrix<>(2, 1, {0, 2}, {0}, {1.0}), std::invalid_argument);
+}
+
+TEST(Csc, ColumnViewsAndAt) {
+  const auto m = from_triplets(8, 3, {{1, 0, 3.0}, {3, 0, 2.0}, {6, 0, 1.0},
+                                      {0, 1, 2.0}, {5, 2, 4.0}});
+  EXPECT_EQ(m.col_nnz(0), 3u);
+  EXPECT_EQ(m.col_nnz(1), 1u);
+  EXPECT_EQ(m.col_nnz(2), 1u);
+  const auto col0 = m.column(0);
+  ASSERT_EQ(col0.nnz(), 3u);
+  EXPECT_EQ(col0.rows[0], 1);
+  EXPECT_EQ(col0.vals[2], 1.0);
+  EXPECT_DOUBLE_EQ(m.at(3, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 0), 0.0);  // absent entry
+  EXPECT_DOUBLE_EQ(m.at(5, 2), 4.0);
+}
+
+TEST(Csc, RowRangeSubview) {
+  const auto m = from_triplets(10, 1, {{1, 0, 1.0}, {3, 0, 2.0}, {5, 0, 3.0},
+                                       {7, 0, 4.0}, {9, 0, 5.0}});
+  const auto col = m.column(0);
+  const auto mid = col.row_range(3, 8);
+  ASSERT_EQ(mid.nnz(), 3u);
+  EXPECT_EQ(mid.rows[0], 3);
+  EXPECT_EQ(mid.rows[2], 7);
+  EXPECT_EQ(col.row_range(0, 1).nnz(), 0u);
+  EXPECT_EQ(col.row_range(0, 10).nnz(), 5u);
+  EXPECT_EQ(col.row_range(4, 4).nnz(), 0u);
+}
+
+TEST(Csc, SortColumnsCanonicalizes) {
+  // Build an unsorted-by-hand matrix.
+  CscMatrix<> m(4, 2, {0, 3, 4}, {2, 0, 1, 3}, {3.0, 1.0, 2.0, 4.0});
+  EXPECT_FALSE(m.is_sorted());
+  m.sort_columns();
+  EXPECT_TRUE(m.is_sorted());
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(3, 1), 4.0);
+}
+
+TEST(Csc, AtOnUnsortedColumnSumsDuplicates) {
+  CscMatrix<> m(4, 1, {0, 3}, {2, 2, 0}, {1.0, 2.0, 5.0});
+  EXPECT_DOUBLE_EQ(m.at(2, 0), 3.0);  // duplicate row entries summed
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 5.0);
+}
+
+TEST(Csc, EqualityIsExact) {
+  const auto a = from_triplets(4, 2, {{0, 0, 1.0}, {2, 1, 2.0}});
+  const auto b = from_triplets(4, 2, {{0, 0, 1.0}, {2, 1, 2.0}});
+  const auto c = from_triplets(4, 2, {{0, 0, 1.0}, {2, 1, 2.5}});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Csc, SetStructureAllocates) {
+  CscMatrix<> m(4, 2);
+  m.set_structure({0, 2, 3});
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_EQ(m.mutable_row_idx().size(), 3u);
+  EXPECT_EQ(m.mutable_values().size(), 3u);
+  EXPECT_THROW(m.set_structure({0, 1}), std::invalid_argument);
+}
+
+TEST(Csc, StorageBytesReflectsSize) {
+  const auto m = from_triplets(8, 2, {{0, 0, 1.0}, {1, 0, 1.0}, {2, 1, 1.0}});
+  EXPECT_GE(m.storage_bytes(),
+            3 * (sizeof(std::int32_t) + sizeof(double)) +
+                3 * sizeof(std::int32_t));
+}
+
+TEST(Csc, SupportsWideTypes) {
+  CscMatrix<std::int64_t, float> m(100, 2, {0, 1, 2}, {42, 7}, {1.5f, 2.5f});
+  EXPECT_EQ(m.rows(), 100);
+  EXPECT_FLOAT_EQ(m.at(42, 0), 1.5f);
+}
+
+// ---------------------------------------------------------------- dense
+TEST(Dense, AccumulateAndConvert) {
+  const auto m = from_triplets(3, 2, {{0, 0, 1.0}, {2, 1, 2.0}});
+  DenseMatrix<double> d(3, 2);
+  d.accumulate(m);
+  d.accumulate(m);
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(2, 1), 4.0);
+  const auto back = d.to_csc<std::int32_t>(
+      [&](std::int64_t r, std::int64_t c) { return d(r, c) != 0.0; });
+  EXPECT_EQ(back.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(back.at(2, 1), 4.0);
+}
+
+TEST(Dense, ShapeMismatchThrows) {
+  const auto m = from_triplets(3, 2, {{0, 0, 1.0}});
+  DenseMatrix<double> d(2, 2);
+  EXPECT_THROW(d.accumulate(m), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- blocks
+TEST(Block, ExtractRebasesIndices) {
+  const auto m = from_triplets(8, 4, {{0, 0, 1.0}, {4, 0, 2.0}, {5, 1, 3.0},
+                                      {7, 3, 4.0}, {2, 2, 5.0}});
+  const auto blk = extract_block(m, 4, 8, 0, 2);
+  EXPECT_EQ(blk.rows(), 4);
+  EXPECT_EQ(blk.cols(), 2);
+  EXPECT_EQ(blk.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(blk.at(0, 0), 2.0);  // was (4, 0)
+  EXPECT_DOUBLE_EQ(blk.at(1, 1), 3.0);  // was (5, 1)
+}
+
+TEST(Block, FullRangeIsIdentity) {
+  const auto m = from_triplets(6, 3, {{1, 0, 1.0}, {5, 2, 2.0}});
+  const auto blk = extract_block(m, 0, 6, 0, 3);
+  EXPECT_TRUE(m == blk);
+}
+
+TEST(Block, BadRangesThrow) {
+  const auto m = from_triplets(4, 4, {{0, 0, 1.0}});
+  EXPECT_THROW(extract_block(m, -1, 2, 0, 2), std::invalid_argument);
+  EXPECT_THROW(extract_block(m, 0, 5, 0, 2), std::invalid_argument);
+  EXPECT_THROW(extract_block(m, 2, 1, 0, 2), std::invalid_argument);
+  EXPECT_THROW(extract_block(m, 0, 2, 0, 5), std::invalid_argument);
+}
+
+TEST(Block, PartitionBoundsCoverExactly) {
+  const auto b = partition_bounds<std::int32_t>(10, 3);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b.front(), 0);
+  EXPECT_EQ(b.back(), 10);
+  for (std::size_t i = 1; i < b.size(); ++i) EXPECT_GE(b[i], b[i - 1]);
+}
+
+TEST(ColumnViewTest, SortedCheck) {
+  const auto m = from_triplets(4, 1, {{0, 0, 1.0}, {2, 0, 1.0}});
+  EXPECT_TRUE(m.column(0).is_sorted_strict());
+  CscMatrix<> unsorted(4, 1, {0, 2}, {2, 0}, {1.0, 1.0});
+  EXPECT_FALSE(unsorted.column(0).is_sorted_strict());
+}
+
+}  // namespace

@@ -1,0 +1,94 @@
+// Simulated sparse SUMMA: the distributed schedule must compute exactly the
+// same product as a direct local SpGEMM, for every grid size and pipeline.
+#include <gtest/gtest.h>
+
+#include "matrix/block.hpp"
+#include "matrix/validate.hpp"
+#include "spgemm/local_spgemm.hpp"
+#include "summa/sparse_summa.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace spkadd;
+using namespace spkadd::summa;
+using spkadd::testing::random_matrix;
+
+using Csc = spkadd::testing::Csc;
+
+TEST(Summa, MatchesDirectMultiplyAcrossGridSizes) {
+  const auto a = random_matrix(96, 64, 800, 1);
+  const auto b = random_matrix(64, 80, 700, 2);
+  const auto direct = spgemm::multiply(a, b);
+  for (int g : {1, 2, 3, 4}) {
+    SummaConfig cfg = sorted_hash_pipeline(g);
+    const auto result = multiply(a, b, cfg);
+    EXPECT_TRUE(validate(result.c).valid) << "grid=" << g;
+    EXPECT_TRUE(approx_equal(direct, result.c, 1e-9)) << "grid=" << g;
+    EXPECT_GE(result.intermediate_nnz, result.c.nnz());
+    EXPECT_GE(result.compression_factor, 1.0);
+    EXPECT_GE(result.multiply_seconds, 0.0);
+    EXPECT_GE(result.spkadd_seconds, 0.0);
+  }
+}
+
+TEST(Summa, AllThreePipelinesAgree) {
+  const auto a = random_matrix(64, 48, 600, 3);
+  const auto b = random_matrix(48, 64, 500, 4);
+  const auto heap = multiply(a, b, heap_pipeline(4));
+  const auto sorted_hash = multiply(a, b, sorted_hash_pipeline(4));
+  const auto unsorted_hash = multiply(a, b, unsorted_hash_pipeline(4));
+  EXPECT_TRUE(approx_equal(heap.c, sorted_hash.c, 1e-9));
+  EXPECT_TRUE(approx_equal(heap.c, unsorted_hash.c, 1e-9));
+}
+
+TEST(Summa, RejectsInvalidConfigs) {
+  const auto a = random_matrix(16, 16, 40, 5);
+  const auto b = random_matrix(16, 16, 40, 6);
+  SummaConfig bad = heap_pipeline(2);
+  bad.sort_local_products = false;  // heap reduce needs sorted products
+  EXPECT_THROW(multiply(a, b, bad), std::invalid_argument);
+  SummaConfig zero = sorted_hash_pipeline(0);
+  EXPECT_THROW(multiply(a, b, zero), std::invalid_argument);
+  const auto c = random_matrix(8, 16, 20, 7);
+  EXPECT_THROW(multiply(a, c, sorted_hash_pipeline(2)),
+               std::invalid_argument);  // inner mismatch (16 vs 8)
+}
+
+TEST(Summa, GridLargerThanDimensionsStillCorrect) {
+  const auto a = random_matrix(8, 8, 30, 8);
+  const auto b = random_matrix(8, 8, 30, 9);
+  const auto direct = spgemm::multiply(a, b);
+  const auto result = multiply(a, b, sorted_hash_pipeline(8));
+  EXPECT_TRUE(approx_equal(direct, result.c, 1e-10));
+}
+
+TEST(Summa, AssembleBlocksRoundTripsPartition) {
+  const auto m = random_matrix(60, 40, 500, 10);
+  const int g = 3;
+  const auto rb = partition_bounds(m.rows(), g);
+  const auto cb = partition_bounds(m.cols(), g);
+  std::vector<std::vector<Csc>> blocks(
+      static_cast<std::size_t>(g), std::vector<Csc>(static_cast<std::size_t>(g)));
+  for (int i = 0; i < g; ++i)
+    for (int j = 0; j < g; ++j)
+      blocks[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          extract_block(m, rb[static_cast<std::size_t>(i)],
+                        rb[static_cast<std::size_t>(i) + 1],
+                        cb[static_cast<std::size_t>(j)],
+                        cb[static_cast<std::size_t>(j) + 1]);
+  EXPECT_TRUE(assemble_blocks(blocks, rb, cb) == m);
+}
+
+TEST(Summa, IntermediateNnzGrowsWithGrid) {
+  // More stages produce more (smaller) intermediates whose total nnz is at
+  // least the direct product's nnz; overlap grows with the grid.
+  const auto a = random_matrix(64, 64, 1500, 11);
+  const auto b = random_matrix(64, 64, 1500, 12);
+  const auto g2 = multiply(a, b, sorted_hash_pipeline(2));
+  const auto g4 = multiply(a, b, sorted_hash_pipeline(4));
+  EXPECT_TRUE(approx_equal(g2.c, g4.c, 1e-9));
+  EXPECT_GE(g4.compression_factor, 1.0);
+}
+
+}  // namespace

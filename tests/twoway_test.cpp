@@ -1,0 +1,159 @@
+// 2-way merge kernels, pairwise add2, incremental and tree SpKAdd, and the
+// MKL-substitute reference adder.
+#include <gtest/gtest.h>
+
+#include "core/reference_add.hpp"
+#include "core/twoway.hpp"
+#include "matrix/validate.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace spkadd;
+using namespace spkadd::core;
+using spkadd::testing::dense_sum_oracle;
+using spkadd::testing::from_triplets;
+using spkadd::testing::random_collection;
+
+using Csc = spkadd::testing::Csc;
+
+TEST(Merge2, CountAndAddAgree) {
+  const auto a = from_triplets(8, 1, {{1, 0, 3.0}, {3, 0, 2.0}, {6, 0, 1.0}});
+  const auto b = from_triplets(8, 1, {{0, 0, 2.0}, {3, 0, 1.0}, {5, 0, 3.0}});
+  const auto ca = a.column(0);
+  const auto cb = b.column(0);
+  EXPECT_EQ(merge2_count(ca, cb), 5u);  // overlap at row 3
+  std::vector<std::int32_t> rows(6);
+  std::vector<double> vals(6);
+  const auto n = merge2_add(ca, cb, rows.data(), vals.data());
+  ASSERT_EQ(n, 5u);
+  EXPECT_EQ(rows[0], 0);
+  EXPECT_EQ(rows[2], 3);
+  EXPECT_DOUBLE_EQ(vals[2], 3.0);  // 2 + 1
+  EXPECT_EQ(rows[4], 6);
+}
+
+TEST(Merge2, EmptySides) {
+  const auto a = from_triplets(4, 1, {{1, 0, 1.0}});
+  const Csc empty(4, 1);
+  EXPECT_EQ(merge2_count(a.column(0), empty.column(0)), 1u);
+  EXPECT_EQ(merge2_count(empty.column(0), empty.column(0)), 0u);
+  std::vector<std::int32_t> rows(2);
+  std::vector<double> vals(2);
+  EXPECT_EQ(merge2_add(empty.column(0), a.column(0), rows.data(), vals.data()),
+            1u);
+  EXPECT_EQ(rows[0], 1);
+}
+
+TEST(Merge2, CountsOperations) {
+  const auto a = from_triplets(8, 1, {{1, 0, 1.0}, {3, 0, 1.0}});
+  const auto b = from_triplets(8, 1, {{2, 0, 1.0}});
+  OpCounters c;
+  merge2_count(a.column(0), b.column(0), &c);
+  EXPECT_EQ(c.merge_ops, 3u);
+}
+
+TEST(Add2, MatchesDenseOracle) {
+  const auto inputs = random_collection(2, 64, 16, 200, 11);
+  const auto got = add2(inputs[0], inputs[1]);
+  EXPECT_TRUE(validate(got).valid);
+  EXPECT_TRUE(approx_equal(
+      dense_sum_oracle(std::span<const Csc>(inputs)), got));
+}
+
+TEST(Add2, ShapeMismatchThrows) {
+  const auto a = from_triplets(4, 2, {{0, 0, 1.0}});
+  const auto b = from_triplets(4, 3, {{0, 0, 1.0}});
+  EXPECT_THROW(add2(a, b), std::invalid_argument);
+}
+
+TEST(Add2, FullOverlapHalvesOutput) {
+  const auto a = from_triplets(8, 1, {{1, 0, 1.0}, {5, 0, 2.0}});
+  const auto out = add2(a, a);
+  EXPECT_EQ(out.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(out.at(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(out.at(5, 0), 4.0);
+}
+
+TEST(TwoWayIncremental, MatchesDenseOracle) {
+  const auto inputs = random_collection(5, 64, 8, 100, 3);
+  const auto got =
+      spkadd_twoway_incremental(std::span<const Csc>(inputs));
+  EXPECT_TRUE(approx_equal(
+      dense_sum_oracle(std::span<const Csc>(inputs)), got));
+}
+
+TEST(TwoWayTree, MatchesDenseOracleOddAndEvenK) {
+  for (int k : {1, 2, 3, 4, 7, 8}) {
+    const auto inputs = random_collection(k, 32, 8, 64, 100 + k);
+    const auto got = spkadd_twoway_tree(std::span<const Csc>(inputs));
+    EXPECT_TRUE(approx_equal(
+        dense_sum_oracle(std::span<const Csc>(inputs)), got))
+        << "k=" << k;
+  }
+}
+
+TEST(TwoWay, RejectsUnsortedInputs) {
+  std::vector<Csc> inputs{
+      Csc(4, 1, {0, 2}, {2, 0}, {1.0, 1.0}),  // unsorted column
+      from_triplets(4, 1, {{1, 0, 1.0}}),
+  };
+  EXPECT_THROW(spkadd_twoway_tree(std::span<const Csc>(inputs)),
+               std::invalid_argument);
+  EXPECT_THROW(spkadd_twoway_incremental(std::span<const Csc>(inputs)),
+               std::invalid_argument);
+}
+
+TEST(ReferenceAdd, MatchesTwoWayTree) {
+  const auto inputs = random_collection(6, 64, 8, 120, 8);
+  const auto tree = spkadd_twoway_tree(std::span<const Csc>(inputs));
+  EXPECT_TRUE(approx_equal(
+      tree, spkadd_reference_incremental(std::span<const Csc>(inputs))));
+  EXPECT_TRUE(approx_equal(
+      tree, spkadd_reference_tree(std::span<const Csc>(inputs))));
+}
+
+TEST(ReferenceAdd, SingleInputPassesThrough) {
+  const auto inputs = random_collection(1, 16, 4, 20, 2);
+  EXPECT_TRUE(spkadd_reference_tree(std::span<const Csc>(inputs)) ==
+              inputs[0]);
+}
+
+TEST(TwoWayIncremental, WorkGrowsQuadraticallyInK) {
+  // Table I: 2-way incremental does O(k^2 nd) merge work on disjoint
+  // (ER-like) inputs, vs O(k nd lg k) for the tree. Verify the k^2 trend by
+  // counting merge operations at two values of k.
+  auto count_ops = [](int k) {
+    const auto inputs = random_collection(k, 1 << 12, 8, 256, 500);
+    OpCounters c;
+    Options opts;
+    opts.counters = &c;
+    spkadd_twoway_incremental(std::span<const Csc>(inputs), opts);
+    return c.merge_ops;
+  };
+  const auto w4 = count_ops(4);
+  const auto w16 = count_ops(16);
+  // k grows 4x => quadratic work grows ~16x (allowing generous slack for
+  // overlap dedup and constant terms).
+  const double growth = static_cast<double>(w16) / static_cast<double>(w4);
+  EXPECT_GT(growth, 8.0);
+  EXPECT_LT(growth, 32.0);
+}
+
+TEST(TwoWayTree, WorkGrowsAsKLogK) {
+  auto count_ops = [](int k) {
+    const auto inputs = random_collection(k, 1 << 12, 8, 256, 501);
+    OpCounters c;
+    Options opts;
+    opts.counters = &c;
+    spkadd_twoway_tree(std::span<const Csc>(inputs), opts);
+    return c.merge_ops;
+  };
+  const auto w4 = count_ops(4);    // ~ 4 * 2 levels
+  const auto w16 = count_ops(16);  // ~ 16 * 4 levels => 8x the ops of k=4
+  const double growth = static_cast<double>(w16) / static_cast<double>(w4);
+  EXPECT_GT(growth, 5.0);
+  EXPECT_LT(growth, 12.0);
+}
+
+}  // namespace

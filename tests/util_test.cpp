@@ -1,0 +1,294 @@
+// Unit tests for src/util: rng, bit ops, prefix sums, cache detection,
+// table printing, CLI parsing, thread control, timers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "util/bit_ops.hpp"
+#include "util/cache_info.hpp"
+#include "util/cli.hpp"
+#include "util/prefix_sum.hpp"
+#include "util/rng.hpp"
+#include "util/table_printer.hpp"
+#include "util/thread_control.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace spkadd::util;
+
+// ---------------------------------------------------------------- rng
+TEST(Rng, DeterministicForFixedSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Xoshiro256 root(99);
+  Xoshiro256 s0 = root.split(0);
+  Xoshiro256 s1 = root.split(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (s0() == s1());
+  EXPECT_LT(equal, 4);
+  // Splitting is a pure function of the root state and index.
+  Xoshiro256 s0_again = root.split(0);
+  Xoshiro256 s0_ref = root.split(0);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(s0_again(), s0_ref());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BoundedRespectsBound) {
+  Xoshiro256 rng(11);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.bounded(bound), bound);
+  }
+  EXPECT_EQ(rng.bounded(0), 0u);
+}
+
+TEST(Rng, BoundedIsRoughlyUniform) {
+  Xoshiro256 rng(13);
+  std::vector<int> hist(8, 0);
+  for (int i = 0; i < 80000; ++i) ++hist[rng.bounded(8)];
+  for (int h : hist) EXPECT_NEAR(h, 10000, 600);
+}
+
+TEST(Rng, SplitMixExpandsSeeds) {
+  SplitMix64 sm(0);
+  const auto a = sm.next();
+  const auto b = sm.next();
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, 0u);  // even seed 0 yields nonzero state
+}
+
+// ---------------------------------------------------------------- bit ops
+TEST(BitOps, NextPow2Greater) {
+  EXPECT_EQ(next_pow2_greater(0), 1u);
+  EXPECT_EQ(next_pow2_greater(1), 2u);
+  EXPECT_EQ(next_pow2_greater(2), 4u);
+  EXPECT_EQ(next_pow2_greater(3), 4u);
+  EXPECT_EQ(next_pow2_greater(4), 8u);  // strictly greater
+  EXPECT_EQ(next_pow2_greater(1023), 1024u);
+  EXPECT_EQ(next_pow2_greater(1024), 2048u);
+}
+
+TEST(BitOps, NextPow2) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(5), 8u);
+  EXPECT_EQ(next_pow2(64), 64u);
+}
+
+TEST(BitOps, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(65));
+}
+
+TEST(BitOps, Log2Floor) {
+  EXPECT_EQ(log2_floor(1), 0u);
+  EXPECT_EQ(log2_floor(2), 1u);
+  EXPECT_EQ(log2_floor(3), 1u);
+  EXPECT_EQ(log2_floor(1024), 10u);
+}
+
+TEST(BitOps, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(1, 100), 1);
+}
+
+// ---------------------------------------------------------------- prefix sum
+TEST(PrefixSum, SequentialMatchesDefinition) {
+  std::vector<int> in{3, 1, 4, 1, 5};
+  std::vector<int> out(in.size() + 1);
+  exclusive_scan_seq(std::span<const int>(in), std::span<int>(out));
+  EXPECT_EQ(out, (std::vector<int>{0, 3, 4, 8, 9, 14}));
+}
+
+TEST(PrefixSum, EmptyInput) {
+  std::vector<int> in;
+  std::vector<int> out(1);
+  exclusive_scan(std::span<const int>(in), std::span<int>(out));
+  EXPECT_EQ(out[0], 0);
+}
+
+TEST(PrefixSum, ParallelMatchesSequentialOnLargeInput) {
+  std::vector<std::int64_t> in(1 << 16);
+  spkadd::util::Xoshiro256 rng(3);
+  for (auto& v : in) v = static_cast<std::int64_t>(rng.bounded(100));
+  std::vector<std::int64_t> a(in.size() + 1), b(in.size() + 1);
+  exclusive_scan_seq(std::span<const std::int64_t>(in), std::span<std::int64_t>(a));
+  exclusive_scan(std::span<const std::int64_t>(in), std::span<std::int64_t>(b));
+  EXPECT_EQ(a, b);
+}
+
+TEST(PrefixSum, CountsToOffsets) {
+  std::vector<std::int32_t> counts{2, 0, 3};
+  const auto offsets =
+      counts_to_offsets(std::span<const std::int32_t>(counts));
+  EXPECT_EQ(offsets, (std::vector<std::int32_t>{0, 2, 2, 5}));
+}
+
+// ---------------------------------------------------------------- cache info
+TEST(CacheInfo, DetectionProducesSaneValues) {
+  const auto info = detect_machine();
+  EXPECT_GE(info.logical_cpus, 1);
+  EXPECT_GE(info.l1.bytes, 1u << 10);
+  EXPECT_GE(info.llc.bytes, info.l1.bytes);
+  EXPECT_TRUE(is_pow2(info.llc.line_bytes));
+}
+
+TEST(CacheInfo, OverrideWinsAndClears) {
+  set_llc_override(8u << 20);
+  EXPECT_EQ(effective_llc_bytes(), 8u << 20);
+  EXPECT_NE(detect_machine().summary().find("override"), std::string::npos);
+  set_llc_override(0);
+  EXPECT_EQ(effective_llc_bytes(), detect_machine().llc.bytes);
+}
+
+// ---------------------------------------------------------------- printer
+TEST(TablePrinter, RendersAlignedMarkdown) {
+  TablePrinter t({"Algorithm", "k=4"});
+  t.add_row({"Hash", "0.0007"});
+  t.add_row({"Sliding Hash", "0.0021"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| Algorithm"), std::string::npos);
+  EXPECT_NE(s.find("| Sliding Hash | 0.0021 |"), std::string::npos);
+  EXPECT_NE(s.find("|---"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TablePrinter, PadsAndTruncatesCells) {
+  TablePrinter t({"a", "b"});
+  t.add_row({"only-one"});
+  t.add_row({"x", "y", "extra-dropped"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str().find("extra-dropped"), std::string::npos);
+}
+
+TEST(TablePrinter, Formats) {
+  EXPECT_EQ(TablePrinter::fmt_seconds(0.08321), "0.0832");
+  EXPECT_EQ(TablePrinter::fmt_seconds(12.9322), "12.932");
+  EXPECT_EQ(TablePrinter::fmt_ratio(3.204), "3.20x");
+  EXPECT_EQ(TablePrinter::fmt_count(1234567), "1,234,567");
+  EXPECT_EQ(TablePrinter::fmt_count(5), "5");
+}
+
+// ---------------------------------------------------------------- cli
+TEST(Cli, ParsesAllForms) {
+  CliParser cli("prog");
+  const auto* rows = cli.add_int("rows", 10, "rows");
+  const auto* scale = cli.add_double("scale", 1.0, "scale");
+  const auto* verbose = cli.add_flag("verbose", "talk");
+  const auto* name = cli.add_string("name", "def", "name");
+  const char* argv[] = {"prog", "--rows", "42", "--scale=2.5", "--verbose",
+                        "--name", "hello"};
+  ASSERT_TRUE(cli.parse(7, argv));
+  EXPECT_EQ(*rows, 42);
+  EXPECT_DOUBLE_EQ(*scale, 2.5);
+  EXPECT_TRUE(*verbose);
+  EXPECT_EQ(*name, "hello");
+}
+
+TEST(Cli, DefaultsSurviveWhenUnset) {
+  CliParser cli("prog");
+  const auto* rows = cli.add_int("rows", 7, "rows");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(*rows, 7);
+}
+
+TEST(Cli, RejectsUnknownFlagAndBadValue) {
+  CliParser cli("prog");
+  cli.add_int("rows", 1, "rows");
+  const char* bad1[] = {"prog", "--nope", "3"};
+  EXPECT_FALSE(cli.parse(3, bad1));
+  CliParser cli2("prog");
+  cli2.add_int("rows", 1, "rows");
+  const char* bad2[] = {"prog", "--rows", "abc"};
+  EXPECT_FALSE(cli2.parse(3, bad2));
+  CliParser cli3("prog");
+  cli3.add_int("rows", 1, "rows");
+  const char* bad3[] = {"prog", "--rows"};
+  EXPECT_FALSE(cli3.parse(2, bad3));
+}
+
+TEST(Cli, UsageMentionsEveryFlag) {
+  CliParser cli("prog", "test program");
+  cli.add_int("alpha", 1, "first");
+  cli.add_flag("beta", "second");
+  const std::string u = cli.usage();
+  EXPECT_NE(u.find("--alpha"), std::string::npos);
+  EXPECT_NE(u.find("--beta"), std::string::npos);
+  EXPECT_NE(u.find("test program"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- threads
+TEST(ThreadControl, GuardRestores) {
+  const int before = current_max_threads();
+  {
+    ThreadCountGuard guard(2);
+    EXPECT_EQ(current_max_threads(), 2);
+    {
+      ThreadCountGuard inner(1);
+      EXPECT_EQ(current_max_threads(), 1);
+    }
+    EXPECT_EQ(current_max_threads(), 2);
+  }
+  EXPECT_EQ(current_max_threads(), before);
+}
+
+TEST(ThreadControl, ClampsToOne) {
+  ThreadCountGuard guard(0);
+  EXPECT_GE(current_max_threads(), 1);
+}
+
+// ---------------------------------------------------------------- timer
+TEST(Timer, MeasuresElapsedTime) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.millis(), 15.0);
+  t.reset();
+  EXPECT_LT(t.millis(), 15.0);
+}
+
+TEST(PhaseTimerTest, AccumulatesPhases) {
+  PhaseTimer pt;
+  pt.add("symbolic", 0.5);
+  pt.add("symbolic", 0.25);
+  pt.add("compute", 1.0);
+  EXPECT_DOUBLE_EQ(pt.get("symbolic"), 0.75);
+  EXPECT_DOUBLE_EQ(pt.get("compute"), 1.0);
+  EXPECT_DOUBLE_EQ(pt.get("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(pt.total(), 1.75);
+  const int x = pt.time("lambda", [] { return 5; });
+  EXPECT_EQ(x, 5);
+  EXPECT_GE(pt.get("lambda"), 0.0);
+  pt.clear();
+  EXPECT_DOUBLE_EQ(pt.total(), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,76 @@
+// Structural validation and approximate comparison.
+#include <gtest/gtest.h>
+
+#include "matrix/validate.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using spkadd::approx_equal;
+using spkadd::compression_factor;
+using spkadd::CscMatrix;
+using spkadd::validate;
+using spkadd::testing::from_triplets;
+
+TEST(Validate, AcceptsCanonicalMatrix) {
+  const auto m = from_triplets(4, 2, {{0, 0, 1.0}, {3, 0, 2.0}, {1, 1, 3.0}});
+  const auto r = validate(m);
+  EXPECT_TRUE(r.valid);
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_TRUE(r.reason.empty());
+}
+
+TEST(Validate, CatchesOutOfRangeRow) {
+  // Bypass constructor checks by building raw arrays with a bad row.
+  CscMatrix<> m(2, 1, {0, 1}, {5}, {1.0});
+  const auto r = validate(m);
+  EXPECT_FALSE(r.valid);
+  EXPECT_NE(r.reason.find("out of range"), std::string::npos);
+}
+
+TEST(Validate, CatchesUnsortedAndDuplicateRows) {
+  CscMatrix<> unsorted(4, 1, {0, 2}, {2, 0}, {1.0, 1.0});
+  EXPECT_FALSE(validate(unsorted).valid);
+  EXPECT_TRUE(validate(unsorted, /*require_sorted=*/false).valid);
+  CscMatrix<> dup(4, 1, {0, 2}, {1, 1}, {1.0, 1.0});
+  EXPECT_FALSE(validate(dup).valid);  // strict ascending forbids duplicates
+}
+
+TEST(ApproxEqual, ToleratesRoundoffOnly) {
+  const auto a = from_triplets(4, 1, {{0, 0, 1.0}, {2, 0, 1e9}});
+  const auto b = from_triplets(4, 1, {{0, 0, 1.0 + 1e-13}, {2, 0, 1e9 + 1.0}});
+  EXPECT_TRUE(approx_equal(a, b, 1e-8));  // relative tolerance on 1e9
+  const auto c = from_triplets(4, 1, {{0, 0, 1.01}, {2, 0, 1e9}});
+  EXPECT_FALSE(approx_equal(a, c, 1e-8));
+}
+
+TEST(ApproxEqual, RequiresIdenticalPattern) {
+  const auto a = from_triplets(4, 1, {{0, 0, 1.0}});
+  const auto b = from_triplets(4, 1, {{1, 0, 1.0}});
+  const auto c = from_triplets(4, 1, {{0, 0, 1.0}, {1, 0, 0.0}});
+  EXPECT_FALSE(approx_equal(a, b));
+  EXPECT_FALSE(approx_equal(a, c));  // nnz differs
+}
+
+TEST(ApproxEqual, ShapeMismatch) {
+  const auto a = from_triplets(4, 1, {{0, 0, 1.0}});
+  const auto b = from_triplets(5, 1, {{0, 0, 1.0}});
+  EXPECT_FALSE(approx_equal(a, b));
+}
+
+TEST(CompressionFactor, DisjointAndOverlapping) {
+  const auto a = from_triplets(4, 1, {{0, 0, 1.0}, {1, 0, 1.0}});
+  const auto b = from_triplets(4, 1, {{2, 0, 1.0}, {3, 0, 1.0}});
+  std::vector<CscMatrix<>> disjoint{a, b};
+  const auto sum_d = from_triplets(
+      4, 1, {{0, 0, 1.0}, {1, 0, 1.0}, {2, 0, 1.0}, {3, 0, 1.0}});
+  EXPECT_DOUBLE_EQ(
+      compression_factor(std::span<const CscMatrix<>>(disjoint), sum_d), 1.0);
+
+  std::vector<CscMatrix<>> same{a, a};
+  const auto sum_s = from_triplets(4, 1, {{0, 0, 2.0}, {1, 0, 2.0}});
+  EXPECT_DOUBLE_EQ(
+      compression_factor(std::span<const CscMatrix<>>(same), sum_s), 2.0);
+}
+
+}  // namespace
