@@ -4,12 +4,14 @@
 
 #include "util/cache_info.hpp"
 #include "util/timer.hpp"
+#include "version.hpp"
 
 namespace spkadd::bench {
 
 void print_header(const std::string& title, const std::string& what) {
   const auto info = util::detect_machine();
   std::cout << "# " << title << "\n"
+            << "spkadd version: " << kVersion << "\n"
             << "reproduces: " << what << "\n"
             << "machine: " << info.summary() << "\n\n";
 }

@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
   for (core::Method method : bench::table_methods()) {
     std::vector<std::string> row{core::method_name(method)};
     std::size_t w = 0;
-    for (auto d : ds) {
+    for ([[maybe_unused]] auto d : ds) {
       for (int k : ks) {
         const auto& inputs = workloads[w++];
         // Incremental methods re-stream the growing partial sum: estimated

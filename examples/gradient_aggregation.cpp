@@ -81,8 +81,7 @@ int main(int argc, char** argv) {
   // Sanity: both reductions hold the same values.
   auto canonical = update;
   canonical.sort_columns();
-  std::cout << "reductions agree: "
-            << (spkadd::approx_equal(canonical, update2, 1e-9) ? "yes" : "NO")
-            << "\n";
-  return 0;
+  const bool agree = spkadd::approx_equal(canonical, update2, 1e-9);
+  std::cout << "reductions agree: " << (agree ? "yes" : "NO") << "\n";
+  return agree ? 0 : 1;
 }

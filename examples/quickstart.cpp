@@ -41,15 +41,17 @@ int main() {
 
   // 3. Every method computes the same sum; pick one explicitly if you know
   //    your regime (see DESIGN.md / the paper's Table I).
+  bool all_match = true;
   for (const auto method :
        {spkadd::core::Method::Heap, spkadd::core::Method::Spa,
         spkadd::core::Method::Hash, spkadd::core::Method::SlidingHash}) {
     spkadd::core::Options opts;
     opts.method = method;
     const Csc again = spkadd::core::spkadd(inputs, opts);
+    const bool match = spkadd::approx_equal(sum, again);
+    all_match = all_match && match;
     std::cout << spkadd::core::method_name(method) << ": "
-              << (spkadd::approx_equal(sum, again) ? "matches" : "DIFFERS")
-              << "\n";
+              << (match ? "matches" : "DIFFERS") << "\n";
   }
 
   // 4. The compression factor says how much the inputs overlapped.
@@ -57,5 +59,5 @@ int main() {
             << spkadd::compression_factor(
                    std::span<const Csc>(inputs), sum)
             << " (1.0 = disjoint inputs)\n";
-  return 0;
+  return all_match ? 0 : 1;
 }

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Verify every header under src/ is self-contained: each must compile as the
+# sole include of a TU (no reliance on transitive includes from siblings).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+CXX="${CXX:-g++}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+fail=0
+for h in $(find src -name '*.hpp' | sort); do
+  printf '#include "%s"\nint main() { return 0; }\n' "${h#src/}" > "$tmp/tu.cpp"
+  if ! "$CXX" -std=c++20 -fsyntax-only -Wall -Wextra -I src -fopenmp \
+      "$tmp/tu.cpp" 2> "$tmp/err.log"; then
+    echo "NOT SELF-CONTAINED: $h"
+    cat "$tmp/err.log"
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "OK: all src/ headers are self-contained"
+fi
+exit "$fail"

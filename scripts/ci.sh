@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI entry point: configure + build + ctest, first plain Release, then with
+# address+undefined sanitizers. Usage: scripts/ci.sh [extra cmake args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+
+run_mode() {
+  local name="$1" build_dir="$2"
+  shift 2
+  echo "=== [$name] configure ==="
+  cmake -B "$build_dir" -S . "$@"
+  echo "=== [$name] build ==="
+  cmake --build "$build_dir" -j "$JOBS"
+  echo "=== [$name] ctest ==="
+  ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
+}
+
+run_mode plain build "$@"
+run_mode sanitize build-asan \
+  -DCMAKE_BUILD_TYPE=Debug -DSPKADD_SANITIZE=address,undefined "$@"
+
+echo "=== CI OK: plain + sanitizer modes green ==="

@@ -12,7 +12,9 @@ CliParser::CliParser(std::string program, std::string description)
 const std::int64_t* CliParser::add_int(const std::string& name,
                                        std::int64_t def,
                                        const std::string& help) {
-  Flag f{Kind::Int, help};
+  Flag f;
+  f.kind = Kind::Int;
+  f.help = help;
   f.int_value = def;
   auto [it, fresh] = flags_.emplace(name, std::move(f));
   if (fresh) order_.push_back(name);
@@ -21,7 +23,9 @@ const std::int64_t* CliParser::add_int(const std::string& name,
 
 const double* CliParser::add_double(const std::string& name, double def,
                                     const std::string& help) {
-  Flag f{Kind::Double, help};
+  Flag f;
+  f.kind = Kind::Double;
+  f.help = help;
   f.double_value = def;
   auto [it, fresh] = flags_.emplace(name, std::move(f));
   if (fresh) order_.push_back(name);
@@ -30,7 +34,9 @@ const double* CliParser::add_double(const std::string& name, double def,
 
 const bool* CliParser::add_flag(const std::string& name,
                                 const std::string& help) {
-  Flag f{Kind::Bool, help};
+  Flag f;
+  f.kind = Kind::Bool;
+  f.help = help;
   auto [it, fresh] = flags_.emplace(name, std::move(f));
   if (fresh) order_.push_back(name);
   return &it->second.bool_value;
@@ -39,7 +45,9 @@ const bool* CliParser::add_flag(const std::string& name,
 const std::string* CliParser::add_string(const std::string& name,
                                          std::string def,
                                          const std::string& help) {
-  Flag f{Kind::String, help};
+  Flag f;
+  f.kind = Kind::String;
+  f.help = help;
   f.string_value = std::move(def);
   auto [it, fresh] = flags_.emplace(name, std::move(f));
   if (fresh) order_.push_back(name);

@@ -43,7 +43,7 @@ class CliParser {
  private:
   enum class Kind { Int, Double, Bool, String };
   struct Flag {
-    Kind kind;
+    Kind kind = Kind::Bool;
     std::string help;
     std::int64_t int_value = 0;
     double double_value = 0;

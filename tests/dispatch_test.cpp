@@ -17,6 +17,7 @@ using spkadd::testing::dense_sum_oracle;
 using spkadd::testing::random_collection;
 
 using Csc = spkadd::testing::Csc;
+using Coo = spkadd::testing::Coo;
 
 TEST(Dispatch, EveryMethodProducesTheSameSum) {
   const auto inputs = random_collection(8, 128, 16, 300, 1);
@@ -87,6 +88,33 @@ TEST(AutoPolicy, RespectsGlobalLlcOverride) {
   util::set_llc_override(0);
   EXPECT_EQ(with_small, Method::SlidingHash);
   EXPECT_EQ(with_large, Method::Hash);
+}
+
+TEST(AutoPolicy, DeterministicLlcBoundaryRegression) {
+  // 4 addends, each contributing 10 distinct rows to column 0, so the
+  // heaviest summed column has exactly 40 entries. With entry bytes
+  // b = sizeof(int32) + sizeof(double) = 12 and threads pinned to 3, the
+  // numeric-phase tables need 12 * 3 * 40 = 1440 bytes. The Fig. 2 surface
+  // is "tables overflow LLC", so an exactly-fitting budget stays Hash and
+  // one byte less tips to SlidingHash — independent of the host's real LLC
+  // because opts.llc_bytes is pinned.
+  std::vector<Csc> inputs;
+  for (int i = 0; i < 4; ++i) {
+    Coo coo(64, 2);
+    for (int r = 0; r < 10; ++r)
+      coo.push(static_cast<std::int32_t>(i * 10 + r), 0, 1.0);
+    coo.compress();
+    inputs.push_back(coo.to_csc());
+  }
+  constexpr std::size_t kTableBytes =
+      (sizeof(std::int32_t) + sizeof(double)) * 3 * 40;
+  Options opts;
+  opts.threads = 3;
+  opts.llc_bytes = kTableBytes;
+  EXPECT_EQ(auto_select(std::span<const Csc>(inputs), opts), Method::Hash);
+  opts.llc_bytes = kTableBytes - 1;
+  EXPECT_EQ(auto_select(std::span<const Csc>(inputs), opts),
+            Method::SlidingHash);
 }
 
 TEST(MethodName, AllNamesDistinct) {

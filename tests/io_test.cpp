@@ -136,6 +136,18 @@ TEST(MatrixMarket, WriteReadRoundTrip) {
   EXPECT_TRUE(spkadd::approx_equal(m, back, 1e-15));
 }
 
+TEST(MatrixMarket, EmptyMatrixRoundTrip) {
+  // A 0-nnz matrix still carries its shape through the format.
+  const spkadd::CscMatrix<std::int32_t, double> m(12, 7);
+  std::ostringstream out;
+  write_mm(out, m);
+  std::istringstream in(out.str());
+  const auto back = read_mm_coo(in).to_csc();
+  EXPECT_EQ(back.rows(), 12);
+  EXPECT_EQ(back.cols(), 7);
+  EXPECT_EQ(back.nnz(), 0u);
+}
+
 TEST(MatrixMarket, FileRoundTrip) {
   const auto m = random_matrix(32, 8, 60, 3);
   const std::string path = ::testing::TempDir() + "/spkadd_io_test.mtx";

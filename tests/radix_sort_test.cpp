@@ -86,6 +86,67 @@ TEST(RadixSortPairs, DuplicateKeysAreStable) {
   EXPECT_EQ(vals, (std::vector<double>{2, 4, 1, 3, 5}));
 }
 
+TEST(RadixSortPairs, AllEqualKeysSkipEveryPass) {
+  // Every byte histogram is degenerate, so all four passes are skipped and
+  // the data must be left untouched in place (no scratch round-trip).
+  const std::size_t n = 4096;
+  std::vector<std::int32_t> keys(n, 42);
+  std::vector<double> vals(n);
+  for (std::size_t i = 0; i < n; ++i) vals[i] = static_cast<double>(i);
+  RadixScratch<std::int32_t, double> scratch;
+  radix_sort_pairs(keys.data(), vals.data(), n, scratch);
+  EXPECT_TRUE(std::all_of(keys.begin(), keys.end(),
+                          [](std::int32_t k) { return k == 42; }));
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_DOUBLE_EQ(vals[i], static_cast<double>(i)) << "stability at " << i;
+}
+
+TEST(RadixSortPairs, Int32MaxKeys) {
+  // Row indices at the very top of the key space: INT32_MAX has every digit
+  // byte 0xff/0x7f, exercising the last histogram buckets of each pass.
+  const std::size_t n = 1024;
+  std::vector<std::int32_t> keys(n);
+  std::vector<double> vals(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = (i % 3 == 0) ? INT32_MAX
+                           : static_cast<std::int32_t>(INT32_MAX - i);
+    vals[i] = static_cast<double>(keys[i]);
+  }
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  RadixScratch<std::int32_t, double> scratch;
+  radix_sort_pairs(keys.data(), vals.data(), n, scratch);
+  EXPECT_EQ(keys, expected);
+  EXPECT_EQ(keys.back(), INT32_MAX);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_DOUBLE_EQ(vals[i], static_cast<double>(keys[i]));
+}
+
+TEST(RadixSortKeys, EmptySingleAndAllEqual) {
+  std::vector<std::int32_t> scratch;
+  radix_sort_keys<std::int32_t>(nullptr, 0, scratch);
+
+  std::int32_t one = 9;
+  radix_sort_keys(&one, 1, scratch);
+  EXPECT_EQ(one, 9);
+
+  std::vector<std::int32_t> keys(2048, 7);
+  radix_sort_keys(keys.data(), keys.size(), scratch);
+  EXPECT_TRUE(std::all_of(keys.begin(), keys.end(),
+                          [](std::int32_t k) { return k == 7; }));
+}
+
+TEST(RadixSortKeys, Int32MaxKeys) {
+  std::vector<std::int32_t> keys(512);
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    keys[i] = static_cast<std::int32_t>(INT32_MAX - (i * 37) % 1000);
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  std::vector<std::int32_t> scratch;
+  radix_sort_keys(keys.data(), keys.size(), scratch);
+  EXPECT_EQ(keys, expected);
+}
+
 TEST(RadixSortKeys, MatchesStdSort) {
   for (std::size_t n : {0u, 1u, 17u, 127u, 128u, 5000u}) {
     Xoshiro256 rng(n + 1);

@@ -2,6 +2,8 @@
 // agrees across all methods.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "cachesim/traced_spkadd.hpp"
 #include "core/spkadd.hpp"
 #include "gen/workload.hpp"
@@ -10,6 +12,7 @@
 #include "spgemm/local_spgemm.hpp"
 #include "summa/sparse_summa.hpp"
 #include "util/cache_info.hpp"
+#include "version.hpp"
 
 namespace {
 
@@ -40,6 +43,16 @@ TEST(Smoke, AllMethodsAgreeOnTinyWorkload) {
     EXPECT_TRUE(spkadd::approx_equal(reference, out))
         << spkadd::core::method_name(m);
   }
+}
+
+TEST(Smoke, VersionIsStamped) {
+  // The build stamps src/version.hpp.in with the CMake project version.
+  EXPECT_FALSE(spkadd::kVersion.empty());
+  EXPECT_EQ(std::count(spkadd::kVersion.begin(), spkadd::kVersion.end(), '.'),
+            2);
+  EXPECT_GE(spkadd::kVersionMajor, 0);
+  EXPECT_GE(spkadd::kVersionMinor, 0);
+  EXPECT_GE(spkadd::kVersionPatch, 0);
 }
 
 TEST(Smoke, MachineDetectionNeverFails) {

@@ -49,7 +49,8 @@ TEST(Merge2, CountsOperations) {
   const auto a = from_triplets(8, 1, {{1, 0, 1.0}, {3, 0, 1.0}});
   const auto b = from_triplets(8, 1, {{2, 0, 1.0}});
   OpCounters c;
-  merge2_count(a.column(0), b.column(0), &c);
+  const std::size_t out_nnz = merge2_count(a.column(0), b.column(0), &c);
+  EXPECT_EQ(out_nnz, 3u);
   EXPECT_EQ(c.merge_ops, 3u);
 }
 
@@ -128,7 +129,8 @@ TEST(TwoWayIncremental, WorkGrowsQuadraticallyInK) {
     OpCounters c;
     Options opts;
     opts.counters = &c;
-    spkadd_twoway_incremental(std::span<const Csc>(inputs), opts);
+    [[maybe_unused]] const auto sum =
+        spkadd_twoway_incremental(std::span<const Csc>(inputs), opts);
     return c.merge_ops;
   };
   const auto w4 = count_ops(4);
@@ -146,7 +148,8 @@ TEST(TwoWayTree, WorkGrowsAsKLogK) {
     OpCounters c;
     Options opts;
     opts.counters = &c;
-    spkadd_twoway_tree(std::span<const Csc>(inputs), opts);
+    [[maybe_unused]] const auto sum =
+        spkadd_twoway_tree(std::span<const Csc>(inputs), opts);
     return c.merge_ops;
   };
   const auto w4 = count_ops(4);    // ~ 4 * 2 levels

@@ -142,6 +142,47 @@ TEST(PrefixSum, ParallelMatchesSequentialOnLargeInput) {
   EXPECT_EQ(a, b);
 }
 
+TEST(PrefixSum, SingleElement) {
+  std::vector<int> in{7};
+  std::vector<int> out(2);
+  exclusive_scan(std::span<const int>(in), std::span<int>(out));
+  EXPECT_EQ(out, (std::vector<int>{0, 7}));
+}
+
+TEST(PrefixSum, AllEqualValuesLargeParallelPath) {
+  // Above the parallel threshold with identical values: out[i] must be an
+  // exact arithmetic ramp regardless of how blocks are carved up. Pin >= 2
+  // threads so the parallel path actually runs even on a 1-core host
+  // (exclusive_scan falls back to sequential when max_threads == 1).
+  ThreadCountGuard guard(4);
+  const std::size_t n = (1u << 15) + 13;
+  std::vector<std::int64_t> in(n, 5);
+  std::vector<std::int64_t> out(n + 1);
+  exclusive_scan(std::span<const std::int64_t>(in), std::span<std::int64_t>(out));
+  for (std::size_t i = 0; i <= n; i += 997)
+    EXPECT_EQ(out[i], static_cast<std::int64_t>(i) * 5) << "at " << i;
+  EXPECT_EQ(out[n], static_cast<std::int64_t>(n) * 5);
+}
+
+TEST(PrefixSum, Int32MaxTotalDoesNotOverflowInt64) {
+  // Offsets near the INT32 nnz ceiling: run the scan in 64-bit as the CSC
+  // builders do when nnz approaches INT32_MAX.
+  std::vector<std::int64_t> in{INT32_MAX - 2, 1, 1, 5};
+  std::vector<std::int64_t> out(in.size() + 1);
+  exclusive_scan_seq(std::span<const std::int64_t>(in),
+                     std::span<std::int64_t>(out));
+  EXPECT_EQ(out[3], static_cast<std::int64_t>(INT32_MAX));
+  EXPECT_EQ(out[4], static_cast<std::int64_t>(INT32_MAX) + 5);
+}
+
+TEST(PrefixSum, CountsToOffsetsEmptyAndZeroCounts) {
+  const auto empty = counts_to_offsets(std::span<const std::int32_t>());
+  EXPECT_EQ(empty, (std::vector<std::int32_t>{0}));
+  std::vector<std::int32_t> zeros{0, 0, 0};
+  const auto offsets = counts_to_offsets(std::span<const std::int32_t>(zeros));
+  EXPECT_EQ(offsets, (std::vector<std::int32_t>{0, 0, 0, 0}));
+}
+
 TEST(PrefixSum, CountsToOffsets) {
   std::vector<std::int32_t> counts{2, 0, 3};
   const auto offsets =
