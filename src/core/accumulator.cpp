@@ -1,0 +1,10 @@
+// Explicit instantiation of the default accumulator so the dozens of TUs
+// that stream through it (tests, benches, examples) share one compiled
+// copy instead of each instantiating the full SpKAdd pipeline.
+#include "core/accumulator.hpp"
+
+namespace spkadd::core {
+
+template class Accumulator<std::int32_t, double>;
+
+}  // namespace spkadd::core

@@ -1,0 +1,209 @@
+// Streaming SpKAdd accumulator — the paper's §V memory-constrained
+// extension ("arrange input matrices in multiple batches and then use
+// SpKAdd for each batch") promoted to a first-class, stateful subsystem.
+//
+// Gradient aggregation and FEM assembly are *streams* of addends, not a
+// one-shot span: contributions arrive one (or a few) at a time and the
+// consumer wants the running sum at the end. The Accumulator keeps a CSC
+// partial sum, stages incoming addends as borrowed pointers (or takes
+// ownership of rvalues), and folds a full batch plus the running sum with
+// one extra SpKAdd level — the exact §V trade-off of peak memory (one batch
+// of addends live instead of all k) against re-streaming the partial sum
+// once per batch.
+//
+// What makes it cheaper than calling spkadd_batched in a loop:
+//   * zero input copies — batches are spans of borrowed matrix pointers
+//     fed straight to the pointer-span drivers;
+//   * persistent per-thread workspaces — the hash/SPA/heap scratch in the
+//     owned Runtime only ever grows, so no batch re-allocates tables;
+//   * the per-column cost scan feeding Method::Auto and the nnz-balanced
+//     schedule lives in the same Runtime and is recomputed in parallel
+//     once per fold, not per consumer.
+//
+//   core::Accumulator<> acc(rows, cols, opts);
+//   for (auto& g : stream) acc.add(std::move(g));   // or acc.add(g) to borrow
+//   CscMatrix<> sum = acc.finalize();               // acc is reusable after
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/spkadd.hpp"
+
+namespace spkadd::core {
+
+template <class IndexT = std::int32_t, class ValueT = double>
+class Accumulator {
+ public:
+  using Matrix = CscMatrix<IndexT, ValueT>;
+
+  /// Fold after this many staged addends unless the caller chose otherwise.
+  /// The fold then sums batch_capacity + 1 matrices (batch plus running
+  /// sum), comfortably past the k >= 8 regime where the paper's hash
+  /// methods dominate.
+  static constexpr std::size_t kDefaultBatchCapacity = 8;
+
+  /// Usage/footprint counters for benches and tests.
+  struct Stats {
+    std::uint64_t addends = 0;  ///< total matrices ever staged
+    std::uint64_t flushes = 0;  ///< folds performed
+    std::size_t peak_intermediate_bytes = 0;  ///< max of acc+owned+scratch
+  };
+
+  explicit Accumulator(IndexT rows, IndexT cols, Options opts = {},
+                       std::size_t batch_capacity = kDefaultBatchCapacity)
+      : rows_(rows), cols_(cols), opts_(opts), cap_(batch_capacity) {
+    if (batch_capacity < 1)
+      throw std::invalid_argument("Accumulator: batch_capacity must be >= 1");
+    detail::check_sentinel_shape(rows);
+    staged_.reserve(cap_);
+    fold_.reserve(cap_ + 1);
+  }
+
+  // Copying would leave the copy's staged pointers aimed at the original's
+  // owned addends (dangling after the original flushes). Moves are safe:
+  // deque element addresses survive a move.
+  Accumulator(const Accumulator&) = delete;
+  Accumulator& operator=(const Accumulator&) = delete;
+  Accumulator(Accumulator&&) noexcept = default;
+  Accumulator& operator=(Accumulator&&) noexcept = default;
+
+  [[nodiscard]] IndexT rows() const { return rows_; }
+  [[nodiscard]] IndexT cols() const { return cols_; }
+  [[nodiscard]] std::size_t batch_capacity() const { return cap_; }
+  /// Addends staged but not yet folded into the running sum.
+  [[nodiscard]] std::size_t pending() const { return staged_.size(); }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Bytes of persistent per-thread scratch currently held (survives
+  /// finalize(); the workspace-reuse guarantee tests pin this).
+  [[nodiscard]] std::size_t workspace_bytes() const {
+    return rt_.storage_bytes();
+  }
+
+  /// Stage a borrowed addend. The matrix must stay alive until the next
+  /// flush()/finalize() or until batch_capacity addends force a fold —
+  /// whichever comes first. No copy is made while folding batches; the one
+  /// exception is a stream that ends with a single borrowed addend and no
+  /// running sum, whose buffer must be materialized as the result.
+  void add(const Matrix& m) { stage(&m); }
+
+  /// Stage an owned addend: the matrix is moved in (no deep copy) and
+  /// released at the next fold. For streams whose producer discards each
+  /// contribution right after handing it over.
+  void add(Matrix&& m) {
+    check_shape(m);
+    owned_.push_back(std::move(m));
+    stage(&owned_.back());
+  }
+
+  /// Stage a whole batch of borrowed addends (§V's "arrange input matrices
+  /// in multiple batches"); folds fire every batch_capacity addends.
+  void add_batch(std::span<const Matrix> ms) {
+    for (const auto& m : ms) add(m);
+  }
+
+  /// Fold everything staged into the running partial sum now. No-op when
+  /// nothing is pending.
+  void flush() {
+    if (staged_.empty()) return;
+    fold_.clear();
+    if (have_acc_) fold_.push_back(&acc_);
+    fold_.insert(fold_.end(), staged_.begin(), staged_.end());
+
+    Options fopts = opts_;
+    // An unsorted running sum (hash family with sorted_output=false) must
+    // not be fed to a fold that assumes sorted inputs.
+    fopts.inputs_sorted = opts_.inputs_sorted && (!have_acc_ || acc_sorted_);
+
+    std::size_t owned_bytes = 0;
+    for (const auto& m : owned_) owned_bytes += m.storage_bytes();
+    // Mid-fold, the outgoing running sum and the fresh result are live at
+    // once; count both so the peak is not understated.
+    const std::size_t acc_before = have_acc_ ? acc_.storage_bytes() : 0;
+
+    if (fold_.size() == 1) {
+      // Single addend, no running sum yet: materialize it directly (move
+      // when we own it) instead of running a 1-way pipeline.
+      Matrix* own = owned_.empty() ? nullptr : &owned_.front();
+      acc_ = own ? std::move(*own) : Matrix(*fold_.front());
+      if (own) owned_bytes = 0;  // the owned buffer *became* acc_
+      if (fopts.sorted_output && !acc_.is_sorted()) acc_.sort_columns();
+    } else {
+      acc_ = spkadd(MatrixPtrs<IndexT, ValueT>(fold_), fopts, &rt_);
+    }
+    have_acc_ = true;
+    acc_sorted_ = method_emits_sorted(opts_.method, opts_.sorted_output);
+
+    ++stats_.flushes;
+    const std::size_t live = acc_before + acc_.storage_bytes() +
+                             owned_bytes + rt_.storage_bytes();
+    stats_.peak_intermediate_bytes =
+        std::max(stats_.peak_intermediate_bytes, live);
+
+    staged_.clear();
+    owned_.clear();
+  }
+
+  /// Fold any pending addends and hand the sum to the caller. The
+  /// accumulator resets to empty but keeps its workspaces, so the next
+  /// stream reuses the grown scratch. An accumulator that never saw an
+  /// addend yields the all-zero rows x cols matrix.
+  [[nodiscard]] Matrix finalize() {
+    flush();
+    Matrix out = have_acc_ ? std::move(acc_) : Matrix(rows_, cols_);
+    acc_ = Matrix();
+    have_acc_ = false;
+    acc_sorted_ = true;
+    return out;
+  }
+
+ private:
+  /// Methods whose output columns are sorted regardless of
+  /// Options::sorted_output (merge/heap families sort by construction).
+  [[nodiscard]] static bool method_emits_sorted(Method m, bool sorted_output) {
+    switch (m) {
+      case Method::TwoWayIncremental:
+      case Method::TwoWayTree:
+      case Method::Heap:
+      case Method::ReferenceIncremental:
+      case Method::ReferenceTree:
+        return true;
+      default:
+        return sorted_output;
+    }
+  }
+
+  void check_shape(const Matrix& m) const {
+    if (m.rows() != rows_ || m.cols() != cols_)
+      throw std::invalid_argument("Accumulator: addend is not conformant");
+  }
+
+  void stage(const Matrix* m) {
+    check_shape(*m);
+    staged_.push_back(m);
+    ++stats_.addends;
+    if (staged_.size() >= cap_) flush();
+  }
+
+  IndexT rows_;
+  IndexT cols_;
+  Options opts_;
+  std::size_t cap_;
+
+  Matrix acc_;
+  bool have_acc_ = false;
+  bool acc_sorted_ = true;
+
+  std::vector<const Matrix*> staged_;  ///< borrowed addends awaiting a fold
+  std::deque<Matrix> owned_;  ///< moved-in addends (deque: stable addresses)
+  std::vector<const Matrix*> fold_;  ///< scratch: [acc?, staged...]
+  Runtime<IndexT, ValueT> rt_;  ///< persistent scratch + cost scan
+  Stats stats_;
+};
+
+extern template class Accumulator<std::int32_t, double>;
+
+}  // namespace spkadd::core

@@ -2,17 +2,19 @@
 // "we can still arrange input matrices in multiple batches and then use
 // SpKAdd for each batch."
 //
-// The collection is processed in batches of `batch_size` addends; each
-// batch is reduced with the configured k-way method and the partial sums
-// are folded into a running accumulator with one extra SpKAdd level. Peak
-// extra memory is one batch of inputs' worth of intermediates instead of
-// all k, at the cost of re-streaming the accumulator once per batch —
-// exactly the streaming trade-off the paper sketches.
+// A thin wrapper over core::Accumulator: the collection is streamed through
+// the accumulator `batch_size` addends at a time, each fold combining the
+// batch with the running partial sum in one extra SpKAdd level. Peak extra
+// memory is one batch of intermediates instead of all k, at the cost of
+// re-streaming the accumulator once per batch — exactly the streaming
+// trade-off the paper sketches. Batches are spans of *borrowed* matrix
+// pointers: no input matrix is ever copied (tests pin this with the
+// CscMatrix copy counter).
 #pragma once
 
 #include <span>
 
-#include "core/spkadd.hpp"
+#include "core/accumulator.hpp"
 
 namespace spkadd::core {
 
@@ -27,20 +29,10 @@ template <class IndexT, class ValueT>
   detail::check_conformant(inputs);
   if (inputs.size() <= batch_size) return spkadd(inputs, opts);
 
-  CscMatrix<IndexT, ValueT> acc;
-  bool have_acc = false;
-  std::vector<CscMatrix<IndexT, ValueT>> batch;
-  for (std::size_t begin = 0; begin < inputs.size(); begin += batch_size) {
-    const std::size_t end = std::min(inputs.size(), begin + batch_size);
-    // Reduce this batch (leave one slot for the accumulator so the batch
-    // plus running sum never exceeds batch_size live matrices).
-    batch.clear();
-    if (have_acc) batch.push_back(std::move(acc));
-    for (std::size_t i = begin; i < end; ++i) batch.push_back(inputs[i]);
-    acc = spkadd(std::span<const CscMatrix<IndexT, ValueT>>(batch), opts);
-    have_acc = true;
-  }
-  return acc;
+  Accumulator<IndexT, ValueT> acc(inputs[0].rows(), inputs[0].cols(), opts,
+                                  batch_size);
+  acc.add_batch(inputs);  // borrows; `inputs` outlives the call
+  return acc.finalize();
 }
 
 /// Convenience overload for vectors.

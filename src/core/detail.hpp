@@ -1,79 +1,243 @@
 // Shared plumbing for the SpKAdd drivers: input checking, the column-
-// parallel loop with per-thread counter reduction, and view gathering.
+// parallel loop with per-thread counter reduction, view gathering, and the
+// per-column cost scan feeding the Auto prescan and nnz-balanced schedule.
+//
+// The drivers' primary signatures take *pointer* spans
+// (span<const CscMatrix* const>) so callers that stream or batch addends —
+// the Accumulator, batched SpKAdd — can fold borrowed matrices without deep
+// copies. The helpers here are generic over both span flavors via deref().
 #pragma once
 
 #include <omp.h>
 
+#include <cstdint>
 #include <span>
 #include <stdexcept>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "core/options.hpp"
 #include "matrix/csc.hpp"
+#include "matrix/validate.hpp"
 
-namespace spkadd::core::detail {
+namespace spkadd::core {
 
-/// Throw unless all inputs share one shape; returns (rows, cols).
+/// Non-owning collection of conformant addends: the primary input type of
+/// the core drivers. Batches and streamed addends are spans of borrowed
+/// pointers, never copies.
 template <class IndexT, class ValueT>
-std::pair<IndexT, IndexT> check_conformant(
-    std::span<const CscMatrix<IndexT, ValueT>> inputs) {
+using MatrixPtrs = std::span<const CscMatrix<IndexT, ValueT>* const>;
+
+namespace detail {
+
+/// Uniform access for span<const CscMatrix> and span<const CscMatrix* const>
+/// elements.
+template <class IndexT, class ValueT>
+[[nodiscard]] inline const CscMatrix<IndexT, ValueT>& deref(
+    const CscMatrix<IndexT, ValueT>& m) {
+  return m;
+}
+template <class IndexT, class ValueT>
+[[nodiscard]] inline const CscMatrix<IndexT, ValueT>& deref(
+    const CscMatrix<IndexT, ValueT>* m) {
+  return *m;
+}
+
+/// Borrow every element of a value span as a pointer (k pointers — the
+/// only per-call cost of the value-span convenience API).
+template <class IndexT, class ValueT>
+void borrow_all(std::span<const CscMatrix<IndexT, ValueT>> inputs,
+                std::vector<const CscMatrix<IndexT, ValueT>*>& ptrs) {
+  ptrs.clear();
+  ptrs.reserve(inputs.size());
+  for (const auto& m : inputs) ptrs.push_back(&m);
+}
+
+/// Reject shapes where a row index can alias the hash kernels' empty-slot
+/// sentinel IndexT(-1) (the predicate lives in validate.hpp so validate()
+/// and the drivers agree on which shapes are legal): the kernels key on
+/// raw, unchecked row indices, and at the maximum unsigned row count an
+/// off-by-one index equal to the sentinel is silently mis-accumulated
+/// rather than detected.
+template <class IndexT>
+void check_sentinel_shape(IndexT rows) {
+  if (shape_hits_hash_sentinel(rows))
+    throw std::invalid_argument(
+        "spkadd: row count reaches the hash empty-slot sentinel "
+        "IndexT(-1); use a wider index type");
+}
+
+/// Throw unless all inputs share one shape (and that shape cannot collide
+/// with the hash sentinel); returns (rows, cols).
+template <class Element>
+auto check_conformant(std::span<Element> inputs) {
   if (inputs.empty())
     throw std::invalid_argument("spkadd: empty input collection");
-  const IndexT rows = inputs[0].rows();
-  const IndexT cols = inputs[0].cols();
-  for (const auto& m : inputs)
+  const auto& first = deref(inputs.front());
+  const auto rows = first.rows();
+  const auto cols = first.cols();
+  for (const auto& e : inputs) {
+    const auto& m = deref(e);
     if (m.rows() != rows || m.cols() != cols)
       throw std::invalid_argument("spkadd: inputs are not conformant");
-  return {rows, cols};
+  }
+  check_sentinel_shape(rows);
+  return std::pair{rows, cols};
 }
 
 /// Throw unless every input has sorted columns (merge/heap precondition).
-template <class IndexT, class ValueT>
-void require_sorted_inputs(std::span<const CscMatrix<IndexT, ValueT>> inputs,
-                           const char* algo) {
-  for (const auto& m : inputs)
-    if (!m.is_sorted())
+template <class Element>
+void require_sorted_inputs(std::span<Element> inputs, const char* algo) {
+  for (const auto& e : inputs)
+    if (!deref(e).is_sorted())
       throw std::invalid_argument(std::string(algo) +
                                   ": requires sorted input columns "
                                   "(set Options::inputs_sorted or sort)");
 }
 
+/// Sum of input nnz (work/I-O accounting unit of Table I).
+template <class Element>
+std::size_t total_nnz(std::span<Element> inputs) {
+  std::size_t t = 0;
+  for (const auto& e : inputs) t += deref(e).nnz();
+  return t;
+}
+
+/// One parallel O(k*n) pass over the per-column summed input nnz — the
+/// cost model shared by the Auto prescan (max over columns decides hash vs
+/// sliding hash), the symbolic phase and the nnz-balanced schedule. Stores
+/// the per-column totals when `costs` is non-null; returns the maximum.
+template <class Element>
+std::uint64_t scan_column_input_nnz(std::span<Element> inputs,
+                                    const Options& opts,
+                                    std::vector<std::uint64_t>* costs) {
+  using IndexT = std::decay_t<decltype(deref(inputs.front()).cols())>;
+  const IndexT cols = inputs.empty() ? IndexT{0} : deref(inputs.front()).cols();
+  if (costs) costs->assign(static_cast<std::size_t>(cols), 0);
+  const int nthreads =
+      opts.threads > 0 ? opts.threads : omp_get_max_threads();
+  std::uint64_t max_cost = 0;
+#pragma omp parallel for num_threads(nthreads) schedule(static) \
+    reduction(max : max_cost)
+  for (IndexT j = 0; j < cols; ++j) {
+    std::uint64_t t = 0;
+    for (const auto& e : inputs)
+      t += static_cast<std::uint64_t>(deref(e).col_nnz(j));
+    if (costs) (*costs)[static_cast<std::size_t>(j)] = t;
+    max_cost = std::max(max_cost, t);
+  }
+  return max_cost;
+}
+
+/// Fill `costs` with the per-column totals (scheduling + symbolic reuse).
+template <class Element>
+std::uint64_t column_input_nnz(std::span<Element> inputs, const Options& opts,
+                               std::vector<std::uint64_t>& costs) {
+  return scan_column_input_nnz(inputs, opts, &costs);
+}
+
+/// Max-only variant for callers that just need the heaviest column (the
+/// standalone Auto prescan entry points): O(1) extra memory.
+template <class Element>
+std::uint64_t max_column_input_nnz(std::span<Element> inputs,
+                                   const Options& opts) {
+  return scan_column_input_nnz(inputs, opts, nullptr);
+}
+
+/// Greedily cut [0, n) into chunks of roughly equal summed cost, about
+/// 8 chunks per thread so the dynamic chunk queue can still rebalance
+/// stragglers. Zero-cost tails collapse into the final chunk.
+template <class IndexT>
+void balance_chunks(std::span<const std::uint64_t> costs, int nthreads,
+                    std::vector<std::pair<IndexT, IndexT>>& chunks) {
+  chunks.clear();
+  const auto n = static_cast<IndexT>(costs.size());
+  if (n == 0) return;
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : costs) total += c;
+  const auto target = static_cast<std::uint64_t>(
+      std::max(1, nthreads) * 8);
+  const std::uint64_t per = std::max<std::uint64_t>(1, total / target);
+  IndexT begin = 0;
+  std::uint64_t acc = 0;
+  for (IndexT j = 0; j < n; ++j) {
+    acc += costs[static_cast<std::size_t>(j)];
+    if (acc >= per) {
+      chunks.push_back({begin, static_cast<IndexT>(j + 1)});
+      begin = static_cast<IndexT>(j + 1);
+      acc = 0;
+    }
+  }
+  if (begin < n) chunks.push_back({begin, n});
+}
+
 /// Column-parallel loop honoring Options::{threads, schedule}; `body` is
 /// called as body(j, OpCounters*) where the counter pointer is thread-
 /// private (or null when opts.counters is null) and reduced afterwards.
+/// With Schedule::NnzBalanced and a cost vector sized to n, the columns are
+/// pre-partitioned into cost-balanced chunks; otherwise NnzBalanced
+/// degrades to the dynamic schedule.
 template <class IndexT, class Body>
-void for_each_column(IndexT n, const Options& opts, Body&& body) {
+void for_each_column(IndexT n, const Options& opts,
+                     std::span<const std::uint64_t> costs, Body&& body) {
   const int nthreads =
       opts.threads > 0 ? opts.threads : omp_get_max_threads();
   std::vector<OpCounters> per(static_cast<std::size_t>(nthreads));
-  const bool dynamic = opts.schedule == Schedule::Dynamic;
 
+  const bool balanced = opts.schedule == Schedule::NnzBalanced &&
+                        costs.size() == static_cast<std::size_t>(n) && n > 0;
+  if (balanced) {
+    std::vector<std::pair<IndexT, IndexT>> chunks;
+    balance_chunks(costs, nthreads, chunks);
+    const auto nchunks = static_cast<std::int64_t>(chunks.size());
 #pragma omp parallel num_threads(nthreads)
-  {
-    OpCounters* c =
-        opts.counters
-            ? &per[static_cast<std::size_t>(omp_get_thread_num())]
-            : nullptr;
-    if (dynamic) {
+    {
+      OpCounters* c =
+          opts.counters
+              ? &per[static_cast<std::size_t>(omp_get_thread_num())]
+              : nullptr;
+#pragma omp for schedule(dynamic, 1) nowait
+      for (std::int64_t i = 0; i < nchunks; ++i)
+        for (IndexT j = chunks[static_cast<std::size_t>(i)].first;
+             j < chunks[static_cast<std::size_t>(i)].second; ++j)
+          body(j, c);
+    }
+  } else {
+    const bool dynamic = opts.schedule != Schedule::Static;
+#pragma omp parallel num_threads(nthreads)
+    {
+      OpCounters* c =
+          opts.counters
+              ? &per[static_cast<std::size_t>(omp_get_thread_num())]
+              : nullptr;
+      if (dynamic) {
 #pragma omp for schedule(dynamic, 8) nowait
-      for (IndexT j = 0; j < n; ++j) body(j, c);
-    } else {
+        for (IndexT j = 0; j < n; ++j) body(j, c);
+      } else {
 #pragma omp for schedule(static) nowait
-      for (IndexT j = 0; j < n; ++j) body(j, c);
+        for (IndexT j = 0; j < n; ++j) body(j, c);
+      }
     }
   }
   if (opts.counters)
     for (const auto& c : per) *opts.counters += c;
 }
 
+template <class IndexT, class Body>
+void for_each_column(IndexT n, const Options& opts, Body&& body) {
+  for_each_column(n, opts, std::span<const std::uint64_t>{},
+                  std::forward<Body>(body));
+}
+
 /// Gather the jth column views of all inputs into `views` (reused scratch);
 /// empty columns are skipped — they contribute nothing to any kernel.
-template <class IndexT, class ValueT>
-void gather_views(std::span<const CscMatrix<IndexT, ValueT>> inputs, IndexT j,
+template <class Element, class IndexT, class ValueT>
+void gather_views(std::span<Element> inputs, IndexT j,
                   std::vector<ColumnView<IndexT, ValueT>>& views) {
   views.clear();
-  for (const auto& m : inputs) {
-    auto col = m.column(j);
+  for (const auto& e : inputs) {
+    auto col = deref(e).column(j);
     if (!col.empty()) views.push_back(col);
   }
 }
@@ -87,4 +251,6 @@ std::uint64_t streamed_bytes(std::size_t input_nnz, std::size_t output_nnz) {
                   static_cast<std::uint64_t>(output_nnz));
 }
 
-}  // namespace spkadd::core::detail
+}  // namespace detail
+
+}  // namespace spkadd::core

@@ -6,6 +6,11 @@
 //   2. numeric — column-parallel loop filling each output slice with the
 //      method's kernel on thread-private scratch.
 // The loop is synchronization-free because output slices are disjoint.
+//
+// Primary signatures take borrowed matrix pointers (MatrixPtrs) plus an
+// optional Runtime: the streaming accumulator folds batches through these
+// without copying an input and with scratch that survives across calls.
+// Value-span overloads keep the one-shot convenience API.
 #pragma once
 
 #include <span>
@@ -20,14 +25,6 @@ namespace spkadd::core {
 
 namespace detail {
 
-/// Sum of input nnz (work/I-O accounting unit of Table I).
-template <class IndexT, class ValueT>
-std::size_t total_nnz(std::span<const CscMatrix<IndexT, ValueT>> inputs) {
-  std::size_t t = 0;
-  for (const auto& m : inputs) t += m.nnz();
-  return t;
-}
-
 /// Allocate the result from per-column counts.
 template <class IndexT, class ValueT>
 CscMatrix<IndexT, ValueT> shell_from_counts(IndexT rows, IndexT cols,
@@ -37,36 +34,47 @@ CscMatrix<IndexT, ValueT> shell_from_counts(IndexT rows, IndexT cols,
   return out;
 }
 
+/// Shared driver prologue: pick the runtime, grow its thread pool, and make
+/// sure the per-column costs exist when the schedule wants them.
+template <class IndexT, class ValueT>
+Runtime<IndexT, ValueT>& prepare_runtime(MatrixPtrs<IndexT, ValueT> inputs,
+                                         const Options& opts, IndexT cols,
+                                         Runtime<IndexT, ValueT>* rt,
+                                         Runtime<IndexT, ValueT>& local) {
+  Runtime<IndexT, ValueT>& R = rt ? *rt : local;
+  R.ensure_threads(opts.threads > 0 ? opts.threads
+                                    : util::current_max_threads());
+  if (opts.schedule == Schedule::NnzBalanced &&
+      R.col_costs.size() != static_cast<std::size_t>(cols))
+    column_input_nnz(inputs, opts, R.col_costs);
+  return R;
+}
+
 }  // namespace detail
 
 /// Alg. 3 driver: k-way heap merge per column. Requires sorted inputs;
 /// output always sorted.
 template <class IndexT, class ValueT>
 [[nodiscard]] CscMatrix<IndexT, ValueT> spkadd_heap(
-    std::span<const CscMatrix<IndexT, ValueT>> inputs,
-    const Options& opts = {}) {
+    MatrixPtrs<IndexT, ValueT> inputs, const Options& opts = {},
+    Runtime<IndexT, ValueT>* rt = nullptr) {
   const auto [rows, cols] = detail::check_conformant(inputs);
   if (!opts.inputs_sorted)
     throw std::invalid_argument("spkadd_heap: requires sorted inputs");
   detail::require_sorted_inputs(inputs, "spkadd_heap");
 
+  Runtime<IndexT, ValueT> local;
+  auto& R = detail::prepare_runtime(inputs, opts, cols, rt, local);
   const std::vector<IndexT> counts =
-      symbolic_nnz_per_column(inputs, opts, /*sliding=*/false);
+      symbolic_nnz_per_column(inputs, opts, /*sliding=*/false, &R);
   auto out = detail::shell_from_counts<IndexT, ValueT>(rows, cols, counts);
   auto* out_rows = out.mutable_row_idx().data();
   auto* out_vals = out.mutable_values().data();
   const auto cp = out.col_ptr();
 
-  const int nthreads =
-      opts.threads > 0 ? opts.threads : util::current_max_threads();
-  struct Scratch {
-    HeapWorkspace<IndexT> heap;
-    std::vector<ColumnView<IndexT, ValueT>> views;
-  };
-  std::vector<Scratch> scratch(static_cast<std::size_t>(nthreads));
-
-  detail::for_each_column(cols, opts, [&](IndexT j, OpCounters* c) {
-    auto& s = scratch[static_cast<std::size_t>(omp_get_thread_num())];
+  detail::for_each_column(cols, opts, R.costs_for(cols),
+                          [&](IndexT j, OpCounters* c) {
+    auto& s = R.scratch[static_cast<std::size_t>(omp_get_thread_num())];
     detail::gather_views(inputs, j, s.views);
     const auto lo = static_cast<std::size_t>(cp[static_cast<std::size_t>(j)]);
     heap_add_column(std::span<const ColumnView<IndexT, ValueT>>(s.views),
@@ -82,28 +90,24 @@ template <class IndexT, class ValueT>
 /// weakness the paper's Fig. 3 exposes at high thread counts.
 template <class IndexT, class ValueT>
 [[nodiscard]] CscMatrix<IndexT, ValueT> spkadd_spa(
-    std::span<const CscMatrix<IndexT, ValueT>> inputs,
-    const Options& opts = {}) {
+    MatrixPtrs<IndexT, ValueT> inputs, const Options& opts = {},
+    Runtime<IndexT, ValueT>* rt = nullptr) {
   const auto [rows, cols] = detail::check_conformant(inputs);
+  Runtime<IndexT, ValueT> local;
+  auto& R = detail::prepare_runtime(inputs, opts, cols, rt, local);
   const std::vector<IndexT> counts =
-      symbolic_nnz_per_column(inputs, opts, /*sliding=*/false);
+      symbolic_nnz_per_column(inputs, opts, /*sliding=*/false, &R);
   auto out = detail::shell_from_counts<IndexT, ValueT>(rows, cols, counts);
   auto* out_rows = out.mutable_row_idx().data();
   auto* out_vals = out.mutable_values().data();
   const auto cp = out.col_ptr();
 
-  const int nthreads =
-      opts.threads > 0 ? opts.threads : util::current_max_threads();
-  struct Scratch {
-    SpaWorkspace<IndexT, ValueT> spa;
-    std::vector<ColumnView<IndexT, ValueT>> views;
-  };
-  std::vector<Scratch> scratch(static_cast<std::size_t>(nthreads));
-
   const bool sorted = opts.sorted_output;
-  detail::for_each_column(cols, opts, [&](IndexT j, OpCounters* c) {
-    auto& s = scratch[static_cast<std::size_t>(omp_get_thread_num())];
-    s.spa.ensure_rows(static_cast<std::size_t>(rows));
+  const IndexT rows_copy = rows;
+  detail::for_each_column(cols, opts, R.costs_for(cols),
+                          [&](IndexT j, OpCounters* c) {
+    auto& s = R.scratch[static_cast<std::size_t>(omp_get_thread_num())];
+    s.spa.ensure_rows(static_cast<std::size_t>(rows_copy));
     detail::gather_views(inputs, j, s.views);
     const auto lo = static_cast<std::size_t>(cp[static_cast<std::size_t>(j)]);
     spa_add_column(std::span<const ColumnView<IndexT, ValueT>>(s.views), s.spa,
@@ -119,27 +123,22 @@ template <class IndexT, class ValueT>
 /// nnz(B(:,j)). Inputs may be unsorted; output sorted iff requested.
 template <class IndexT, class ValueT>
 [[nodiscard]] CscMatrix<IndexT, ValueT> spkadd_hash(
-    std::span<const CscMatrix<IndexT, ValueT>> inputs,
-    const Options& opts = {}) {
+    MatrixPtrs<IndexT, ValueT> inputs, const Options& opts = {},
+    Runtime<IndexT, ValueT>* rt = nullptr) {
   const auto [rows, cols] = detail::check_conformant(inputs);
+  Runtime<IndexT, ValueT> local;
+  auto& R = detail::prepare_runtime(inputs, opts, cols, rt, local);
   const std::vector<IndexT> counts =
-      symbolic_nnz_per_column(inputs, opts, /*sliding=*/false);
+      symbolic_nnz_per_column(inputs, opts, /*sliding=*/false, &R);
   auto out = detail::shell_from_counts<IndexT, ValueT>(rows, cols, counts);
   auto* out_rows = out.mutable_row_idx().data();
   auto* out_vals = out.mutable_values().data();
   const auto cp = out.col_ptr();
 
-  const int nthreads =
-      opts.threads > 0 ? opts.threads : util::current_max_threads();
-  struct Scratch {
-    HashWorkspace<IndexT, ValueT> table;
-    std::vector<ColumnView<IndexT, ValueT>> views;
-  };
-  std::vector<Scratch> scratch(static_cast<std::size_t>(nthreads));
-
   const bool sorted = opts.sorted_output;
-  detail::for_each_column(cols, opts, [&](IndexT j, OpCounters* c) {
-    auto& s = scratch[static_cast<std::size_t>(omp_get_thread_num())];
+  detail::for_each_column(cols, opts, R.costs_for(cols),
+                          [&](IndexT j, OpCounters* c) {
+    auto& s = R.scratch[static_cast<std::size_t>(omp_get_thread_num())];
     detail::gather_views(inputs, j, s.views);
     const auto lo = static_cast<std::size_t>(cp[static_cast<std::size_t>(j)]);
     const auto expected = static_cast<std::size_t>(
@@ -161,11 +160,13 @@ template <class IndexT, class ValueT>
 /// search on sorted inputs and by filtering otherwise.
 template <class IndexT, class ValueT>
 [[nodiscard]] CscMatrix<IndexT, ValueT> spkadd_sliding_hash(
-    std::span<const CscMatrix<IndexT, ValueT>> inputs,
-    const Options& opts = {}) {
+    MatrixPtrs<IndexT, ValueT> inputs, const Options& opts = {},
+    Runtime<IndexT, ValueT>* rt = nullptr) {
   const auto [rows, cols] = detail::check_conformant(inputs);
+  Runtime<IndexT, ValueT> local;
+  auto& R = detail::prepare_runtime(inputs, opts, cols, rt, local);
   const std::vector<IndexT> counts =
-      symbolic_nnz_per_column(inputs, opts, /*sliding=*/true);
+      symbolic_nnz_per_column(inputs, opts, /*sliding=*/true, &R);
   auto out = detail::shell_from_counts<IndexT, ValueT>(rows, cols, counts);
   auto* out_rows = out.mutable_row_idx().data();
   auto* out_vals = out.mutable_values().data();
@@ -173,24 +174,12 @@ template <class IndexT, class ValueT>
 
   const std::size_t cap =
       detail::table_entry_cap(opts, sizeof(IndexT) + sizeof(ValueT));
-  const int nthreads =
-      opts.threads > 0 ? opts.threads : util::current_max_threads();
-  struct Scratch {
-    HashWorkspace<IndexT, ValueT> table;
-    SymbolicHashWorkspace<IndexT> sym_table;
-    std::vector<ColumnView<IndexT, ValueT>> views;
-    std::vector<ColumnView<IndexT, ValueT>> part_views;
-    std::vector<IndexT> rows_scratch;
-    std::vector<ValueT> vals_scratch;
-    std::vector<std::size_t> bounds;
-  };
-  std::vector<Scratch> scratch(static_cast<std::size_t>(nthreads));
-
   const bool sorted = opts.sorted_output;
   const bool inputs_sorted = opts.inputs_sorted;
   const IndexT rows_copy = rows;
-  detail::for_each_column(cols, opts, [&](IndexT j, OpCounters* c) {
-    auto& s = scratch[static_cast<std::size_t>(omp_get_thread_num())];
+  detail::for_each_column(cols, opts, R.costs_for(cols),
+                          [&](IndexT j, OpCounters* c) {
+    auto& s = R.scratch[static_cast<std::size_t>(omp_get_thread_num())];
     detail::gather_views(inputs, j, s.views);
     const std::span<const ColumnView<IndexT, ValueT>> views(s.views);
     const auto onz = static_cast<std::size_t>(
@@ -243,6 +232,43 @@ template <class IndexT, class ValueT>
     opts.counters->bytes_moved += detail::streamed_bytes<IndexT, ValueT>(
         detail::total_nnz(inputs), out.nnz());
   return out;
+}
+
+// Value-span convenience overloads: borrow the matrices and forward.
+template <class IndexT, class ValueT>
+[[nodiscard]] CscMatrix<IndexT, ValueT> spkadd_heap(
+    std::span<const CscMatrix<IndexT, ValueT>> inputs,
+    const Options& opts = {}) {
+  std::vector<const CscMatrix<IndexT, ValueT>*> ptrs;
+  detail::borrow_all(inputs, ptrs);
+  return spkadd_heap(MatrixPtrs<IndexT, ValueT>(ptrs), opts);
+}
+
+template <class IndexT, class ValueT>
+[[nodiscard]] CscMatrix<IndexT, ValueT> spkadd_spa(
+    std::span<const CscMatrix<IndexT, ValueT>> inputs,
+    const Options& opts = {}) {
+  std::vector<const CscMatrix<IndexT, ValueT>*> ptrs;
+  detail::borrow_all(inputs, ptrs);
+  return spkadd_spa(MatrixPtrs<IndexT, ValueT>(ptrs), opts);
+}
+
+template <class IndexT, class ValueT>
+[[nodiscard]] CscMatrix<IndexT, ValueT> spkadd_hash(
+    std::span<const CscMatrix<IndexT, ValueT>> inputs,
+    const Options& opts = {}) {
+  std::vector<const CscMatrix<IndexT, ValueT>*> ptrs;
+  detail::borrow_all(inputs, ptrs);
+  return spkadd_hash(MatrixPtrs<IndexT, ValueT>(ptrs), opts);
+}
+
+template <class IndexT, class ValueT>
+[[nodiscard]] CscMatrix<IndexT, ValueT> spkadd_sliding_hash(
+    std::span<const CscMatrix<IndexT, ValueT>> inputs,
+    const Options& opts = {}) {
+  std::vector<const CscMatrix<IndexT, ValueT>*> ptrs;
+  detail::borrow_all(inputs, ptrs);
+  return spkadd_sliding_hash(MatrixPtrs<IndexT, ValueT>(ptrs), opts);
 }
 
 }  // namespace spkadd::core

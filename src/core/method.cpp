@@ -17,4 +17,13 @@ std::string method_name(Method m) {
   return "?";
 }
 
+std::string schedule_name(Schedule s) {
+  switch (s) {
+    case Schedule::Dynamic: return "dynamic";
+    case Schedule::Static: return "static";
+    case Schedule::NnzBalanced: return "nnz-balanced";
+  }
+  return "?";
+}
+
 }  // namespace spkadd::core

@@ -25,8 +25,14 @@ enum class Method {
 
 /// Loop schedule for the column-parallel outer loop. The paper uses dynamic
 /// scheduling keyed on per-column nnz to balance skewed (RMAT) workloads;
-/// Static is kept for the ablation bench.
-enum class Schedule { Dynamic, Static };
+/// Static is kept for the ablation bench. NnzBalanced pre-partitions the
+/// columns into cost-balanced chunks from the per-column input-nnz totals
+/// (computed once, in parallel, and shared with the Auto prescan and the
+/// symbolic phase) so skewed columns no longer serialize behind a fixed
+/// chunk width.
+enum class Schedule { Dynamic, Static, NnzBalanced };
+
+[[nodiscard]] std::string schedule_name(Schedule s);
 
 /// Operation counters, filled when Options::counters is non-null. These
 /// measure the "Work" and "I/O (from memory)" columns of Table I so the

@@ -8,6 +8,11 @@
 // hash vs sliding hash, decided by whether all threads' numeric-phase hash
 // tables fit in the last-level cache. For tiny k on skewed inputs the 2-way
 // tree/heap corner of Fig. 2 is honored.
+//
+// The Auto prescan (max per-column input nnz) runs as one parallel pass
+// whose per-column totals land in the call's Runtime, where the symbolic
+// phase and the nnz-balanced schedule reuse them — the scan is paid once
+// per call, not once per consumer.
 #pragma once
 
 #include <span>
@@ -21,64 +26,111 @@
 
 namespace spkadd::core {
 
-/// Estimate whether the numeric-phase hash tables of all threads overflow
-/// the LLC budget: b * T * max-column output nnz > M, with output nnz
-/// approximated by the per-column *input* nnz upper bound (cheap, no
-/// symbolic pass; overestimates by at most the compression factor, which
-/// only moves the boundary toward sliding hash — the safe direction).
+/// The Fig. 2 cache-residency test on a precomputed heaviest-column input
+/// nnz: b * T * max-column nnz > M. Output nnz is approximated by the
+/// per-column *input* nnz upper bound (overestimates by at most the
+/// compression factor, which only moves the boundary toward sliding hash —
+/// the safe direction).
 template <class IndexT, class ValueT>
-[[nodiscard]] bool auto_prefers_sliding(
-    std::span<const CscMatrix<IndexT, ValueT>> inputs, const Options& opts) {
-  const IndexT cols = inputs.empty() ? 0 : inputs[0].cols();
-  std::size_t max_col_nnz = 0;
-  for (IndexT j = 0; j < cols; ++j) {
-    std::size_t col = 0;
-    for (const auto& m : inputs) col += m.col_nnz(j);
-    max_col_nnz = std::max(max_col_nnz, col);
-  }
+[[nodiscard]] bool tables_overflow_llc(std::uint64_t max_col_nnz,
+                                       const Options& opts) {
   const std::size_t b = sizeof(IndexT) + sizeof(ValueT);
   const int threads =
       opts.threads > 0 ? opts.threads : util::current_max_threads();
   const std::size_t llc =
       opts.llc_bytes != 0 ? opts.llc_bytes : util::effective_llc_bytes();
-  return b * static_cast<std::size_t>(threads) * max_col_nnz > llc;
+  return b * static_cast<std::size_t>(threads) *
+             static_cast<std::size_t>(max_col_nnz) >
+         llc;
+}
+
+/// Estimate whether the numeric-phase hash tables of all threads overflow
+/// the LLC budget. The per-column scan runs in parallel (it used to be a
+/// serial O(k*n) prepended to every Auto call).
+template <class IndexT, class ValueT>
+[[nodiscard]] bool auto_prefers_sliding(
+    std::span<const CscMatrix<IndexT, ValueT>> inputs, const Options& opts) {
+  return tables_overflow_llc<IndexT, ValueT>(
+      detail::max_column_input_nnz(inputs, opts), opts);
+}
+
+/// Pick a concrete method for Method::Auto from a precomputed heaviest
+/// column (internal fast path: the caller already owns the cost scan).
+template <class IndexT, class ValueT>
+[[nodiscard]] Method auto_select_from_max(std::size_t k, bool inputs_sorted,
+                                          std::uint64_t max_col_nnz,
+                                          const Options& opts) {
+  if (k <= 2 && inputs_sorted) return Method::TwoWayTree;
+  return tables_overflow_llc<IndexT, ValueT>(max_col_nnz, opts)
+             ? Method::SlidingHash
+             : Method::Hash;
 }
 
 /// Pick a concrete method for Method::Auto (exposed for tests/benches).
 template <class IndexT, class ValueT>
 [[nodiscard]] Method auto_select(
     std::span<const CscMatrix<IndexT, ValueT>> inputs, const Options& opts) {
-  if (inputs.size() <= 2 && opts.inputs_sorted) return Method::TwoWayTree;
-  return auto_prefers_sliding(inputs, opts) ? Method::SlidingHash
-                                            : Method::Hash;
+  return auto_select_from_max<IndexT, ValueT>(
+      inputs.size(), opts.inputs_sorted,
+      detail::max_column_input_nnz(inputs, opts), opts);
 }
 
-/// Add a collection of conformant sparse matrices: B = sum_i inputs[i].
+/// Add a collection of borrowed conformant sparse matrices:
+/// B = sum_i *inputs[i]. The primary entry point: batched and streaming
+/// callers (Accumulator, spkadd_batched) fold through here without copying
+/// an input, and a caller-owned Runtime keeps the per-thread scratch and
+/// the per-column cost scan alive across calls.
 template <class IndexT, class ValueT>
 [[nodiscard]] CscMatrix<IndexT, ValueT> spkadd(
-    std::span<const CscMatrix<IndexT, ValueT>> inputs,
-    const Options& opts = {}) {
+    MatrixPtrs<IndexT, ValueT> inputs, const Options& opts = {},
+    Runtime<IndexT, ValueT>* rt = nullptr) {
   detail::check_conformant(inputs);
   if (inputs.size() == 1) {
-    CscMatrix<IndexT, ValueT> out = inputs[0];
+    CscMatrix<IndexT, ValueT> out = *inputs[0];
     if (opts.sorted_output && !out.is_sorted()) out.sort_columns();
     return out;
   }
+  Runtime<IndexT, ValueT> local;
+  Runtime<IndexT, ValueT>& R = rt ? *rt : local;
+  R.col_costs.clear();  // never let a previous call's totals leak downstream
   Method method = opts.method;
-  if (method == Method::Auto) method = auto_select(inputs, opts);
+  // Fig. 2's 2-way corner needs no column scan; resolve it first so tiny-k
+  // Auto calls (e.g. pairwise accumulator folds) stay O(1) in dispatch.
+  if (method == Method::Auto && inputs.size() <= 2 && opts.inputs_sorted)
+    method = Method::TwoWayTree;
+  // Only the column-loop drivers consume costs; TwoWay*/Reference* never
+  // schedule by them, so skip the scan for those even under NnzBalanced.
+  const bool kway_driver =
+      method == Method::Auto || method == Method::Heap ||
+      method == Method::Spa || method == Method::Hash ||
+      method == Method::SlidingHash;
+  const bool want_costs =
+      opts.schedule == Schedule::NnzBalanced && kway_driver;
+  if (method == Method::Auto || want_costs) {
+    // One parallel scan: the per-column totals are kept only when the
+    // balanced schedule (and through it the symbolic phase) will read
+    // them; the Auto decision alone needs just the max. Always recomputed
+    // here: a persistent Runtime may hold the previous call's totals.
+    const std::uint64_t max_col_nnz =
+        want_costs ? detail::column_input_nnz(inputs, opts, R.col_costs)
+                   : detail::max_column_input_nnz(inputs, opts);
+    if (method == Method::Auto)
+      method = auto_select_from_max<IndexT, ValueT>(
+          inputs.size(), opts.inputs_sorted, max_col_nnz, opts);
+  }
   switch (method) {
     case Method::TwoWayIncremental:
       return spkadd_twoway_incremental(inputs, opts);
     case Method::TwoWayTree:
       return spkadd_twoway_tree(inputs, opts);
     case Method::Heap:
-      return spkadd_heap(inputs, opts);
+      return spkadd_heap(inputs, opts, &R);
     case Method::Spa:
-      return spkadd_spa(inputs, opts);
+      return spkadd_spa(inputs, opts, &R);
     case Method::Hash:
-      return spkadd_hash(inputs, opts);
+      return spkadd_hash(inputs, opts, &R);
     case Method::SlidingHash:
-      return spkadd_sliding_hash(inputs, opts);
+      return spkadd_sliding_hash(inputs, opts, &R);
     case Method::ReferenceIncremental:
       return spkadd_reference_incremental(inputs);
     case Method::ReferenceTree:
@@ -87,6 +139,16 @@ template <class IndexT, class ValueT>
       break;  // unreachable: resolved above
   }
   throw std::logic_error("spkadd: unresolved method");
+}
+
+/// Add a collection of conformant sparse matrices: B = sum_i inputs[i].
+template <class IndexT, class ValueT>
+[[nodiscard]] CscMatrix<IndexT, ValueT> spkadd(
+    std::span<const CscMatrix<IndexT, ValueT>> inputs,
+    const Options& opts = {}) {
+  std::vector<const CscMatrix<IndexT, ValueT>*> ptrs;
+  detail::borrow_all(inputs, ptrs);
+  return spkadd(MatrixPtrs<IndexT, ValueT>(ptrs), opts);
 }
 
 /// Convenience overload for a vector of matrices.

@@ -5,6 +5,10 @@
 // the hash-based symbolic kernel, optionally using the sliding partition of
 // Alg. 7 so symbolic tables stay inside the last-level cache. The symbolic
 // table stores keys only (b = sizeof(IndexT) bytes per entry).
+//
+// The primary entry point takes borrowed matrix pointers plus an optional
+// Runtime whose per-thread scratch and per-column cost vector are reused
+// across calls (the streaming accumulator's workspace-persistence path).
 #pragma once
 
 #include <span>
@@ -73,31 +77,20 @@ void filter_range(std::span<const ColumnView<IndexT, ValueT>> views, IndexT r1,
 
 }  // namespace detail
 
-/// Scratch owned by one thread across the symbolic loop (kept out of the
-/// inner loop so tables/buffers are reused column to column).
-template <class IndexT, class ValueT>
-struct SymbolicScratch {
-  SymbolicHashWorkspace<IndexT> table;
-  std::vector<ColumnView<IndexT, ValueT>> views;
-  std::vector<ColumnView<IndexT, ValueT>> part_views;
-  std::vector<IndexT> rows_scratch;
-  std::vector<ValueT> vals_scratch;
-  std::vector<std::size_t> bounds;
-};
-
 /// Alg. 7 for one column: plain hash symbolic when the table fits the cache
-/// budget, otherwise slide over `parts` row ranges.
+/// budget, otherwise slide over `parts` row ranges. Scratch is the shared
+/// per-thread superset (symbolic uses its sym_table + view buffers).
 template <class IndexT, class ValueT>
 std::size_t sliding_symbolic_column(
     std::span<const ColumnView<IndexT, ValueT>> views, IndexT rows,
     std::size_t cap_entries, bool inputs_sorted,
-    SymbolicScratch<IndexT, ValueT>& scratch, OpCounters* counters) {
+    ThreadScratch<IndexT, ValueT>& scratch, OpCounters* counters) {
   std::size_t inz = 0;
   for (const auto& v : views) inz += v.nnz();
   if (inz == 0) return 0;
   const std::size_t parts = util::ceil_div(inz, cap_entries);
   if (parts <= 1)
-    return hash_symbolic_column(views, scratch.table, counters);
+    return hash_symbolic_column(views, scratch.sym_table, counters);
 
   std::size_t nz = 0;
   for (std::size_t p = 0; p < parts; ++p) {
@@ -118,37 +111,56 @@ std::size_t sliding_symbolic_column(
     }
     nz += hash_symbolic_column(
         std::span<const ColumnView<IndexT, ValueT>>(scratch.part_views),
-        scratch.table, counters);
+        scratch.sym_table, counters);
   }
   return nz;
 }
 
-/// Compute nnz(B(:,j)) for every column. `sliding` selects Alg. 7 (cache-
-/// capped tables) vs plain Alg. 6.
+/// Compute nnz(B(:,j)) for every column of the borrowed addends. `sliding`
+/// selects Alg. 7 (cache-capped tables) vs plain Alg. 6. When `rt` is
+/// given, its thread scratch is reused (only grown, never re-allocated per
+/// call) and its per-column cost vector — if already computed for these
+/// inputs — drives the nnz-balanced schedule and skips empty columns.
 template <class IndexT, class ValueT>
 std::vector<IndexT> symbolic_nnz_per_column(
-    std::span<const CscMatrix<IndexT, ValueT>> inputs, const Options& opts,
-    bool sliding) {
+    MatrixPtrs<IndexT, ValueT> inputs, const Options& opts, bool sliding,
+    Runtime<IndexT, ValueT>* rt = nullptr) {
   const auto [rows, cols] = detail::check_conformant(inputs);
   std::vector<IndexT> counts(static_cast<std::size_t>(cols));
   const std::size_t cap =
       sliding ? detail::table_entry_cap(opts, sizeof(IndexT)) : 0;
 
-  std::vector<SymbolicScratch<IndexT, ValueT>> scratch(
-      static_cast<std::size_t>(
-          opts.threads > 0 ? opts.threads : util::current_max_threads()));
+  Runtime<IndexT, ValueT> local;
+  Runtime<IndexT, ValueT>& R = rt ? *rt : local;
+  R.ensure_threads(opts.threads > 0 ? opts.threads
+                                    : util::current_max_threads());
+  // Costs steer the chunk schedule only — never skip work from them: a
+  // persistent Runtime may carry the previous fold's totals.
+  const auto costs = R.costs_for(cols);
   const IndexT rows_copy = rows;
-  detail::for_each_column(cols, opts, [&](IndexT j, OpCounters* c) {
-    auto& s = scratch[static_cast<std::size_t>(omp_get_thread_num())];
+  detail::for_each_column(cols, opts, costs, [&](IndexT j, OpCounters* c) {
+    auto& s = R.scratch[static_cast<std::size_t>(omp_get_thread_num())];
     detail::gather_views(inputs, j, s.views);
     const std::span<const ColumnView<IndexT, ValueT>> views(s.views);
     const std::size_t nz =
         sliding ? sliding_symbolic_column(views, rows_copy, cap,
                                           opts.inputs_sorted, s, c)
-                : hash_symbolic_column(views, s.table, c);
+                : hash_symbolic_column(views, s.sym_table, c);
     counts[static_cast<std::size_t>(j)] = static_cast<IndexT>(nz);
   });
   return counts;
+}
+
+/// Value-span convenience overload (tests/benches): borrows the matrices
+/// and forwards.
+template <class IndexT, class ValueT>
+std::vector<IndexT> symbolic_nnz_per_column(
+    std::span<const CscMatrix<IndexT, ValueT>> inputs, const Options& opts,
+    bool sliding) {
+  std::vector<const CscMatrix<IndexT, ValueT>*> ptrs;
+  detail::borrow_all(inputs, ptrs);
+  return symbolic_nnz_per_column(MatrixPtrs<IndexT, ValueT>(ptrs), opts,
+                                 sliding);
 }
 
 }  // namespace spkadd::core

@@ -51,53 +51,72 @@ template <class IndexT, class ValueT>
   return out;
 }
 
-/// Alg. 1: incremental (left fold) 2-way SpKAdd.
+/// Alg. 1: incremental (left fold) 2-way SpKAdd over borrowed addends.
 template <class IndexT, class ValueT>
 [[nodiscard]] CscMatrix<IndexT, ValueT> spkadd_twoway_incremental(
-    std::span<const CscMatrix<IndexT, ValueT>> inputs,
-    const Options& opts = {}) {
+    MatrixPtrs<IndexT, ValueT> inputs, const Options& opts = {}) {
   detail::check_conformant(inputs);
   if (opts.inputs_sorted)
     detail::require_sorted_inputs(inputs, "spkadd_twoway_incremental");
   else
     throw std::invalid_argument(
         "spkadd_twoway_incremental: requires sorted inputs");
-  CscMatrix<IndexT, ValueT> acc = inputs[0];
+  CscMatrix<IndexT, ValueT> acc = *inputs[0];
   for (std::size_t i = 1; i < inputs.size(); ++i)
-    acc = add2(acc, inputs[i], opts);
+    acc = add2(acc, *inputs[i], opts);
   return acc;
 }
 
-/// Balanced-tree 2-way SpKAdd: leaves are the inputs, each level halves the
-/// count. Intermediate results are materialized (that is the point: the
-/// algorithm's I/O is O(lg k * sum nnz)).
+/// Balanced-tree 2-way SpKAdd: leaves are the borrowed inputs, each level
+/// halves the count. Intermediate results are materialized (that is the
+/// point: the algorithm's I/O is O(lg k * sum nnz)); odd leftovers carry
+/// to the next level by pointer, never by copy. `storage` never exceeds
+/// k-1 intermediates, reserved up front so the borrowed pointers into it
+/// stay stable.
 template <class IndexT, class ValueT>
 [[nodiscard]] CscMatrix<IndexT, ValueT> spkadd_twoway_tree(
-    std::span<const CscMatrix<IndexT, ValueT>> inputs,
-    const Options& opts = {}) {
+    MatrixPtrs<IndexT, ValueT> inputs, const Options& opts = {}) {
   detail::check_conformant(inputs);
   if (!opts.inputs_sorted)
     throw std::invalid_argument("spkadd_twoway_tree: requires sorted inputs");
   detail::require_sorted_inputs(inputs, "spkadd_twoway_tree");
-  if (inputs.size() == 1) return inputs[0];
+  if (inputs.size() == 1) return *inputs[0];
 
-  // First level reads the inputs directly; later levels consume the
-  // intermediate vector.
-  std::vector<CscMatrix<IndexT, ValueT>> level;
-  level.reserve((inputs.size() + 1) / 2);
-  for (std::size_t i = 0; i + 1 < inputs.size(); i += 2)
-    level.push_back(add2(inputs[i], inputs[i + 1], opts));
-  if (inputs.size() % 2 != 0) level.push_back(inputs.back());
-
+  std::vector<CscMatrix<IndexT, ValueT>> storage;
+  storage.reserve(inputs.size() - 1);  // exactly k-1 adds across all levels
+  std::vector<const CscMatrix<IndexT, ValueT>*> level(inputs.begin(),
+                                                      inputs.end());
+  std::vector<const CscMatrix<IndexT, ValueT>*> next;
   while (level.size() > 1) {
-    std::vector<CscMatrix<IndexT, ValueT>> next;
+    next.clear();
     next.reserve((level.size() + 1) / 2);
-    for (std::size_t i = 0; i + 1 < level.size(); i += 2)
-      next.push_back(add2(level[i], level[i + 1], opts));
-    if (level.size() % 2 != 0) next.push_back(std::move(level.back()));
-    level = std::move(next);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      storage.push_back(add2(*level[i], *level[i + 1], opts));
+      next.push_back(&storage.back());
+    }
+    if (level.size() % 2 != 0) next.push_back(level.back());
+    std::swap(level, next);
   }
-  return std::move(level.front());
+  return std::move(storage.back());
+}
+
+// Value-span convenience overloads: borrow the matrices and forward.
+template <class IndexT, class ValueT>
+[[nodiscard]] CscMatrix<IndexT, ValueT> spkadd_twoway_incremental(
+    std::span<const CscMatrix<IndexT, ValueT>> inputs,
+    const Options& opts = {}) {
+  std::vector<const CscMatrix<IndexT, ValueT>*> ptrs;
+  detail::borrow_all(inputs, ptrs);
+  return spkadd_twoway_incremental(MatrixPtrs<IndexT, ValueT>(ptrs), opts);
+}
+
+template <class IndexT, class ValueT>
+[[nodiscard]] CscMatrix<IndexT, ValueT> spkadd_twoway_tree(
+    std::span<const CscMatrix<IndexT, ValueT>> inputs,
+    const Options& opts = {}) {
+  std::vector<const CscMatrix<IndexT, ValueT>*> ptrs;
+  detail::borrow_all(inputs, ptrs);
+  return spkadd_twoway_tree(MatrixPtrs<IndexT, ValueT>(ptrs), opts);
 }
 
 }  // namespace spkadd::core

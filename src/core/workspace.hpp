@@ -7,9 +7,12 @@
 // cache; the SPA avoids O(m) clearing per column with generation stamps.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "matrix/column_view.hpp"
 #include "util/bit_ops.hpp"
 
 namespace spkadd::core {
@@ -122,6 +125,76 @@ struct HeapWorkspace {
   void ensure_k(std::size_t k) {
     if (nodes.capacity() < k) nodes.reserve(k);
     if (cursor.size() < k) cursor.resize(k);
+  }
+};
+
+/// Everything one thread needs across any SpKAdd phase: the four method
+/// scratch structures plus the view/partition buffers of the symbolic and
+/// sliding passes. One superset struct (rather than one per driver) lets a
+/// single pool serve symbolic + numeric phases and every method, so a
+/// streaming accumulator can keep the scratch hot across batches.
+template <class IndexT, class ValueT>
+struct ThreadScratch {
+  HashWorkspace<IndexT, ValueT> table;
+  SymbolicHashWorkspace<IndexT> sym_table;
+  SpaWorkspace<IndexT, ValueT> spa;
+  HeapWorkspace<IndexT> heap;
+  std::vector<ColumnView<IndexT, ValueT>> views;
+  std::vector<ColumnView<IndexT, ValueT>> part_views;
+  std::vector<IndexT> rows_scratch;
+  std::vector<ValueT> vals_scratch;
+  std::vector<std::size_t> bounds;
+
+  /// Bytes of backing storage currently held (footprint reporting and the
+  /// no-regrowth reuse tests).
+  [[nodiscard]] std::size_t storage_bytes() const {
+    return table.keys.capacity() * sizeof(IndexT) +
+           table.vals.capacity() * sizeof(ValueT) +
+           sym_table.keys.capacity() * sizeof(IndexT) +
+           spa.values.capacity() * sizeof(ValueT) +
+           spa.stamp.capacity() * sizeof(std::uint32_t) +
+           spa.touched.capacity() * sizeof(IndexT) +
+           heap.nodes.capacity() * sizeof(typename HeapWorkspace<IndexT>::Node) +
+           heap.cursor.capacity() * sizeof(std::size_t) +
+           views.capacity() * sizeof(ColumnView<IndexT, ValueT>) +
+           part_views.capacity() * sizeof(ColumnView<IndexT, ValueT>) +
+           rows_scratch.capacity() * sizeof(IndexT) +
+           vals_scratch.capacity() * sizeof(ValueT) +
+           bounds.capacity() * sizeof(std::size_t);
+  }
+};
+
+/// Per-call execution context that is *reusable across calls*: the
+/// per-thread scratch pool and the per-column input-nnz totals driving both
+/// the Auto prescan and nnz-balanced scheduling. Drivers accept an optional
+/// Runtime; when none is given they fall back to a call-local one (the
+/// pre-accumulator behavior). The Accumulator owns one so hash/SPA/heap
+/// scratch survives across batches instead of being re-grown per call.
+template <class IndexT, class ValueT>
+struct Runtime {
+  std::vector<ThreadScratch<IndexT, ValueT>> scratch;
+
+  /// Per-column sum of input nnz for the *current* call's inputs. Filled by
+  /// spkadd()/the drivers when the Auto policy or Schedule::NnzBalanced
+  /// needs it; sized to the column count or empty.
+  std::vector<std::uint64_t> col_costs;
+
+  void ensure_threads(int nthreads) {
+    if (scratch.size() < static_cast<std::size_t>(nthreads))
+      scratch.resize(static_cast<std::size_t>(nthreads));
+  }
+
+  /// The cost span to schedule with, or empty when not computed for `cols`.
+  [[nodiscard]] std::span<const std::uint64_t> costs_for(IndexT cols) const {
+    return col_costs.size() == static_cast<std::size_t>(cols)
+               ? std::span<const std::uint64_t>(col_costs)
+               : std::span<const std::uint64_t>{};
+  }
+
+  [[nodiscard]] std::size_t storage_bytes() const {
+    std::size_t total = col_costs.capacity() * sizeof(std::uint64_t);
+    for (const auto& s : scratch) total += s.storage_bytes();
+    return total;
   }
 };
 

@@ -14,16 +14,36 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <numeric>
 #include <span>
 #include <stdexcept>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "matrix/column_view.hpp"
 
 namespace spkadd {
+
+namespace debug {
+
+/// Process-wide count of CscMatrix deep copies (any index/value type).
+/// The streaming accumulator and batched SpKAdd promise zero per-batch
+/// input-matrix copies; tests pin that guarantee by differencing this
+/// counter around a call. Relaxed atomics: the counter is a tally, not a
+/// synchronization point.
+inline std::atomic<std::uint64_t>& csc_copy_counter() {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
+
+[[nodiscard]] inline std::uint64_t csc_copies() {
+  return csc_copy_counter().load(std::memory_order_relaxed);
+}
+
+}  // namespace debug
 
 template <class IndexT = std::int32_t, class ValueT = double>
 class CscMatrix {
@@ -38,8 +58,10 @@ class CscMatrix {
   CscMatrix(IndexT rows, IndexT cols)
       : rows_(rows), cols_(cols),
         col_ptr_(static_cast<std::size_t>(cols) + 1, 0) {
-    if (rows < 0 || cols < 0)
-      throw std::invalid_argument("CscMatrix: negative dimension");
+    if constexpr (std::is_signed_v<IndexT>) {
+      if (rows < 0 || cols < 0)
+        throw std::invalid_argument("CscMatrix: negative dimension");
+    }
   }
 
   /// Adopt pre-built CSC arrays. `col_ptr.size() == cols+1`,
@@ -48,8 +70,10 @@ class CscMatrix {
             std::vector<IndexT> row_idx, std::vector<ValueT> values)
       : rows_(rows), cols_(cols), col_ptr_(std::move(col_ptr)),
         row_idx_(std::move(row_idx)), values_(std::move(values)) {
-    if (rows < 0 || cols < 0)
-      throw std::invalid_argument("CscMatrix: negative dimension");
+    if constexpr (std::is_signed_v<IndexT>) {
+      if (rows < 0 || cols < 0)
+        throw std::invalid_argument("CscMatrix: negative dimension");
+    }
     if (col_ptr_.size() != static_cast<std::size_t>(cols) + 1)
       throw std::invalid_argument("CscMatrix: col_ptr size mismatch");
     if (col_ptr_.front() != 0)
@@ -58,6 +82,27 @@ class CscMatrix {
     if (row_idx_.size() != nz || values_.size() != nz)
       throw std::invalid_argument("CscMatrix: array length != col_ptr.back()");
   }
+
+  // Copies are counted (see debug::csc_copy_counter) so tests can assert
+  // the zero-copy guarantees of the streaming paths; moves stay free.
+  CscMatrix(const CscMatrix& o)
+      : rows_(o.rows_), cols_(o.cols_), col_ptr_(o.col_ptr_),
+        row_idx_(o.row_idx_), values_(o.values_) {
+    debug::csc_copy_counter().fetch_add(1, std::memory_order_relaxed);
+  }
+  CscMatrix& operator=(const CscMatrix& o) {
+    if (this != &o) {
+      rows_ = o.rows_;
+      cols_ = o.cols_;
+      col_ptr_ = o.col_ptr_;
+      row_idx_ = o.row_idx_;
+      values_ = o.values_;
+      debug::csc_copy_counter().fetch_add(1, std::memory_order_relaxed);
+    }
+    return *this;
+  }
+  CscMatrix(CscMatrix&&) noexcept = default;
+  CscMatrix& operator=(CscMatrix&&) noexcept = default;
 
   [[nodiscard]] IndexT rows() const { return rows_; }
   [[nodiscard]] IndexT cols() const { return cols_; }

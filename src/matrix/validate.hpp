@@ -7,7 +7,9 @@
 #pragma once
 
 #include <cmath>
+#include <limits>
 #include <string>
+#include <type_traits>
 
 #include "matrix/csc.hpp"
 
@@ -29,11 +31,31 @@ struct ValidationResult {
 std::string describe_range_error(long long col, long long row, long long rows);
 std::string describe_order_error(long long col, long long prev, long long cur);
 
+/// True when the shape makes a row index collide with the hash kernels'
+/// empty-slot sentinel IndexT(-1). The hash tables key on raw row indices
+/// and never bound-check them, so at the maximum representable unsigned row
+/// count the sentinel aliases the one-past-the-end index (the classic
+/// off-by-one an upstream producer emits) and such an entry is silently
+/// dropped or mis-accumulated instead of being caught. Those shapes are
+/// rejected outright here and in detail::check_conformant. Signed index
+/// types are safe: the sentinel is -1, never a legal index.
+template <class IndexT>
+[[nodiscard]] constexpr bool shape_hits_hash_sentinel(IndexT rows) {
+  if constexpr (std::is_unsigned_v<IndexT>)
+    return rows == std::numeric_limits<IndexT>::max();
+  else
+    return false;
+}
+
 /// Check CSC invariants: monotone col_ptr, in-range row indices, and — when
 /// `require_sorted` — strictly ascending rows per column (no duplicates).
 template <class IndexT, class ValueT>
 [[nodiscard]] ValidationResult validate(const CscMatrix<IndexT, ValueT>& m,
                                         bool require_sorted = true) {
+  if (shape_hits_hash_sentinel(m.rows()))
+    return ValidationResult::fail(
+        "row count reaches the hash empty-slot sentinel IndexT(-1); "
+        "use a wider index type");
   const auto cp = m.col_ptr();
   for (std::size_t j = 0; j + 1 < cp.size(); ++j)
     if (cp[j + 1] < cp[j])
@@ -42,7 +64,9 @@ template <class IndexT, class ValueT>
   for (IndexT j = 0; j < m.cols(); ++j) {
     const auto col = m.column(j);
     for (std::size_t i = 0; i < col.nnz(); ++i) {
-      if (col.rows[i] < 0 || col.rows[i] >= m.rows())
+      bool in_range = col.rows[i] < m.rows();
+      if constexpr (std::is_signed_v<IndexT>) in_range = in_range && col.rows[i] >= 0;
+      if (!in_range)
         return ValidationResult::fail(
             describe_range_error(j, col.rows[i], m.rows()));
       if (require_sorted && i > 0 && col.rows[i] <= col.rows[i - 1])

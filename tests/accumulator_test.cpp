@@ -1,0 +1,238 @@
+// The streaming accumulator (paper §V as a stateful subsystem): incremental
+// folds equal one-shot SpKAdd, zero-copy staging, workspace persistence
+// across finalize() cycles, the nnz-balanced schedule, and the hash-sentinel
+// shape guard.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "core/accumulator.hpp"
+#include "core/batched.hpp"
+#include "gen/workload.hpp"
+#include "matrix/validate.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace spkadd;
+using namespace spkadd::core;
+using spkadd::testing::canonicalized;
+using spkadd::testing::dense_sum_oracle;
+using spkadd::testing::random_collection;
+using spkadd::testing::random_matrix;
+
+using Csc = spkadd::testing::Csc;
+
+// ------------------------------------------------------ incremental == one-shot
+TEST(Accumulator, IncrementalAddEqualsOneShotSpkadd) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    for (const int k : {1, 5, 8, 17}) {
+      const auto inputs = random_collection(k, 96, 12, 200, seed);
+      const auto oracle = dense_sum_oracle(std::span<const Csc>(inputs));
+      Accumulator<> acc(96, 12);
+      for (const auto& m : inputs) acc.add(m);
+      EXPECT_TRUE(approx_equal(oracle, acc.finalize()))
+          << "k=" << k << " seed=" << seed;
+    }
+  }
+}
+
+TEST(Accumulator, PropertyAcrossMethodsAndCapacities) {
+  const auto inputs = random_collection(13, 64, 8, 150, 11);
+  const auto oracle = dense_sum_oracle(std::span<const Csc>(inputs));
+  for (auto m : {Method::Auto, Method::TwoWayTree, Method::Heap, Method::Spa,
+                 Method::Hash, Method::SlidingHash}) {
+    for (const std::size_t cap : {1u, 2u, 4u, 13u, 100u}) {
+      Options opts;
+      opts.method = m;
+      Accumulator<> acc(64, 8, opts, cap);
+      acc.add_batch(std::span<const Csc>(inputs));
+      EXPECT_TRUE(approx_equal(oracle, acc.finalize()))
+          << method_name(m) << " cap=" << cap;
+    }
+  }
+}
+
+TEST(Accumulator, UnsortedOutputStreamsFoldCorrectly) {
+  // sorted_output=false leaves the running sum unsorted between folds; the
+  // accumulator must mark it non-sorted for the next fold.
+  const auto inputs = random_collection(9, 80, 6, 160, 13);
+  const auto oracle = dense_sum_oracle(std::span<const Csc>(inputs));
+  Options opts;
+  opts.method = Method::Hash;
+  opts.sorted_output = false;
+  Accumulator<> acc(80, 6, opts, 3);
+  for (const auto& m : inputs) acc.add(m);
+  EXPECT_TRUE(approx_equal(oracle, canonicalized(acc.finalize())));
+}
+
+// ------------------------------------------------------------- edge streams
+TEST(Accumulator, EmptyStreamYieldsAllZeroMatrix) {
+  Accumulator<> acc(32, 4);
+  const auto out = acc.finalize();
+  EXPECT_EQ(out.rows(), 32);
+  EXPECT_EQ(out.cols(), 4);
+  EXPECT_EQ(out.nnz(), 0u);
+}
+
+TEST(Accumulator, SingleAddendStreamCopiesThrough) {
+  const auto m = random_matrix(48, 6, 90, 17);
+  Accumulator<> acc(48, 6);
+  acc.add(m);
+  EXPECT_TRUE(acc.finalize() == m);
+}
+
+TEST(Accumulator, EmptyAddendsAreHarmless) {
+  auto inputs = random_collection(4, 40, 5, 80, 19);
+  const auto oracle = dense_sum_oracle(std::span<const Csc>(inputs));
+  Accumulator<> acc(40, 5, Options{}, 2);
+  acc.add(Csc(40, 5));  // all-empty owned addend
+  for (const auto& m : inputs) {
+    acc.add(m);
+    acc.add(Csc(40, 5));  // interleave empties
+  }
+  EXPECT_TRUE(approx_equal(oracle, acc.finalize()));
+}
+
+TEST(Accumulator, RejectsNonConformantAddend) {
+  Accumulator<> acc(16, 4);
+  EXPECT_THROW(acc.add(Csc(16, 5)), std::invalid_argument);
+  EXPECT_THROW(acc.add(Csc(17, 4)), std::invalid_argument);
+}
+
+TEST(Accumulator, RejectsZeroBatchCapacity) {
+  EXPECT_THROW(Accumulator<>(8, 2, Options{}, 0), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- zero copies
+TEST(Accumulator, BorrowedStreamingMakesZeroInputCopies) {
+  const auto inputs = random_collection(16, 64, 8, 120, 23);
+  Options opts;
+  opts.method = Method::Hash;
+  Accumulator<> acc(64, 8, opts, 4);
+  const std::uint64_t before = debug::csc_copies();
+  for (const auto& m : inputs) acc.add(m);
+  auto out = acc.finalize();
+  EXPECT_EQ(debug::csc_copies() - before, 0u);
+  EXPECT_GT(out.nnz(), 0u);
+}
+
+TEST(Accumulator, MovedAddendsMakeZeroCopies) {
+  auto inputs = random_collection(10, 64, 8, 120, 29);
+  const auto oracle = dense_sum_oracle(std::span<const Csc>(inputs));
+  Options opts;
+  opts.method = Method::Hash;
+  Accumulator<> acc(64, 8, opts, 3);
+  const std::uint64_t before = debug::csc_copies();
+  for (auto& m : inputs) acc.add(std::move(m));
+  const auto out = acc.finalize();
+  EXPECT_EQ(debug::csc_copies() - before, 0u);
+  EXPECT_TRUE(approx_equal(oracle, out));
+}
+
+// ----------------------------------------------------------- workspace reuse
+TEST(Accumulator, WorkspaceSurvivesFinalizeAndDoesNotRegrow) {
+  const auto inputs = random_collection(12, 128, 16, 400, 31);
+  const auto oracle = dense_sum_oracle(std::span<const Csc>(inputs));
+  Options opts;
+  opts.method = Method::Hash;
+  Accumulator<> acc(128, 16, opts, 4);
+
+  acc.add_batch(std::span<const Csc>(inputs));
+  EXPECT_TRUE(approx_equal(oracle, acc.finalize()));
+  const std::size_t grown = acc.workspace_bytes();
+  EXPECT_GT(grown, 0u);  // scratch survives finalize()
+
+  // An identical second stream must not grow the scratch further.
+  acc.add_batch(std::span<const Csc>(inputs));
+  EXPECT_TRUE(approx_equal(oracle, acc.finalize()));
+  EXPECT_EQ(acc.workspace_bytes(), grown);
+  EXPECT_EQ(acc.stats().addends, 24u);
+  EXPECT_GE(acc.stats().flushes, 6u);
+}
+
+TEST(Accumulator, StatsTrackPeakIntermediateFootprint) {
+  const auto inputs = random_collection(8, 64, 8, 200, 37);
+  Accumulator<> acc(64, 8, Options{}, 4);
+  acc.add_batch(std::span<const Csc>(inputs));
+  (void)acc.finalize();
+  EXPECT_GT(acc.stats().peak_intermediate_bytes, 0u);
+}
+
+// ------------------------------------------------------ nnz-aware scheduling
+TEST(Schedule, NnzBalancedMatchesOtherSchedulesExactly) {
+  // Skewed columns (RMAT-ish) are where balancing matters; results must be
+  // bit-identical across schedules because the per-column work is the same.
+  gen::WorkloadSpec spec;
+  spec.pattern = gen::Pattern::RMAT;
+  spec.rows = 1 << 10;
+  spec.cols = 1 << 6;
+  spec.avg_nnz_per_col = 8;
+  spec.k = 8;  // make_workload requires a power of two
+  const auto inputs = gen::make_workload(spec);
+  for (auto m : {Method::Heap, Method::Spa, Method::Hash,
+                 Method::SlidingHash}) {
+    Options dyn;
+    dyn.method = m;
+    dyn.schedule = Schedule::Dynamic;
+    Options bal = dyn;
+    bal.schedule = Schedule::NnzBalanced;
+    EXPECT_TRUE(core::spkadd(inputs, dyn) == core::spkadd(inputs, bal))
+        << method_name(m);
+  }
+}
+
+TEST(Schedule, NnzBalancedWorksThroughBatchedAndAccumulator) {
+  const auto inputs = random_collection(11, 96, 12, 250, 41);
+  const auto oracle = dense_sum_oracle(std::span<const Csc>(inputs));
+  Options opts;
+  opts.schedule = Schedule::NnzBalanced;
+  EXPECT_TRUE(approx_equal(
+      oracle, spkadd_batched(std::span<const Csc>(inputs), 4, opts)));
+  Accumulator<> acc(96, 12, opts, 3);
+  acc.add_batch(std::span<const Csc>(inputs));
+  EXPECT_TRUE(approx_equal(oracle, acc.finalize()));
+}
+
+TEST(Schedule, NamesAreDistinct) {
+  EXPECT_NE(schedule_name(Schedule::Dynamic), schedule_name(Schedule::Static));
+  EXPECT_NE(schedule_name(Schedule::Dynamic),
+            schedule_name(Schedule::NnzBalanced));
+}
+
+// ------------------------------------------------------- hash sentinel guard
+TEST(SentinelGuard, UnsignedMaxRowCountIsRejected) {
+  using UCsc = CscMatrix<std::uint32_t, double>;
+  constexpr auto kMax = std::numeric_limits<std::uint32_t>::max();
+  const UCsc bad(kMax, 1);  // shape only: no entries allocated
+  EXPECT_FALSE(validate(bad));
+  std::vector<UCsc> inputs{bad, bad};
+  EXPECT_THROW(
+      (void)core::spkadd(std::span<const UCsc>(inputs), Options{}),
+      std::invalid_argument);
+  EXPECT_THROW((Accumulator<std::uint32_t, double>(kMax, 1)),
+               std::invalid_argument);
+}
+
+TEST(SentinelGuard, SaneUnsignedShapesStillWork) {
+  using UCsc = CscMatrix<std::uint32_t, double>;
+  UCsc a(8, 2, {0, 2, 3}, {1, 5, 7}, {1.0, 2.0, 3.0});
+  UCsc b(8, 2, {0, 1, 3}, {5, 0, 7}, {10.0, 4.0, 5.0});
+  EXPECT_TRUE(validate(a));
+  std::vector<UCsc> inputs{a, b};
+  Options opts;
+  opts.method = Method::Hash;
+  const auto sum = core::spkadd(std::span<const UCsc>(inputs), opts);
+  EXPECT_EQ(sum.nnz(), 4u);
+  EXPECT_DOUBLE_EQ(sum.at(5, 0), 12.0);
+  EXPECT_DOUBLE_EQ(sum.at(7, 1), 8.0);
+}
+
+TEST(SentinelGuard, SignedShapesAreUnaffected) {
+  const auto inputs = random_collection(3, 32, 4, 60, 43);
+  EXPECT_TRUE(validate(inputs[0]));
+  EXPECT_NO_THROW((void)core::spkadd(inputs));
+}
+
+}  // namespace

@@ -84,10 +84,14 @@ TEST_F(KwayDriverTest, HandlesEmptyMatricesInCollection) {
 
 TEST_F(KwayDriverTest, AllEmptyCollection) {
   std::vector<Csc> inputs{Csc(16, 4), Csc(16, 4), Csc(16, 4)};
-  for (auto fn : {&spkadd_heap<std::int32_t, double>,
-                  &spkadd_spa<std::int32_t, double>,
-                  &spkadd_hash<std::int32_t, double>,
-                  &spkadd_sliding_hash<std::int32_t, double>}) {
+  // The drivers are overloaded on value vs pointer spans now; pin the
+  // value-span flavor for the function-pointer sweep.
+  using DriverFn = Csc (*)(std::span<const Csc>, const Options&);
+  for (DriverFn fn : {static_cast<DriverFn>(&spkadd_heap<std::int32_t, double>),
+                      static_cast<DriverFn>(&spkadd_spa<std::int32_t, double>),
+                      static_cast<DriverFn>(&spkadd_hash<std::int32_t, double>),
+                      static_cast<DriverFn>(
+                          &spkadd_sliding_hash<std::int32_t, double>)}) {
     const auto out = fn(std::span<const Csc>(inputs), Options{});
     EXPECT_EQ(out.nnz(), 0u);
     EXPECT_EQ(out.rows(), 16);
