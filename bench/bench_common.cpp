@@ -1,6 +1,10 @@
 #include "bench_common.hpp"
 
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "util/cache_info.hpp"
 #include "util/timer.hpp"
@@ -53,6 +57,79 @@ const std::vector<core::Method>& table_methods() {
 
 std::string cell(double seconds) {
   return seconds < 0 ? "n/a" : util::TablePrinter::fmt_seconds(seconds);
+}
+
+double time_median(int repeats, const std::function<void()>& fn) {
+  std::vector<double> laps;
+  laps.reserve(static_cast<std::size_t>(std::max(1, repeats)));
+  for (int r = 0; r < std::max(1, repeats); ++r) {
+    util::WallTimer t;
+    fn();
+    laps.push_back(t.seconds());
+  }
+  std::sort(laps.begin(), laps.end());
+  const std::size_t n = laps.size();
+  return n % 2 == 1 ? laps[n / 2] : 0.5 * (laps[n / 2 - 1] + laps[n / 2]);
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SampleLog::SampleLog(std::string bench) : bench_(std::move(bench)) {}
+
+void SampleLog::add(const std::string& name, const std::string& config,
+                    double seconds, std::size_t peak_intermediate_nnz) {
+  samples_.push_back(Sample{name, config, seconds, peak_intermediate_nnz});
+}
+
+bool SampleLog::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "SampleLog: cannot open " << path << " for writing\n";
+    return false;
+  }
+  out << "{\n"
+      << "  \"bench\": \"" << json_escape(bench_) << "\",\n"
+      << "  \"version\": \"" << json_escape(std::string(kVersion)) << "\",\n"
+      << "  \"machine\": \"" << json_escape(util::detect_machine().summary())
+      << "\",\n"
+      << "  \"samples\": [";
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const Sample& s = samples_[i];
+    std::ostringstream secs;
+    secs.precision(9);
+    secs << s.seconds;
+    out << (i == 0 ? "\n" : ",\n")
+        << "    {\"name\": \"" << json_escape(s.name) << "\", "
+        << "\"config\": \"" << json_escape(s.config) << "\", "
+        << "\"median_seconds\": " << secs.str() << ", "
+        << "\"peak_intermediate_nnz\": " << s.peak_intermediate_nnz << "}";
+  }
+  out << "\n  ]\n}\n";
+  return static_cast<bool>(out);
 }
 
 }  // namespace spkadd::bench

@@ -1,7 +1,10 @@
 // Shared harness for the paper-reproduction benches: machine header
-// (Table II analog), repeat-and-min timing, and method sweeps.
+// (Table II analog), repeat-and-min timing, method sweeps, and the
+// machine-readable JSON sample log behind every bench's `--json <path>`
+// mode (the perf-trajectory artifact CI uploads per run).
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <string>
 #include <vector>
@@ -32,5 +35,39 @@ const std::vector<core::Method>& table_methods();
 
 /// Shorthand: "0.0083" or "n/a" when seconds < 0 (method skipped).
 std::string cell(double seconds);
+
+/// Median-of-`repeats` wall time of `fn` in seconds — the statistic logged
+/// to the JSON perf trajectory (robust to one-off outliers, unlike min).
+double time_median(int repeats, const std::function<void()>& fn);
+
+/// One machine-readable benchmark sample.
+struct Sample {
+  std::string name;    ///< what was measured, e.g. "streaming/RMAT/k=64"
+  std::string config;  ///< free-form knobs, e.g. "grid=4 window=2"
+  double seconds = 0;  ///< median-of-repeats wall seconds
+  std::size_t peak_intermediate_nnz = 0;  ///< 0 when not applicable
+};
+
+/// Collects samples and writes the bench's `--json <path>` document:
+///   {"bench": ..., "version": ..., "machine": ..., "samples": [...]}
+/// scripts/bench_smoke.sh merges these per-bench documents into the
+/// BENCH_summa.json perf-trajectory artifact.
+class SampleLog {
+ public:
+  explicit SampleLog(std::string bench);
+
+  void add(const std::string& name, const std::string& config, double seconds,
+           std::size_t peak_intermediate_nnz = 0);
+
+  /// Write the JSON document; returns false (with a stderr note) when the
+  /// file cannot be opened.
+  [[nodiscard]] bool write(const std::string& path) const;
+
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+ private:
+  std::string bench_;
+  std::vector<Sample> samples_;
+};
 
 }  // namespace spkadd::bench

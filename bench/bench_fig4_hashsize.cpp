@@ -40,7 +40,8 @@ void run_case(const Case& c, int repeats) {
 
   // Compression factor for the header (drives how much larger symbolic
   // tables are than numeric ones — the paper's Eukarya discussion).
-  const auto out = core::spkadd_hash(std::span<const CscMatrix<std::int32_t, double>>(inputs));
+  const auto out = core::spkadd_hash(
+      std::span<const CscMatrix<std::int32_t, double>>(inputs));
   const double cf = compression_factor(
       std::span<const CscMatrix<std::int32_t, double>>(inputs), out);
 

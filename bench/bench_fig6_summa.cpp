@@ -2,7 +2,15 @@
 // sparse SUMMA) under the three SpKAdd pipelines — Heap, Sorted Hash,
 // Unsorted Hash — for two protein-similarity-shaped surrogates standing in
 // for Metaclust50 and Isolates (see DESIGN.md substitution table).
+//
+// Each pipeline runs under both SUMMA schedules so the streaming rebuild is
+// measured against the pre-streaming baseline it replaced:
+//   buffered  — all g stage products live per process, one-shot SpKAdd;
+//   streaming — stage products fold into a persistent accumulator, at most
+//               --window live per process (the §V memory bound).
+// `--json <path>` writes the machine-readable samples CI tracks per run.
 #include <iostream>
+#include <string>
 
 #include "bench_common.hpp"
 #include "gen/rmat.hpp"
@@ -13,14 +21,24 @@ using namespace spkadd;
 
 namespace {
 
+std::string mnnz(std::size_t nnz) {
+  return util::TablePrinter::fmt_count(nnz);
+}
+
 void run_dataset(const std::string& name,
-                 const CscMatrix<std::int32_t, double>& m, int grid) {
+                 const CscMatrix<std::int32_t, double>& m, int grid,
+                 int window, int repeats, bench::SampleLog& log) {
   std::cout << "### " << name << "  (" << m.rows() << "x" << m.cols()
             << ", nnz=" << util::TablePrinter::fmt_count(m.nnz())
             << ", grid=" << grid << "x" << grid << " => k=" << grid
-            << " SUMMA stages)\n";
-  util::TablePrinter table({"Pipeline", "Local Multiply (s)", "SpKAdd (s)",
-                            "Total (s)", "intermediate cf"});
+            << " SUMMA stages, window=" << window << ")\n";
+  // Phase columns are *summed over processes* (the quantity Fig. 6 stacks);
+  // for the streaming schedule the processes run on concurrent workers, so
+  // those sums are busy time, not elapsed time. "wall (s)" is the
+  // apples-to-apples elapsed comparison between the two schedules.
+  util::TablePrinter table({"Pipeline", "Schedule", "sum multiply (s)",
+                            "sum spkadd (s)", "wall (s)", "peak live nnz",
+                            "intermediate cf"});
   struct Row {
     std::string name;
     summa::SummaConfig cfg;
@@ -30,17 +48,52 @@ void run_dataset(const std::string& name,
       {"Sorted Hash", summa::sorted_hash_pipeline(grid)},
       {"Unsorted Hash", summa::unsorted_hash_pipeline(grid)},
   };
+  const std::string shape = "grid=" + std::to_string(grid) +
+                            " window=" + std::to_string(window) + " nnz=" +
+                            std::to_string(m.nnz());
   for (const auto& r : rows) {
-    const auto result = summa::multiply(m, m, r.cfg);  // A*A: similarity
-                                                       // self-join, as in
-                                                       // HipMCL's expansion
-    table.add_row({r.name,
-                   util::TablePrinter::fmt_seconds(result.multiply_seconds),
-                   util::TablePrinter::fmt_seconds(result.spkadd_seconds),
-                   util::TablePrinter::fmt_seconds(result.multiply_seconds +
-                                                   result.spkadd_seconds),
-                   util::TablePrinter::fmt_ratio(result.compression_factor)});
-    std::cerr << "done: " << r.name << "\n";
+    summa::SummaResult buffered, streaming;
+    summa::SummaConfig buffered_cfg = r.cfg;
+    buffered_cfg.streaming = false;
+    summa::SummaConfig streaming_cfg = r.cfg;
+    streaming_cfg.streaming = true;
+    streaming_cfg.stream_window = window;
+
+    // A*A: similarity self-join, as in HipMCL's expansion.
+    const double t_buffered = bench::time_median(
+        repeats, [&] { buffered = summa::multiply(m, m, buffered_cfg); });
+    const double t_streaming = bench::time_median(
+        repeats, [&] { streaming = summa::multiply(m, m, streaming_cfg); });
+    if (!(streaming.c == buffered.c)) {
+      std::cerr << "MISMATCH: streaming C differs from buffered C ("
+                << r.name << ")\n";
+      std::exit(1);
+    }
+
+    for (const auto* run : {&buffered, &streaming}) {
+      const bool is_stream = run == &streaming;
+      table.add_row(
+          {r.name, is_stream ? "streaming" : "buffered",
+           util::TablePrinter::fmt_seconds(run->multiply_seconds),
+           util::TablePrinter::fmt_seconds(run->spkadd_seconds),
+           util::TablePrinter::fmt_seconds(is_stream ? t_streaming
+                                                     : t_buffered),
+           mnnz(run->peak_intermediate_nnz),
+           util::TablePrinter::fmt_ratio(run->compression_factor)});
+    }
+    const double footprint_cut =
+        streaming.peak_intermediate_nnz == 0
+            ? 1.0
+            : static_cast<double>(buffered.peak_intermediate_nnz) /
+                  static_cast<double>(streaming.peak_intermediate_nnz);
+    std::cerr << "done: " << r.name << " — streaming peak live nnz "
+              << footprint_cut << "x smaller, wall "
+              << (t_streaming > 0 ? t_buffered / t_streaming : 0.0)
+              << "x the buffered throughput\n";
+    log.add(name + "/" + r.name + "/buffered", shape, t_buffered,
+            buffered.peak_intermediate_nnz);
+    log.add(name + "/" + r.name + "/streaming", shape, t_streaming,
+            streaming.peak_intermediate_nnz);
   }
   table.print(std::cout);
   std::cout << "\n";
@@ -54,22 +107,30 @@ int main(int argc, char** argv) {
   const auto* scale = cli.add_int("scale", 13, "log2 matrix dimension");
   const auto* degree = cli.add_int("degree", 16, "avg nonzeros per column");
   const auto* grid = cli.add_int("grid", 8, "process grid dimension g (k=g)");
+  const auto* window =
+      cli.add_int("window", 2, "streaming stage-product window per process");
+  const auto* repeats = cli.add_int("repeats", 1, "timing repetitions");
+  const auto* json = cli.add_string("json", "", "write JSON samples here");
   if (!cli.parse(argc, argv)) return 1;
 
   bench::print_header(
       "Fig. 6 — effect of SpKAdd on distributed SpGEMM (simulated SUMMA)",
       "paper Fig. 6 (Cori KNL, communication excluded): hash SpKAdd should "
-      "cut the reduction cost by ~an order of magnitude vs heap, and the "
-      "unsorted-hash pipeline should also shave the local multiply");
+      "cut the reduction cost by ~an order of magnitude vs heap, the "
+      "unsorted-hash pipeline should also shave the local multiply, and the "
+      "streaming schedule should hold peak live intermediates to ~window/g "
+      "of the buffered baseline at comparable throughput");
+
+  bench::SampleLog log("bench_fig6_summa");
 
   // Metaclust50 surrogate: larger, sparser, strongly skewed.
   {
-    auto p = gen::RmatParams::g500(static_cast<int>(*scale),
-                                   static_cast<int>(*scale),
-                                   (1ull << *scale) * static_cast<std::uint64_t>(*degree),
-                                   61);
+    auto p = gen::RmatParams::g500(
+        static_cast<int>(*scale), static_cast<int>(*scale),
+        (1ull << *scale) * static_cast<std::uint64_t>(*degree), 61);
     run_dataset("Metaclust50 surrogate", gen::rmat_csc(p),
-                static_cast<int>(*grid));
+                static_cast<int>(*grid), static_cast<int>(*window),
+                static_cast<int>(*repeats), log);
   }
   // Isolates surrogate: smaller and denser.
   {
@@ -77,7 +138,10 @@ int main(int argc, char** argv) {
         static_cast<int>(*scale) - 2, static_cast<int>(*scale) - 2,
         (1ull << (*scale - 2)) * static_cast<std::uint64_t>(*degree) * 2, 62);
     run_dataset("Isolates surrogate", gen::rmat_csc(p),
-                static_cast<int>(*grid) / 2);
+                std::max(1, static_cast<int>(*grid) / 2),
+                static_cast<int>(*window), static_cast<int>(*repeats), log);
   }
+
+  if (!json->empty() && !log.write(*json)) return 1;
   return 0;
 }

@@ -56,7 +56,14 @@ int main(int argc, char** argv) {
   const auto* batch = cli.add_int("batch", 8, "accumulator batch capacity");
   const auto* repeats = cli.add_int("repeats", 3, "timing repetitions");
   const auto* full = cli.add_flag("full", "also run k=512 (slow)");
+  const auto* json = cli.add_string("json", "", "write JSON samples here");
   if (!cli.parse(argc, argv)) return 1;
+
+  bench::SampleLog log("bench_streaming");
+  const std::string shape = "rows=" + std::to_string(*rows) +
+                            " cols=" + std::to_string(*cols) +
+                            " d=" + std::to_string(*d) +
+                            " batch=" + std::to_string(*batch);
 
   bench::print_header(
       "Streaming accumulator vs one-shot SpKAdd",
@@ -85,13 +92,15 @@ int main(int argc, char** argv) {
 
       // One-shot: all k inputs live at once, single reduction.
       Csc one_shot;
-      const double t_one = bench::time_best(static_cast<int>(*repeats), [&] {
+      const double t_one = bench::time_median(static_cast<int>(*repeats), [&] {
         one_shot = core::spkadd(inputs, opts);
       });
       table.add_row({pname, std::to_string(k), "one-shot",
                      gnnzps(in_nnz, t_one),
                      mib(inputs_bytes(inputs) + one_shot.storage_bytes()),
                      std::to_string(one_shot.nnz())});
+      log.add(std::string(pname) + "/k=" + std::to_string(k) + "/one-shot",
+              shape, t_one, in_nnz);
 
       // Streaming: borrowed addends folded every `batch`; the accumulator
       // tracks its own peak intermediate footprint (running sum + owned
@@ -100,7 +109,7 @@ int main(int argc, char** argv) {
                               static_cast<std::size_t>(*batch));
       Csc streamed;
       const double t_stream =
-          bench::time_best(static_cast<int>(*repeats), [&] {
+          bench::time_median(static_cast<int>(*repeats), [&] {
             for (const auto& m : inputs) acc.add(m);
             streamed = acc.finalize();
           });
@@ -108,6 +117,9 @@ int main(int argc, char** argv) {
                      gnnzps(in_nnz, t_stream),
                      mib(acc.stats().peak_intermediate_bytes),
                      std::to_string(streamed.nnz())});
+      log.add(std::string(pname) + "/k=" + std::to_string(k) +
+                  "/accumulator",
+              shape, t_stream, acc.stats().peak_staged_nnz);
       if (streamed.nnz() != one_shot.nnz()) {
         std::cerr << "MISMATCH: streaming result disagrees with one-shot\n";
         return 1;
@@ -132,10 +144,12 @@ int main(int argc, char** argv) {
          {core::Schedule::Dynamic, core::Schedule::NnzBalanced}) {
       core::Options opts;
       opts.schedule = s;
-      const double t = bench::time_best(static_cast<int>(*repeats), [&] {
+      const double t = bench::time_median(static_cast<int>(*repeats), [&] {
         (void)core::spkadd(inputs, opts);
       });
       sched.add_row({core::schedule_name(s), gnnzps(in_nnz, t)});
+      log.add("RMAT/k=64/schedule=" + core::schedule_name(s), shape, t,
+              in_nnz);
     }
     std::cout << "\nRMAT k=64 schedule sweep:\n";
     sched.print(std::cout);
@@ -145,5 +159,6 @@ int main(int argc, char** argv) {
                "factor of one-shot (it re-streams the running sum once per "
                "batch) at a fraction of the peak intermediate footprint; "
                "nnz-balanced meets or beats dynamic on skewed columns.\n";
+  if (!json->empty() && !log.write(*json)) return 1;
   return 0;
 }

@@ -15,7 +15,8 @@ int main(int argc, char** argv) {
   util::CliParser cli("bench_table3_er", "Table III: SpKAdd on ER matrices");
   const auto* rows = cli.add_int("rows", 1 << 16, "rows per matrix (m)");
   const auto* cols = cli.add_int("cols", 64, "cols per matrix (n)");
-  const auto* repeats = cli.add_int("repeats", 2, "timing repetitions (best-of)");
+  const auto* repeats =
+      cli.add_int("repeats", 2, "timing repetitions (best-of)");
   const auto* full = cli.add_flag("full", "paper-scale d values (slow)");
   const auto* op_budget = cli.add_int(
       "op-budget", 2'000'000'000,

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Perf-trajectory smoke run: small-shape bench_streaming + bench_fig6_summa
+# with --json, merged into one BENCH_summa.json document. CI runs this per
+# push and uploads the JSON as a workflow artifact, so every commit leaves a
+# machine-readable sample of reducer throughput and streaming-SUMMA
+# footprint behind.
+#
+# Usage: scripts/bench_smoke.sh [output.json]
+#   BUILD_DIR=build   build tree holding the bench binaries (configured and
+#                     built here when the binaries are missing)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${1:-BENCH_summa.json}"
+JOBS="${JOBS:-$(nproc)}"
+
+if [ ! -x "$BUILD_DIR/bench/bench_streaming" ] ||
+   [ ! -x "$BUILD_DIR/bench/bench_fig6_summa" ]; then
+  echo "=== bench binaries missing; building $BUILD_DIR ==="
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$BUILD_DIR" -j "$JOBS" \
+    --target bench_streaming bench_fig6_summa
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# Shapes chosen to finish in seconds on one core while still exercising the
+# real streaming/buffered paths (not toy 1-stage degenerate cases).
+echo "=== bench_streaming (small shape) ==="
+"$BUILD_DIR/bench/bench_streaming" \
+  --rows 4096 --cols 32 --d 4 --batch 8 --repeats 3 \
+  --json "$tmp/streaming.json" > "$tmp/streaming.txt"
+# stderr stays on the console: it carries the per-pipeline progress lines
+# and, on failure, the streaming-vs-buffered MISMATCH diagnostic.
+echo "=== bench_fig6_summa (small shape) ==="
+"$BUILD_DIR/bench/bench_fig6_summa" \
+  --scale 9 --degree 4 --grid 4 --window 2 --repeats 3 \
+  --json "$tmp/fig6.json" > "$tmp/fig6.txt"
+
+# Merge the per-bench documents into one trajectory file (no jq needed).
+{
+  printf '{\n"schema": 1,\n"generated_by": "scripts/bench_smoke.sh",\n'
+  printf '"benches": [\n'
+  cat "$tmp/streaming.json"
+  printf ',\n'
+  cat "$tmp/fig6.json"
+  printf ']\n}\n'
+} > "$OUT"
+
+# The merge is string concatenation; make sure the result actually parses.
+if command -v jq > /dev/null 2>&1; then
+  jq -e '.benches | length == 2' "$OUT" > /dev/null
+elif command -v python3 > /dev/null 2>&1; then
+  python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$OUT"
+fi
+
+echo "=== wrote $OUT ==="

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Formatting gate for CI and local hooks.
+#
+# Two tiers:
+#   1. Deterministic lint (always): no tabs, no trailing whitespace, no
+#      lines over 80 columns, every file newline-terminated. These are the
+#      invariants the codebase actually maintains, checkable on any box.
+#   2. clang-format --dry-run --Werror against .clang-format, when a
+#      clang-format binary is available (the CI format job installs one).
+#      Set SPKADD_SKIP_CLANG_FORMAT=1 to run only the deterministic tier.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+files="$(git ls-files '*.cpp' '*.hpp')"
+fail=0
+
+# --- tier 1: deterministic lint -------------------------------------------
+for f in $files; do
+  if grep -qP '\t' "$f"; then
+    echo "TAB CHARACTER: $f"
+    fail=1
+  fi
+  if grep -qP ' +$' "$f"; then
+    echo "TRAILING WHITESPACE: $f"
+    fail=1
+  fi
+  long_lines="$(awk 'length > 80 {print FNR}' "$f")"
+  if [ -n "$long_lines" ]; then
+    echo "OVER 80 COLUMNS: $f (lines: $(echo "$long_lines" | tr '\n' ' '))"
+    fail=1
+  fi
+  if [ -n "$(tail -c 1 "$f")" ]; then
+    echo "NO TRAILING NEWLINE: $f"
+    fail=1
+  fi
+done
+
+# --- tier 2: clang-format --------------------------------------------------
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if [ "${SPKADD_SKIP_CLANG_FORMAT:-0}" != "1" ] &&
+   command -v "$CLANG_FORMAT" > /dev/null 2>&1; then
+  echo "running $("$CLANG_FORMAT" --version)"
+  # shellcheck disable=SC2086
+  if ! "$CLANG_FORMAT" --dry-run --Werror $files; then
+    echo "clang-format drift detected (run: $CLANG_FORMAT -i <files>)"
+    fail=1
+  fi
+else
+  echo "note: clang-format unavailable or skipped; deterministic tier only"
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "OK: formatting clean"
+fi
+exit "$fail"

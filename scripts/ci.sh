@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
-# CI entry point: configure + build + ctest, first plain Release, then with
-# address+undefined sanitizers. Usage: scripts/ci.sh [extra cmake args...]
+# CI entry point: configure + build + ctest. MODE selects which legs run —
+# the GitHub Actions matrix runs one leg per job, local use defaults to all:
+#   MODE=plain     Release build + ctest
+#   MODE=sanitize  Debug + address,undefined sanitizers + ctest
+#   MODE=all       both, in sequence (default)
+# Usage: [MODE=plain|sanitize|all] scripts/ci.sh [extra cmake args...]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
+MODE="${MODE:-all}"
 
 run_mode() {
   local name="$1" build_dir="$2"
@@ -17,8 +22,23 @@ run_mode() {
   ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
 }
 
-run_mode plain build "$@"
-run_mode sanitize build-asan \
-  -DCMAKE_BUILD_TYPE=Debug -DSPKADD_SANITIZE=address,undefined "$@"
+case "$MODE" in
+  plain)
+    run_mode plain build "$@"
+    ;;
+  sanitize)
+    run_mode sanitize build-asan \
+      -DCMAKE_BUILD_TYPE=Debug -DSPKADD_SANITIZE=address,undefined "$@"
+    ;;
+  all)
+    run_mode plain build "$@"
+    run_mode sanitize build-asan \
+      -DCMAKE_BUILD_TYPE=Debug -DSPKADD_SANITIZE=address,undefined "$@"
+    ;;
+  *)
+    echo "unknown MODE '$MODE' (want plain|sanitize|all)" >&2
+    exit 2
+    ;;
+esac
 
-echo "=== CI OK: plain + sanitizer modes green ==="
+echo "=== CI OK: $MODE mode(s) green ==="

@@ -15,7 +15,8 @@
 namespace spkadd::cachesim {
 
 struct CacheConfig {
-  std::uint64_t bytes = 32ull << 20;  ///< total capacity (default: paper's Skylake LLC)
+  /// Total capacity (default: the paper's Skylake LLC).
+  std::uint64_t bytes = 32ull << 20;
   int ways = 16;
   int line_bytes = 64;
 };

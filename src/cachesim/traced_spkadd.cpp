@@ -50,7 +50,8 @@ std::size_t trace_symbolic_part(CacheModel& cache,
                                 std::span<const View> views,
                                 std::span<const std::size_t> matrix_ids,
                                 std::span<const std::size_t> entry_offsets,
-                                core::SymbolicHashWorkspace<std::int32_t>& table) {
+                                core::SymbolicHashWorkspace<std::int32_t>&
+                                    table) {
   std::size_t inz = 0;
   for (const auto& v : views) inz += v.nnz();
   if (inz == 0) return 0;
@@ -125,7 +126,8 @@ std::size_t trace_add_part(CacheModel& cache, std::span<const View> views,
 struct ColumnViews {
   std::vector<View> views;
   std::vector<std::size_t> matrix_ids;
-  std::vector<std::size_t> entry_offsets;  ///< in-matrix entry index of view start
+  /// In-matrix entry index of each view start.
+  std::vector<std::size_t> entry_offsets;
 
   void gather(std::span<const Csc> inputs, std::int32_t j) {
     views.clear();

@@ -51,6 +51,10 @@ class Accumulator {
     std::uint64_t addends = 0;  ///< total matrices ever staged
     std::uint64_t flushes = 0;  ///< folds performed
     std::size_t peak_intermediate_bytes = 0;  ///< max of acc+owned+scratch
+    /// Max total nnz of addends simultaneously staged (awaiting a fold) —
+    /// the "live intermediates" bound of the streaming SUMMA pipeline:
+    /// never more than batch_capacity addends' worth.
+    std::size_t peak_staged_nnz = 0;
   };
 
   explicit Accumulator(IndexT rows, IndexT cols, Options opts = {},
@@ -82,18 +86,26 @@ class Accumulator {
   [[nodiscard]] std::size_t workspace_bytes() const {
     return rt_.storage_bytes();
   }
+  /// The persistent execution context (per-thread scratch + cost scan).
+  /// Producers that emit addends — e.g. spgemm::multiply_into — can share
+  /// it so the local multiply and the folds keep one hot scratch pool.
+  [[nodiscard]] Runtime<IndexT, ValueT>& runtime() { return rt_; }
 
   /// Stage a borrowed addend. The matrix must stay alive until the next
   /// flush()/finalize() or until batch_capacity addends force a fold —
   /// whichever comes first. No copy is made while folding batches; the one
   /// exception is a stream that ends with a single borrowed addend and no
   /// running sum, whose buffer must be materialized as the result.
-  void add(const Matrix& m) { stage(&m); }
+  void add(const Matrix& m) {
+    require_no_open_buffer();
+    stage(&m);
+  }
 
   /// Stage an owned addend: the matrix is moved in (no deep copy) and
   /// released at the next fold. For streams whose producer discards each
   /// contribution right after handing it over.
   void add(Matrix&& m) {
+    require_no_open_buffer();
     check_shape(m);
     owned_.push_back(std::move(m));
     stage(&owned_.back());
@@ -105,9 +117,50 @@ class Accumulator {
     for (const auto& m : ms) add(m);
   }
 
+  /// Open an accumulator-owned staging slot and hand it to a producer to
+  /// emit the next addend *in place* (no move, no copy): fill the returned
+  /// matrix, then call commit_staged(). Exactly one slot may be open at a
+  /// time, and no add()/flush()/finalize() may run while it is.
+  [[nodiscard]] Matrix& stage_buffer() {
+    if (staging_open_)
+      throw std::logic_error("Accumulator: stage_buffer already open");
+    owned_.emplace_back();
+    staging_open_ = true;
+    return owned_.back();
+  }
+
+  /// Commit the addend emitted into the open stage_buffer(). Shape-checked
+  /// here (the producer sets the shape); may trigger a fold. A rejected
+  /// emission is dropped, leaving the accumulator as if the buffer had
+  /// never been opened.
+  void commit_staged() {
+    if (!staging_open_)
+      throw std::logic_error("Accumulator: commit_staged without a buffer");
+    staging_open_ = false;
+    Matrix& slot = owned_.back();
+    if (slot.rows() != rows_ || slot.cols() != cols_) {
+      owned_.pop_back();  // never staged: must not linger as fold debris
+      throw std::invalid_argument("Accumulator: addend is not conformant");
+    }
+    stage(&slot);
+  }
+
+  /// Re-shape an *idle* accumulator (nothing staged, no running sum) for
+  /// the next stream. Keeps the grown workspaces — this is what lets one
+  /// accumulator serve a sequence of differently-shaped reductions, e.g.
+  /// the per-process blocks of the streaming SUMMA pipeline.
+  void reshape(IndexT rows, IndexT cols) {
+    if (have_acc_ || !staged_.empty() || staging_open_)
+      throw std::logic_error("Accumulator: reshape while not idle");
+    detail::check_sentinel_shape(rows);
+    rows_ = rows;
+    cols_ = cols;
+  }
+
   /// Fold everything staged into the running partial sum now. No-op when
   /// nothing is pending.
   void flush() {
+    require_no_open_buffer();
     if (staged_.empty()) return;
     fold_.clear();
     if (have_acc_) fold_.push_back(&acc_);
@@ -145,6 +198,7 @@ class Accumulator {
 
     staged_.clear();
     owned_.clear();
+    staged_nnz_ = 0;
   }
 
   /// Fold any pending addends and hand the sum to the caller. The
@@ -181,10 +235,21 @@ class Accumulator {
       throw std::invalid_argument("Accumulator: addend is not conformant");
   }
 
+  /// add()/flush()/finalize() while a stage_buffer() awaits its commit
+  /// would fold (and then clear) the half-filled slot; reject up front,
+  /// before any owned_/staged_ state has changed.
+  void require_no_open_buffer() const {
+    if (staging_open_)
+      throw std::logic_error(
+          "Accumulator: operation with an open stage_buffer");
+  }
+
   void stage(const Matrix* m) {
     check_shape(*m);
     staged_.push_back(m);
     ++stats_.addends;
+    staged_nnz_ += m->nnz();
+    stats_.peak_staged_nnz = std::max(stats_.peak_staged_nnz, staged_nnz_);
     if (staged_.size() >= cap_) flush();
   }
 
@@ -198,6 +263,8 @@ class Accumulator {
   bool acc_sorted_ = true;
 
   std::vector<const Matrix*> staged_;  ///< borrowed addends awaiting a fold
+  std::size_t staged_nnz_ = 0;  ///< total nnz currently staged
+  bool staging_open_ = false;   ///< a stage_buffer() awaits commit_staged()
   std::deque<Matrix> owned_;  ///< moved-in addends (deque: stable addresses)
   std::vector<const Matrix*> fold_;  ///< scratch: [acc?, staged...]
   Runtime<IndexT, ValueT> rt_;  ///< persistent scratch + cost scan

@@ -94,9 +94,14 @@ std::size_t merge2_add(const ColumnView<IndexT, ValueT>& a,
 // k-way heap merge (Alg. 3)
 // ---------------------------------------------------------------------------
 
-/// k-way merge-add of sorted columns through a binary min-heap keyed on row
-/// index. Output is sorted by construction. Returns entries written; output
-/// arrays must hold sum of input nnz in the worst case.
+/// k-way merge-add of sorted columns through a binary min-heap keyed on
+/// (row, source) — ties on row resolve in input order, so equal-row values
+/// accumulate strictly left to right. That makes the floating-point result a
+/// pure left fold over the inputs, which is what lets a streaming reducer
+/// (running sum first, then the staged addends in arrival order) reproduce
+/// the one-shot k-way result bit for bit. Output is sorted by construction.
+/// Returns entries written; output arrays must hold sum of input nnz in the
+/// worst case.
 template <class IndexT, class ValueT>
 std::size_t heap_add_column(std::span<const ColumnView<IndexT, ValueT>> cols,
                             HeapWorkspace<IndexT>& ws, IndexT* out_rows,
@@ -112,7 +117,11 @@ std::size_t heap_add_column(std::span<const ColumnView<IndexT, ValueT>> cols,
     if (!cols[i].empty())
       ws.nodes.push_back(Node{cols[i].rows[0], static_cast<std::int32_t>(i)});
   }
-  auto less = [](const Node& x, const Node& y) { return x.row > y.row; };
+  // (row, source) lexicographic order: `before(x, y)` means x pops first.
+  auto before = [](const Node& x, const Node& y) {
+    return x.row < y.row || (x.row == y.row && x.source < y.source);
+  };
+  auto less = [&before](const Node& x, const Node& y) { return before(y, x); };
   std::make_heap(ws.nodes.begin(), ws.nodes.end(), less);
   ops += ws.nodes.size();
 
@@ -141,9 +150,9 @@ std::size_t heap_add_column(std::span<const ColumnView<IndexT, ValueT>> cols,
         std::size_t child = 2 * hole + 1;
         if (child >= n) break;
         ++ops;
-        if (child + 1 < n && ws.nodes[child + 1].row < ws.nodes[child].row)
+        if (child + 1 < n && before(ws.nodes[child + 1], ws.nodes[child]))
           ++child;
-        if (ws.nodes[child].row >= item.row) break;
+        if (!before(ws.nodes[child], item)) break;
         ws.nodes[hole] = ws.nodes[child];
         hole = child;
       }
@@ -178,7 +187,8 @@ std::size_t spa_add_column(std::span<const ColumnView<IndexT, ValueT>> cols,
   ws.new_column();
   std::uint64_t touches = 0;
   for (const auto& col : cols) {
-    for (std::size_t i = 0; i < col.nnz(); ++i) ws.add(col.rows[i], col.vals[i]);
+    for (std::size_t i = 0; i < col.nnz(); ++i)
+      ws.add(col.rows[i], col.vals[i]);
     touches += col.nnz();
   }
   if (sorted_output) {

@@ -29,7 +29,8 @@ namespace detail {
 /// configurations stay functional.
 inline std::size_t table_entry_cap(const Options& opts,
                                    std::size_t bytes_per_entry) {
-  if (opts.max_table_entries != 0) return std::max<std::size_t>(opts.max_table_entries, 8);
+  if (opts.max_table_entries != 0)
+    return std::max<std::size_t>(opts.max_table_entries, 8);
   const std::size_t llc =
       opts.llc_bytes != 0 ? opts.llc_bytes : util::effective_llc_bytes();
   const int threads =

@@ -154,7 +154,8 @@ struct ThreadScratch {
            spa.values.capacity() * sizeof(ValueT) +
            spa.stamp.capacity() * sizeof(std::uint32_t) +
            spa.touched.capacity() * sizeof(IndexT) +
-           heap.nodes.capacity() * sizeof(typename HeapWorkspace<IndexT>::Node) +
+           heap.nodes.capacity() *
+               sizeof(typename HeapWorkspace<IndexT>::Node) +
            heap.cursor.capacity() * sizeof(std::size_t) +
            views.capacity() * sizeof(ColumnView<IndexT, ValueT>) +
            part_views.capacity() * sizeof(ColumnView<IndexT, ValueT>) +

@@ -57,7 +57,8 @@ CooMatrix<std::int32_t, double> rmat_coo(const RmatParams& p) {
     throw std::invalid_argument("rmat_coo: scale must be in [0, 30]");
   const double psum = p.a + p.b + p.c + p.d;
   if (psum < 0.999 || psum > 1.001)
-    throw std::invalid_argument("rmat_coo: quadrant probabilities must sum to 1");
+    throw std::invalid_argument(
+        "rmat_coo: quadrant probabilities must sum to 1");
 
   const auto rows = static_cast<std::int32_t>(1) << p.row_scale;
   const auto cols = static_cast<std::int32_t>(1) << p.col_scale;
@@ -108,11 +109,14 @@ std::vector<CscMatrix<std::int32_t, double>> split_columns(
       col_ptr[static_cast<std::size_t>(j)] =
           cp[static_cast<std::size_t>(j0 + j)] - base;
     const auto lo = static_cast<std::size_t>(base);
-    const auto hi = static_cast<std::size_t>(cp[static_cast<std::size_t>(j0 + slab)]);
-    std::vector<std::int32_t> row_idx(m.row_idx().begin() + static_cast<std::ptrdiff_t>(lo),
-                                      m.row_idx().begin() + static_cast<std::ptrdiff_t>(hi));
-    std::vector<double> values(m.values().begin() + static_cast<std::ptrdiff_t>(lo),
-                               m.values().begin() + static_cast<std::ptrdiff_t>(hi));
+    const auto hi =
+        static_cast<std::size_t>(cp[static_cast<std::size_t>(j0 + slab)]);
+    std::vector<std::int32_t> row_idx(
+        m.row_idx().begin() + static_cast<std::ptrdiff_t>(lo),
+        m.row_idx().begin() + static_cast<std::ptrdiff_t>(hi));
+    std::vector<double> values(
+        m.values().begin() + static_cast<std::ptrdiff_t>(lo),
+        m.values().begin() + static_cast<std::ptrdiff_t>(hi));
     out.emplace_back(m.rows(), slab, std::move(col_ptr), std::move(row_idx),
                      std::move(values));
   }

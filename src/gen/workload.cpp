@@ -57,7 +57,8 @@ void shuffle_columns(CscMatrix<std::int32_t, double>& m, std::uint64_t seed) {
   const auto cp = m.col_ptr();
   for (std::int32_t j = 0; j < m.cols(); ++j) {
     const auto lo = static_cast<std::size_t>(cp[static_cast<std::size_t>(j)]);
-    const auto hi = static_cast<std::size_t>(cp[static_cast<std::size_t>(j) + 1]);
+    const auto hi =
+        static_cast<std::size_t>(cp[static_cast<std::size_t>(j) + 1]);
     for (std::size_t i = hi; i > lo + 1; --i) {
       const std::size_t pick = lo + rng.bounded(i - lo);
       std::swap(rows[i - 1], rows[pick]);

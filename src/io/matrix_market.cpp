@@ -10,8 +10,9 @@ namespace spkadd::io {
 namespace {
 
 std::string lower(std::string s) {
-  std::transform(s.begin(), s.end(), s.begin(),
-                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
   return s;
 }
 
@@ -45,7 +46,8 @@ Banner parse_banner(std::istream& in) {
   field = lower(field);
   symmetry = lower(symmetry);
   if (object != "matrix")
-    throw std::runtime_error("MatrixMarket: unsupported object '" + object + "'");
+    throw std::runtime_error("MatrixMarket: unsupported object '" + object +
+                             "'");
   if (format != "coordinate")
     throw std::runtime_error("MatrixMarket: only coordinate format supported");
   Banner b;

@@ -21,7 +21,8 @@ namespace spkadd::io {
 struct MmHeader {
   std::int64_t rows = 0;
   std::int64_t cols = 0;
-  std::int64_t stored_entries = 0;  ///< entries in the file (before symmetry expansion)
+  /// Entries stored in the file (before symmetry expansion).
+  std::int64_t stored_entries = 0;
   bool pattern = false;
   bool symmetric = false;
   bool skew = false;

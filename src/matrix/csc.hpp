@@ -127,7 +127,8 @@ class CscMatrix {
 
   /// Non-owning view of column j's (row, value) tuples.
   [[nodiscard]] ColumnView<IndexT, ValueT> column(IndexT j) const {
-    const auto lo = static_cast<std::size_t>(col_ptr_[static_cast<std::size_t>(j)]);
+    const auto lo =
+        static_cast<std::size_t>(col_ptr_[static_cast<std::size_t>(j)]);
     const auto len = col_nnz(j);
     return ColumnView<IndexT, ValueT>{
         std::span<const IndexT>(row_idx_).subspan(lo, len),
@@ -156,8 +157,10 @@ class CscMatrix {
   void sort_columns() {
     std::vector<std::pair<IndexT, ValueT>> buf;
     for (IndexT j = 0; j < cols_; ++j) {
-      const auto lo = static_cast<std::size_t>(col_ptr_[static_cast<std::size_t>(j)]);
-      const auto hi = static_cast<std::size_t>(col_ptr_[static_cast<std::size_t>(j) + 1]);
+      const auto lo =
+          static_cast<std::size_t>(col_ptr_[static_cast<std::size_t>(j)]);
+      const auto hi =
+          static_cast<std::size_t>(col_ptr_[static_cast<std::size_t>(j) + 1]);
       if (hi - lo <= 1) continue;
       bool sorted = true;
       for (std::size_t i = lo + 1; i < hi; ++i)

@@ -96,7 +96,8 @@ template <class IndexT, class ValueT>
   const auto vals = m.values();
   for (IndexT r = 0; r < m.rows(); ++r) {
     for (auto i = static_cast<std::size_t>(rp[static_cast<std::size_t>(r)]);
-         i < static_cast<std::size_t>(rp[static_cast<std::size_t>(r) + 1]); ++i) {
+         i < static_cast<std::size_t>(rp[static_cast<std::size_t>(r) + 1]);
+         ++i) {
       auto& cur = cursor[static_cast<std::size_t>(ci[i])];
       row_idx[static_cast<std::size_t>(cur)] = r;
       values[static_cast<std::size_t>(cur)] = vals[i];

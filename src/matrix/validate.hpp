@@ -65,7 +65,8 @@ template <class IndexT, class ValueT>
     const auto col = m.column(j);
     for (std::size_t i = 0; i < col.nnz(); ++i) {
       bool in_range = col.rows[i] < m.rows();
-      if constexpr (std::is_signed_v<IndexT>) in_range = in_range && col.rows[i] >= 0;
+      if constexpr (std::is_signed_v<IndexT>)
+        in_range = in_range && col.rows[i] >= 0;
       if (!in_range)
         return ValidationResult::fail(
             describe_range_error(j, col.rows[i], m.rows()));

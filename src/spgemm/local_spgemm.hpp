@@ -179,12 +179,19 @@ std::size_t numeric_column_heap(const CscMatrix<IndexT, ValueT>& a,
 
 }  // namespace detail
 
-/// C = A * B. A is m x p, B is p x n, C is m x n. Column-parallel over the
-/// columns of B/C, thread-private accumulators, two-phase exact allocation.
+/// C = A * B, emitted into `out` (which is reset to an m x n product). A is
+/// m x p, B is p x n. Column-parallel over the columns of B/C with
+/// thread-private accumulators and two-phase exact allocation; the scratch
+/// comes from the caller's Runtime (the same per-thread superset pool the
+/// SpKAdd drivers use), so a streaming consumer — the SUMMA pipeline
+/// emitting stage products straight into accumulator-owned staging buffers
+/// — keeps one hot scratch pool across every multiply *and* every fold.
 template <class IndexT, class ValueT>
-[[nodiscard]] CscMatrix<IndexT, ValueT> multiply(
-    const CscMatrix<IndexT, ValueT>& a, const CscMatrix<IndexT, ValueT>& b,
-    const SpgemmOptions& opts = {}) {
+void multiply_into(const CscMatrix<IndexT, ValueT>& a,
+                   const CscMatrix<IndexT, ValueT>& b,
+                   const SpgemmOptions& opts,
+                   core::Runtime<IndexT, ValueT>& rt,
+                   CscMatrix<IndexT, ValueT>& out) {
   if (a.cols() != b.rows())
     throw std::invalid_argument("spgemm: inner dimensions disagree");
   if (opts.accumulator == Accumulator::Heap && !a.is_sorted())
@@ -192,53 +199,55 @@ template <class IndexT, class ValueT>
   const IndexT n = b.cols();
   const int nthreads =
       opts.threads > 0 ? opts.threads : util::current_max_threads();
+  rt.ensure_threads(nthreads);
 
   // Symbolic phase.
   std::vector<IndexT> counts(static_cast<std::size_t>(n));
-  std::vector<core::SymbolicHashWorkspace<IndexT>> sym(
-      static_cast<std::size_t>(nthreads));
 #pragma omp parallel for schedule(dynamic, 8) num_threads(nthreads)
   for (IndexT j = 0; j < n; ++j) {
-    auto& ws = sym[static_cast<std::size_t>(omp_get_thread_num())];
-    counts[static_cast<std::size_t>(j)] =
-        static_cast<IndexT>(detail::symbolic_column(a, b.column(j), ws));
+    auto& s = rt.scratch[static_cast<std::size_t>(omp_get_thread_num())];
+    counts[static_cast<std::size_t>(j)] = static_cast<IndexT>(
+        detail::symbolic_column(a, b.column(j), s.sym_table));
   }
 
-  CscMatrix<IndexT, ValueT> c(a.rows(), n);
-  c.set_structure(util::counts_to_offsets(std::span<const IndexT>(counts)));
-  auto* out_rows = c.mutable_row_idx().data();
-  auto* out_vals = c.mutable_values().data();
-  const auto cp = c.col_ptr();
+  out = CscMatrix<IndexT, ValueT>(a.rows(), n);
+  out.set_structure(util::counts_to_offsets(std::span<const IndexT>(counts)));
+  auto* out_rows = out.mutable_row_idx().data();
+  auto* out_vals = out.mutable_values().data();
+  const auto cp = out.col_ptr();
 
   // Numeric phase.
   if (opts.accumulator == Accumulator::Hash) {
-    std::vector<core::HashWorkspace<IndexT, ValueT>> tables(
-        static_cast<std::size_t>(nthreads));
 #pragma omp parallel for schedule(dynamic, 8) num_threads(nthreads)
     for (IndexT j = 0; j < n; ++j) {
-      auto& ws = tables[static_cast<std::size_t>(omp_get_thread_num())];
+      auto& s = rt.scratch[static_cast<std::size_t>(omp_get_thread_num())];
       const auto lo = static_cast<std::size_t>(cp[static_cast<std::size_t>(j)]);
       const auto expected = static_cast<std::size_t>(
           cp[static_cast<std::size_t>(j) + 1] -
           cp[static_cast<std::size_t>(j)]);
-      detail::numeric_column_hash(a, b.column(j), expected, ws, out_rows + lo,
-                                  out_vals + lo, opts.sorted_output);
+      detail::numeric_column_hash(a, b.column(j), expected, s.table,
+                                  out_rows + lo, out_vals + lo,
+                                  opts.sorted_output);
     }
   } else {
-    struct HeapScratch {
-      core::HeapWorkspace<IndexT> heap;
-      std::vector<ValueT> scales;
-      std::vector<ColumnView<IndexT, ValueT>> views;
-    };
-    std::vector<HeapScratch> scratch(static_cast<std::size_t>(nthreads));
 #pragma omp parallel for schedule(dynamic, 8) num_threads(nthreads)
     for (IndexT j = 0; j < n; ++j) {
-      auto& s = scratch[static_cast<std::size_t>(omp_get_thread_num())];
+      auto& s = rt.scratch[static_cast<std::size_t>(omp_get_thread_num())];
       const auto lo = static_cast<std::size_t>(cp[static_cast<std::size_t>(j)]);
-      detail::numeric_column_heap(a, b.column(j), s.heap, s.scales, s.views,
-                                  out_rows + lo, out_vals + lo);
+      detail::numeric_column_heap(a, b.column(j), s.heap, s.vals_scratch,
+                                  s.views, out_rows + lo, out_vals + lo);
     }
   }
+}
+
+/// C = A * B with a call-local Runtime (the one-shot convenience API).
+template <class IndexT, class ValueT>
+[[nodiscard]] CscMatrix<IndexT, ValueT> multiply(
+    const CscMatrix<IndexT, ValueT>& a, const CscMatrix<IndexT, ValueT>& b,
+    const SpgemmOptions& opts = {}) {
+  core::Runtime<IndexT, ValueT> rt;
+  CscMatrix<IndexT, ValueT> c;
+  multiply_into(a, b, opts, rt, c);
   return c;
 }
 

@@ -1,9 +1,14 @@
 #include "summa/sparse_summa.hpp"
 
+#include <omp.h>
+
+#include <algorithm>
 #include <stdexcept>
 
+#include "core/accumulator.hpp"
 #include "core/spkadd.hpp"
 #include "matrix/block.hpp"
+#include "util/thread_control.hpp"
 #include "util/timer.hpp"
 
 namespace spkadd::summa {
@@ -84,68 +89,203 @@ Csc assemble_blocks(const std::vector<std::vector<Csc>>& blocks,
              std::move(values));
 }
 
-SummaResult multiply(const Csc& a, const Csc& b, const SummaConfig& config) {
-  if (a.cols() != b.rows())
-    throw std::invalid_argument("summa: inner dimensions disagree");
-  if (config.grid < 1) throw std::invalid_argument("summa: grid must be >= 1");
-  if (config.reduce_method == core::Method::Heap &&
-      !config.sort_local_products)
-    throw std::invalid_argument(
-        "summa: heap reduction requires sorted local products");
-  const int g = config.grid;
+namespace {
 
-  // Block boundaries: A is partitioned g x g over (rows x inner), B over
-  // (inner x cols). C inherits A's row and B's column partitions.
-  const auto a_rows = partition_bounds(a.rows(), g);
-  const auto inner = partition_bounds(a.cols(), g);
-  const auto b_cols = partition_bounds(b.cols(), g);
-
+/// Everything the per-schedule runners share.
+struct Plan {
+  const Csc& a;
+  const Csc& b;
+  const SummaConfig& config;
+  std::vector<std::int32_t> a_rows;
+  std::vector<std::int32_t> inner;
+  std::vector<std::int32_t> b_cols;
   spgemm::SpgemmOptions mult_opts;
-  mult_opts.accumulator = config.local_accumulator;
-  mult_opts.sorted_output = config.sort_local_products;
-  mult_opts.threads = config.threads;
-
   core::Options reduce_opts;
-  reduce_opts.method = config.reduce_method;
-  reduce_opts.inputs_sorted = config.sort_local_products;
-  reduce_opts.sorted_output = true;
-  reduce_opts.threads = config.threads;
+};
 
-  SummaResult result;
-  std::vector<std::vector<Csc>> c_blocks(
-      static_cast<std::size_t>(g), std::vector<Csc>(static_cast<std::size_t>(g)));
-
-  // One simulated process at a time; each process's stage products are
-  // produced by local SpGEMMs and reduced with SpKAdd. Wall time of the two
-  // phases is accumulated across processes, exactly the quantity Fig. 6
-  // stacks per pipeline.
+/// Buffered (pre-streaming) schedule: all g stage products materialized at
+/// each process, then one one-shot SpKAdd. O(g * nnz) peak intermediates —
+/// the baseline the streaming pipeline is measured against.
+void run_buffered(const Plan& plan, std::vector<std::vector<Csc>>& c_blocks,
+                  SummaResult& result) {
+  const int g = plan.config.grid;
   for (int pi = 0; pi < g; ++pi) {
     for (int pj = 0; pj < g; ++pj) {
       std::vector<Csc> stage_products;
       stage_products.reserve(static_cast<std::size_t>(g));
-      util::WallTimer mult_timer;
       for (int s = 0; s < g; ++s) {
-        const Csc a_blk = extract_block(a, a_rows[static_cast<std::size_t>(pi)],
-                                        a_rows[static_cast<std::size_t>(pi) + 1],
-                                        inner[static_cast<std::size_t>(s)],
-                                        inner[static_cast<std::size_t>(s) + 1]);
-        const Csc b_blk = extract_block(b, inner[static_cast<std::size_t>(s)],
-                                        inner[static_cast<std::size_t>(s) + 1],
-                                        b_cols[static_cast<std::size_t>(pj)],
-                                        b_cols[static_cast<std::size_t>(pj) + 1]);
-        stage_products.push_back(spgemm::multiply(a_blk, b_blk, mult_opts));
+        util::WallTimer mult_timer;
+        const Csc a_blk =
+            extract_block(plan.a, plan.a_rows[static_cast<std::size_t>(pi)],
+                          plan.a_rows[static_cast<std::size_t>(pi) + 1],
+                          plan.inner[static_cast<std::size_t>(s)],
+                          plan.inner[static_cast<std::size_t>(s) + 1]);
+        const Csc b_blk =
+            extract_block(plan.b, plan.inner[static_cast<std::size_t>(s)],
+                          plan.inner[static_cast<std::size_t>(s) + 1],
+                          plan.b_cols[static_cast<std::size_t>(pj)],
+                          plan.b_cols[static_cast<std::size_t>(pj) + 1]);
+        stage_products.push_back(
+            spgemm::multiply(a_blk, b_blk, plan.mult_opts));
+        result.stage_multiply_seconds[static_cast<std::size_t>(s)] +=
+            mult_timer.seconds();
       }
-      result.multiply_seconds += mult_timer.seconds();
-      for (const Csc& p : stage_products) result.intermediate_nnz += p.nnz();
+      std::size_t live_nnz = 0;
+      for (const Csc& p : stage_products) {
+        live_nnz += p.nnz();
+        result.max_stage_nnz = std::max(result.max_stage_nnz, p.nnz());
+      }
+      result.intermediate_nnz += live_nnz;
+      result.peak_intermediate_nnz =
+          std::max(result.peak_intermediate_nnz, live_nnz);
 
       util::WallTimer add_timer;
       c_blocks[static_cast<std::size_t>(pi)][static_cast<std::size_t>(pj)] =
-          core::spkadd(stage_products, reduce_opts);
-      result.spkadd_seconds += add_timer.seconds();
+          core::spkadd(stage_products, plan.reduce_opts);
+      result.stage_spkadd_seconds[static_cast<std::size_t>(g) - 1] +=
+          add_timer.seconds();
     }
   }
+}
 
-  result.c = assemble_blocks(c_blocks, a_rows, b_cols);
+/// Streaming schedule: the g x g process loop runs OpenMP-parallel; each
+/// worker thread owns one core::Accumulator (reshaped per process, its
+/// Runtime scratch persisting across every stage, fold, and process it
+/// serves) and emits each stage product in place into an accumulator-owned
+/// staging buffer — no stage product is ever copied, and at most
+/// stream_window of them are live per process.
+void run_streaming(const Plan& plan, std::vector<std::vector<Csc>>& c_blocks,
+                   SummaResult& result) {
+  const int g = plan.config.grid;
+  const int outer = plan.config.threads > 0 ? plan.config.threads
+                                            : util::current_max_threads();
+  // Inside the process-parallel region the per-process kernels run on the
+  // (single-threaded) nested team; pin their scratch pools to one slot.
+  spgemm::SpgemmOptions mult_opts = plan.mult_opts;
+  core::Options reduce_opts = plan.reduce_opts;
+  mult_opts.threads = 1;
+  reduce_opts.threads = 1;
+
+#pragma omp parallel num_threads(outer)
+  {
+    core::Accumulator<> acc(
+        0, 0, reduce_opts,
+        static_cast<std::size_t>(plan.config.stream_window));
+    std::vector<double> mult_s(static_cast<std::size_t>(g), 0.0);
+    std::vector<double> add_s(static_cast<std::size_t>(g), 0.0);
+    std::size_t inter_nnz = 0;
+    std::size_t max_stage = 0;
+
+#pragma omp for collapse(2) schedule(dynamic, 1)
+    for (int pi = 0; pi < g; ++pi) {
+      for (int pj = 0; pj < g; ++pj) {
+        acc.reshape(plan.a_rows[static_cast<std::size_t>(pi) + 1] -
+                        plan.a_rows[static_cast<std::size_t>(pi)],
+                    plan.b_cols[static_cast<std::size_t>(pj) + 1] -
+                        plan.b_cols[static_cast<std::size_t>(pj)]);
+        for (int s = 0; s < g; ++s) {
+          util::WallTimer mult_timer;
+          const Csc a_blk =
+              extract_block(plan.a, plan.a_rows[static_cast<std::size_t>(pi)],
+                            plan.a_rows[static_cast<std::size_t>(pi) + 1],
+                            plan.inner[static_cast<std::size_t>(s)],
+                            plan.inner[static_cast<std::size_t>(s) + 1]);
+          const Csc b_blk =
+              extract_block(plan.b, plan.inner[static_cast<std::size_t>(s)],
+                            plan.inner[static_cast<std::size_t>(s) + 1],
+                            plan.b_cols[static_cast<std::size_t>(pj)],
+                            plan.b_cols[static_cast<std::size_t>(pj) + 1]);
+          Csc& stage = acc.stage_buffer();
+          spgemm::multiply_into(a_blk, b_blk, mult_opts, acc.runtime(),
+                                stage);
+          mult_s[static_cast<std::size_t>(s)] += mult_timer.seconds();
+          inter_nnz += stage.nnz();
+          max_stage = std::max(max_stage, stage.nnz());
+
+          util::WallTimer add_timer;
+          acc.commit_staged();  // folds every stream_window stage products
+          add_s[static_cast<std::size_t>(s)] += add_timer.seconds();
+        }
+        util::WallTimer fin_timer;
+        c_blocks[static_cast<std::size_t>(pi)][static_cast<std::size_t>(pj)] =
+            acc.finalize();
+        add_s[static_cast<std::size_t>(g) - 1] += fin_timer.seconds();
+      }
+    }
+
+#pragma omp critical(spkadd_summa_reduce_result)
+    {
+      for (int s = 0; s < g; ++s) {
+        result.stage_multiply_seconds[static_cast<std::size_t>(s)] +=
+            mult_s[static_cast<std::size_t>(s)];
+        result.stage_spkadd_seconds[static_cast<std::size_t>(s)] +=
+            add_s[static_cast<std::size_t>(s)];
+      }
+      result.intermediate_nnz += inter_nnz;
+      result.max_stage_nnz = std::max(result.max_stage_nnz, max_stage);
+      result.peak_intermediate_nnz = std::max(
+          result.peak_intermediate_nnz, acc.stats().peak_staged_nnz);
+    }
+  }
+}
+
+}  // namespace
+
+SummaResult multiply(const Csc& a, const Csc& b, const SummaConfig& config) {
+  if (a.cols() != b.rows())
+    throw std::invalid_argument("summa: inner dimensions disagree");
+  if (config.grid < 1) throw std::invalid_argument("summa: grid must be >= 1");
+  if (config.stream_window < 1)
+    throw std::invalid_argument("summa: stream_window must be >= 1");
+  if (config.reduce_method == core::Method::Heap &&
+      !config.sort_local_products)
+    throw std::invalid_argument(
+        "summa: heap reduction requires sorted local products");
+  // Checked up front (not per block inside the workers): an exception from
+  // the local multiply's own guard would escape an OpenMP structured block
+  // and terminate instead of propagating.
+  if (config.local_accumulator == spgemm::Accumulator::Heap && !a.is_sorted())
+    throw std::invalid_argument(
+        "summa: heap local multiply requires sorted columns of A");
+  const int g = config.grid;
+
+  // Block boundaries: A is partitioned g x g over (rows x inner), B over
+  // (inner x cols). C inherits A's row and B's column partitions.
+  Plan plan{a,
+            b,
+            config,
+            partition_bounds(a.rows(), g),
+            partition_bounds(a.cols(), g),
+            partition_bounds(b.cols(), g),
+            {},
+            {}};
+  plan.mult_opts.accumulator = config.local_accumulator;
+  plan.mult_opts.sorted_output = config.sort_local_products;
+  plan.mult_opts.threads = config.threads;
+  plan.reduce_opts.method = config.reduce_method;
+  plan.reduce_opts.inputs_sorted = config.sort_local_products;
+  plan.reduce_opts.sorted_output = true;
+  plan.reduce_opts.threads = config.threads;
+
+  SummaResult result;
+  result.stage_multiply_seconds.assign(static_cast<std::size_t>(g), 0.0);
+  result.stage_spkadd_seconds.assign(static_cast<std::size_t>(g), 0.0);
+  // Built row by row: the (vector, prototype) constructor would *copy* g*g
+  // default matrices, tripping the zero-copy pin on the streaming path.
+  std::vector<std::vector<Csc>> c_blocks(static_cast<std::size_t>(g));
+  for (auto& row : c_blocks) row.resize(static_cast<std::size_t>(g));
+
+  // Wall time of the two phases is accumulated across processes (and, when
+  // streaming, across worker threads), exactly the quantity Fig. 6 stacks
+  // per pipeline.
+  if (config.streaming)
+    run_streaming(plan, c_blocks, result);
+  else
+    run_buffered(plan, c_blocks, result);
+  for (double s : result.stage_multiply_seconds) result.multiply_seconds += s;
+  for (double s : result.stage_spkadd_seconds) result.spkadd_seconds += s;
+
+  result.c = assemble_blocks(c_blocks, plan.a_rows, plan.b_cols);
   result.compression_factor =
       result.c.nnz() == 0
           ? 1.0

@@ -12,8 +12,23 @@
 //   * stage s broadcasts A(:, s-blocks) along grid rows and B(s-blocks, :)
 //     along grid columns (a no-op here — blocks are simply referenced);
 //   * process (i, j) computes the stage product A_is * B_sj locally;
-//   * after g stages, the g intermediates at each process are reduced with
-//     SpKAdd — the operation this library exists for. k == g.
+//   * the per-process stage products are reduced with SpKAdd — the
+//     operation this library exists for. k == g.
+//
+// Two schedules implement that reduction:
+//   * Streaming (default) — each process feeds every stage product straight
+//     into a persistent core::Accumulator (emitted in place into an
+//     accumulator-owned staging buffer, zero copies), which folds every
+//     `stream_window` products into the running block sum. Peak live
+//     intermediates per process drop from g stage products to at most
+//     stream_window — the paper's §V memory-constrained extension applied
+//     to its own headline application. The g x g process loop runs
+//     OpenMP-parallel, one accumulator (and thus one persistent Runtime of
+//     per-thread scratch) per worker thread, reshaped across processes.
+//   * Buffered — the pre-streaming schedule: materialize all g stage
+//     products, then one-shot SpKAdd. Kept as the comparison baseline;
+//     produces the bit-identical C (all SpKAdd folds accumulate strictly
+//     left to right, so the streaming fold chain is the same FP reduction).
 //
 // The three Fig. 6 pipelines map to configurations:
 //   Heap          — sorted local multiplies + Heap SpKAdd (CombBLAS legacy)
@@ -38,7 +53,15 @@ struct SummaConfig {
   /// reduce_method is Heap (heap SpKAdd needs sorted inputs).
   bool sort_local_products = true;
   core::Method reduce_method = core::Method::Hash;
-  int threads = 0;  ///< threads per simulated process (0 = omp default)
+  /// Streaming mode: worker threads for the process-parallel g x g loop
+  /// (each simulated process runs its kernels single-threaded). Buffered
+  /// mode: threads per simulated process. 0 = omp default.
+  int threads = 0;
+  /// Streaming (default) vs buffered schedule; see the header comment.
+  bool streaming = true;
+  /// Streaming only: stage products staged per process before a fold into
+  /// the running sum — the §V memory bound. Must be >= 1.
+  int stream_window = 2;
 };
 
 /// Named presets matching the bars of Fig. 6.
@@ -52,6 +75,17 @@ struct SummaResult {
   double spkadd_seconds = 0;          ///< total SpKAdd reduction time
   std::size_t intermediate_nnz = 0;   ///< sum nnz of all stage products
   double compression_factor = 0;      ///< intermediate nnz / nnz(C)
+  /// Max total nnz of stage products simultaneously live at any simulated
+  /// process: at most stream_window products' worth when streaming, all g
+  /// when buffered — the memory bound the streaming pipeline exists for.
+  std::size_t peak_intermediate_nnz = 0;
+  std::size_t max_stage_nnz = 0;  ///< largest single stage product
+  /// Per-stage phase times, summed over processes (size g). Streaming
+  /// charges each fold to the stage whose commit triggered it and the
+  /// final fold to stage g-1; buffered charges its one-shot reduction to
+  /// stage g-1.
+  std::vector<double> stage_multiply_seconds;
+  std::vector<double> stage_spkadd_seconds;
 };
 
 /// Run the simulated SUMMA schedule; returns assembled C plus the two

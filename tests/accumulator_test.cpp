@@ -24,7 +24,7 @@ using spkadd::testing::random_matrix;
 
 using Csc = spkadd::testing::Csc;
 
-// ------------------------------------------------------ incremental == one-shot
+// --------------------------------------------------- incremental == one-shot
 TEST(Accumulator, IncrementalAddEqualsOneShotSpkadd) {
   for (const std::uint64_t seed : {1u, 2u, 3u}) {
     for (const int k : {1, 5, 8, 17}) {
@@ -158,6 +158,109 @@ TEST(Accumulator, StatsTrackPeakIntermediateFootprint) {
   acc.add_batch(std::span<const Csc>(inputs));
   (void)acc.finalize();
   EXPECT_GT(acc.stats().peak_intermediate_bytes, 0u);
+}
+
+// ----------------------------------------------- in-place staging + reshape
+TEST(Accumulator, StageBufferEmitsInPlaceWithZeroCopies) {
+  auto inputs = random_collection(9, 64, 8, 150, 41);
+  const auto oracle = dense_sum_oracle(std::span<const Csc>(inputs));
+  Options opts;
+  opts.method = Method::Hash;
+  Accumulator<> acc(64, 8, opts, 3);
+  const std::uint64_t before = debug::csc_copies();
+  for (auto& m : inputs) {
+    acc.stage_buffer() = std::move(m);  // the producer fills the slot
+    acc.commit_staged();
+  }
+  const auto out = acc.finalize();
+  EXPECT_EQ(debug::csc_copies() - before, 0u);
+  EXPECT_TRUE(approx_equal(oracle, out));
+}
+
+TEST(Accumulator, StageBufferProtocolIsEnforced) {
+  const auto m = random_matrix(16, 4, 30, 42);
+  Accumulator<> acc(16, 4);
+  EXPECT_THROW(acc.commit_staged(), std::logic_error);  // nothing open
+  auto& slot = acc.stage_buffer();
+  EXPECT_THROW((void)acc.stage_buffer(), std::logic_error);  // already open
+  EXPECT_THROW(acc.flush(), std::logic_error);  // fold with an open buffer
+  EXPECT_THROW(acc.add(m), std::logic_error);   // add with an open buffer
+  EXPECT_THROW(acc.add(Csc(m)), std::logic_error);  // owned add, same
+  slot = Csc(16, 4);
+  acc.commit_staged();
+  EXPECT_EQ(acc.pending(), 1u);
+  // A committed wrong-shape emission is rejected like any other addend.
+  acc.stage_buffer() = Csc(8, 4);
+  EXPECT_THROW(acc.commit_staged(), std::invalid_argument);
+}
+
+TEST(Accumulator, RejectedStageBufferLeavesNoDebris) {
+  // A wrong-shape emission must vanish entirely: the next single-addend
+  // stream must yield that addend, not the rejected buffer's contents.
+  const auto m = random_matrix(16, 4, 30, 48);
+  Accumulator<> acc(16, 4);
+  acc.stage_buffer() = Csc(8, 4);
+  EXPECT_THROW(acc.commit_staged(), std::invalid_argument);
+  acc.add(m);  // borrowed single addend
+  const auto out = acc.finalize();
+  EXPECT_TRUE(out == m);
+}
+
+TEST(Accumulator, ReshapeServesDifferentlyShapedStreams) {
+  Accumulator<> acc(64, 8, Options{}, 4);
+  const auto first = random_collection(6, 64, 8, 150, 43);
+  acc.add_batch(std::span<const Csc>(first));
+  EXPECT_TRUE(approx_equal(dense_sum_oracle(std::span<const Csc>(first)),
+                           acc.finalize()));
+  const std::size_t grown = acc.workspace_bytes();
+
+  acc.reshape(32, 5);
+  EXPECT_EQ(acc.rows(), 32);
+  EXPECT_EQ(acc.cols(), 5);
+  EXPECT_EQ(acc.workspace_bytes(), grown);  // scratch survives the reshape
+  const auto second = random_collection(6, 32, 5, 80, 44);
+  acc.add_batch(std::span<const Csc>(second));
+  EXPECT_TRUE(approx_equal(dense_sum_oracle(std::span<const Csc>(second)),
+                           acc.finalize()));
+}
+
+TEST(Accumulator, ReshapeWhileNotIdleThrows) {
+  const auto m = random_matrix(16, 4, 30, 45);
+  Accumulator<> acc(16, 4);
+  acc.add(m);
+  EXPECT_THROW(acc.reshape(8, 8), std::logic_error);  // pending addend
+  acc.flush();
+  EXPECT_THROW(acc.reshape(8, 8), std::logic_error);  // running sum exists
+  (void)acc.finalize();
+  acc.reshape(8, 8);  // idle again: fine
+  EXPECT_EQ(acc.rows(), 8);
+}
+
+TEST(Accumulator, PeakStagedNnzIsBoundedByBatchCapacity) {
+  const auto inputs = random_collection(12, 64, 8, 200, 46);
+  std::size_t max_addend = 0;
+  for (const auto& m : inputs) max_addend = std::max(max_addend, m.nnz());
+  for (const std::size_t cap : {1u, 2u, 4u}) {
+    Accumulator<> acc(64, 8, Options{}, cap);
+    acc.add_batch(std::span<const Csc>(inputs));
+    (void)acc.finalize();
+    EXPECT_LE(acc.stats().peak_staged_nnz, cap * max_addend) << "cap=" << cap;
+    EXPECT_GT(acc.stats().peak_staged_nnz, 0u);
+  }
+}
+
+TEST(Accumulator, HeapMethodStreamingIsBitIdenticalToOneShot) {
+  // The (row, source) heap tie-break makes the k-way merge a strict left
+  // fold, so incremental heap folds reproduce one-shot heap SpKAdd exactly.
+  const auto inputs = random_collection(11, 96, 10, 400, 47);
+  Options opts;
+  opts.method = Method::Heap;
+  const auto one_shot = core::spkadd(std::span<const Csc>(inputs), opts);
+  for (const std::size_t cap : {1u, 2u, 3u, 16u}) {
+    Accumulator<> acc(96, 10, opts, cap);
+    acc.add_batch(std::span<const Csc>(inputs));
+    EXPECT_TRUE(acc.finalize() == one_shot) << "cap=" << cap;
+  }
 }
 
 // ------------------------------------------------------ nnz-aware scheduling

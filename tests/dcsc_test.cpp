@@ -24,7 +24,8 @@ TEST(Dcsc, RoundTripsThroughCsc) {
 }
 
 TEST(Dcsc, SkipsEmptyColumns) {
-  const auto m = from_triplets(8, 100, {{1, 3, 1.0}, {2, 3, 2.0}, {5, 97, 3.0}});
+  const auto m =
+      from_triplets(8, 100, {{1, 3, 1.0}, {2, 3, 2.0}, {5, 97, 3.0}});
   const auto d = csc_to_dcsc(m);
   EXPECT_EQ(d.nonempty_cols(), 2u);
   EXPECT_EQ(d.jc()[0], 3);

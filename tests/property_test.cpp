@@ -122,8 +122,14 @@ void check_generic_roundtrip() {
   EXPECT_EQ(hash_out.rows(), 16);
 }
 
-TEST(GenericTypes, Int64Double) { check_generic_roundtrip<std::int64_t, double>(); }
-TEST(GenericTypes, Int32Float) { check_generic_roundtrip<std::int32_t, float>(); }
-TEST(GenericTypes, Int64Float) { check_generic_roundtrip<std::int64_t, float>(); }
+TEST(GenericTypes, Int64Double) {
+  check_generic_roundtrip<std::int64_t, double>();
+}
+TEST(GenericTypes, Int32Float) {
+  check_generic_roundtrip<std::int32_t, float>();
+}
+TEST(GenericTypes, Int64Float) {
+  check_generic_roundtrip<std::int64_t, float>();
+}
 
 }  // namespace

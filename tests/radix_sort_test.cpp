@@ -16,7 +16,8 @@ void check_pairs_sorted(std::size_t n, std::uint64_t seed, K key_bound) {
   std::vector<K> keys(n);
   std::vector<double> vals(n);
   for (std::size_t i = 0; i < n; ++i) {
-    keys[i] = static_cast<K>(rng.bounded(static_cast<std::uint64_t>(key_bound)));
+    keys[i] =
+        static_cast<K>(rng.bounded(static_cast<std::uint64_t>(key_bound)));
     vals[i] = static_cast<double>(keys[i]) * 0.5;  // value tied to key
   }
   auto expected_keys = keys;

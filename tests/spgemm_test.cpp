@@ -126,6 +126,29 @@ TEST(Spgemm, ThreadCountsAgree) {
   }
 }
 
+TEST(Spgemm, MultiplyIntoMatchesMultiplyBitIdentically) {
+  // multiply_into with a shared, reused Runtime is the streaming SUMMA
+  // producer; it must be the same computation as the one-shot API, bit for
+  // bit, no matter how stale or grown the scratch pool is.
+  const auto a = random_matrix(72, 56, 600, 40);
+  const auto b = random_matrix(56, 64, 500, 41);
+  core::Runtime<std::int32_t, double> rt;
+  for (const auto acc : {Accumulator::Hash, Accumulator::Heap}) {
+    for (const bool sorted : {true, false}) {
+      if (acc == Accumulator::Heap && !sorted) continue;
+      SpgemmOptions opts;
+      opts.accumulator = acc;
+      opts.sorted_output = sorted;
+      const auto one_shot = multiply(a, b, opts);
+      Csc emitted;
+      multiply_into(a, b, opts, rt, emitted);  // rt reused across configs
+      EXPECT_TRUE(emitted == one_shot)
+          << (acc == Accumulator::Hash ? "hash" : "heap")
+          << " sorted=" << sorted;
+    }
+  }
+}
+
 TEST(Spgemm, ProducesSpkaddReadyIntermediates) {
   // The paper's pipeline: k products A_i * B_i reduced by SpKAdd.
   std::vector<Csc> products;

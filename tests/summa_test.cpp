@@ -1,6 +1,10 @@
 // Simulated sparse SUMMA: the distributed schedule must compute exactly the
-// same product as a direct local SpGEMM, for every grid size and pipeline.
+// same product as a direct local SpGEMM, for every grid size and pipeline —
+// and the streaming schedule must match the buffered baseline bit for bit
+// while keeping at most stream_window stage products live per process.
 #include <gtest/gtest.h>
+
+#include <numeric>
 
 #include "matrix/block.hpp"
 #include "matrix/validate.hpp"
@@ -15,6 +19,16 @@ using namespace spkadd::summa;
 using spkadd::testing::random_matrix;
 
 using Csc = spkadd::testing::Csc;
+
+/// All three Fig. 6 preset factories, by name.
+const std::vector<std::pair<const char*, SummaConfig (*)(int)>>& presets() {
+  static const std::vector<std::pair<const char*, SummaConfig (*)(int)>> p{
+      {"Heap", heap_pipeline},
+      {"Sorted Hash", sorted_hash_pipeline},
+      {"Unsorted Hash", unsorted_hash_pipeline},
+  };
+  return p;
+}
 
 TEST(Summa, MatchesDirectMultiplyAcrossGridSizes) {
   const auto a = random_matrix(96, 64, 800, 1);
@@ -69,7 +83,8 @@ TEST(Summa, AssembleBlocksRoundTripsPartition) {
   const auto rb = partition_bounds(m.rows(), g);
   const auto cb = partition_bounds(m.cols(), g);
   std::vector<std::vector<Csc>> blocks(
-      static_cast<std::size_t>(g), std::vector<Csc>(static_cast<std::size_t>(g)));
+      static_cast<std::size_t>(g),
+      std::vector<Csc>(static_cast<std::size_t>(g)));
   for (int i = 0; i < g; ++i)
     for (int j = 0; j < g; ++j)
       blocks[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
@@ -78,6 +93,126 @@ TEST(Summa, AssembleBlocksRoundTripsPartition) {
                         cb[static_cast<std::size_t>(j)],
                         cb[static_cast<std::size_t>(j) + 1]);
   EXPECT_TRUE(assemble_blocks(blocks, rb, cb) == m);
+}
+
+// ------------------------------------------------------ streaming pipeline
+
+TEST(SummaStreaming, BitIdenticalToBufferedForAllFig6Presets) {
+  // The streaming fold chain is the same left-to-right FP reduction as the
+  // buffered one-shot SpKAdd, so C must match *bit for bit* — not just
+  // within tolerance — for every preset, grid, and window.
+  const auto a = random_matrix(96, 72, 1400, 21);
+  const auto b = random_matrix(72, 88, 1300, 22);
+  for (const auto& [name, make] : presets()) {
+    for (int g : {1, 3, 4}) {
+      SummaConfig buffered = make(g);
+      buffered.streaming = false;
+      const auto base = multiply(a, b, buffered);
+      for (int window : {1, 2, 3, 8}) {
+        SummaConfig streaming = make(g);
+        streaming.streaming = true;
+        streaming.stream_window = window;
+        const auto result = multiply(a, b, streaming);
+        EXPECT_TRUE(result.c == base.c)
+            << name << " grid=" << g << " window=" << window;
+        EXPECT_EQ(result.intermediate_nnz, base.intermediate_nnz);
+      }
+    }
+  }
+}
+
+TEST(SummaStreaming, PeakIntermediatesBoundedByWindow) {
+  const auto a = random_matrix(120, 96, 2600, 23);
+  const auto b = random_matrix(96, 120, 2600, 24);
+  for (int window : {1, 2, 3}) {
+    SummaConfig cfg = sorted_hash_pipeline(4);
+    cfg.stream_window = window;
+    const auto result = multiply(a, b, cfg);
+    // Never more than `window` stage products live at once: the peak is
+    // bounded by window x the largest single stage product.
+    EXPECT_LE(result.peak_intermediate_nnz,
+              static_cast<std::size_t>(window) * result.max_stage_nnz)
+        << "window=" << window;
+    EXPECT_GE(result.peak_intermediate_nnz, result.max_stage_nnz);
+  }
+  // The buffered baseline holds all g stage products, so the streaming peak
+  // can never exceed it.
+  SummaConfig buffered = sorted_hash_pipeline(4);
+  buffered.streaming = false;
+  SummaConfig streaming = sorted_hash_pipeline(4);
+  streaming.stream_window = 2;
+  EXPECT_LE(multiply(a, b, streaming).peak_intermediate_nnz,
+            multiply(a, b, buffered).peak_intermediate_nnz);
+}
+
+TEST(SummaStreaming, ZeroStageProductCopies) {
+  // Stage products are emitted in place into accumulator-owned staging
+  // buffers and folded by pointer: the whole streaming schedule performs
+  // zero CscMatrix deep copies.
+  const auto a = random_matrix(80, 64, 900, 25);
+  const auto b = random_matrix(64, 80, 900, 26);
+  for (const auto& [name, make] : presets()) {
+    SummaConfig cfg = make(4);
+    cfg.stream_window = 2;
+    const std::uint64_t before = debug::csc_copies();
+    const auto result = multiply(a, b, cfg);
+    EXPECT_EQ(debug::csc_copies() - before, 0u) << name;
+    EXPECT_GT(result.c.nnz(), 0u);
+  }
+}
+
+TEST(SummaStreaming, PerStageTimingsCoverAllStages) {
+  const auto a = random_matrix(64, 48, 700, 27);
+  const auto b = random_matrix(48, 64, 650, 28);
+  for (bool streaming : {true, false}) {
+    SummaConfig cfg = sorted_hash_pipeline(3);
+    cfg.streaming = streaming;
+    const auto result = multiply(a, b, cfg);
+    ASSERT_EQ(result.stage_multiply_seconds.size(), 3u);
+    ASSERT_EQ(result.stage_spkadd_seconds.size(), 3u);
+    const double mult_total =
+        std::accumulate(result.stage_multiply_seconds.begin(),
+                        result.stage_multiply_seconds.end(), 0.0);
+    const double add_total =
+        std::accumulate(result.stage_spkadd_seconds.begin(),
+                        result.stage_spkadd_seconds.end(), 0.0);
+    EXPECT_DOUBLE_EQ(result.multiply_seconds, mult_total);
+    EXPECT_DOUBLE_EQ(result.spkadd_seconds, add_total);
+    for (double s : result.stage_multiply_seconds) EXPECT_GE(s, 0.0);
+    for (double s : result.stage_spkadd_seconds) EXPECT_GE(s, 0.0);
+  }
+}
+
+TEST(SummaStreaming, UnsortedInputWithHeapLocalMultiplyThrowsUpFront) {
+  // The guard must fire before the process-parallel region: an exception
+  // thrown inside an OpenMP worker would terminate instead of propagating.
+  Csc unsorted(2, 2, {0, 2, 2}, {1, 0}, {1.0, 2.0});  // descending rows
+  ASSERT_FALSE(unsorted.is_sorted());
+  const auto b = random_matrix(2, 2, 3, 33);
+  for (bool streaming : {true, false}) {
+    SummaConfig cfg = heap_pipeline(2);
+    cfg.streaming = streaming;
+    EXPECT_THROW(multiply(unsorted, b, cfg), std::invalid_argument)
+        << "streaming=" << streaming;
+  }
+}
+
+TEST(SummaStreaming, RejectsZeroWindow) {
+  const auto a = random_matrix(16, 16, 40, 29);
+  const auto b = random_matrix(16, 16, 40, 30);
+  SummaConfig cfg = sorted_hash_pipeline(2);
+  cfg.stream_window = 0;
+  EXPECT_THROW(multiply(a, b, cfg), std::invalid_argument);
+}
+
+TEST(SummaStreaming, GridLargerThanDimensionsStillCorrect) {
+  // Degenerate empty blocks flow through reshape/stage/fold unharmed.
+  const auto a = random_matrix(6, 6, 20, 31);
+  const auto b = random_matrix(6, 6, 20, 32);
+  const auto direct = spgemm::multiply(a, b);
+  SummaConfig cfg = sorted_hash_pipeline(8);
+  cfg.stream_window = 2;
+  EXPECT_TRUE(approx_equal(direct, multiply(a, b, cfg).c, 1e-10));
 }
 
 TEST(Summa, IntermediateNnzGrowsWithGrid) {

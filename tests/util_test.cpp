@@ -137,7 +137,8 @@ TEST(PrefixSum, ParallelMatchesSequentialOnLargeInput) {
   spkadd::util::Xoshiro256 rng(3);
   for (auto& v : in) v = static_cast<std::int64_t>(rng.bounded(100));
   std::vector<std::int64_t> a(in.size() + 1), b(in.size() + 1);
-  exclusive_scan_seq(std::span<const std::int64_t>(in), std::span<std::int64_t>(a));
+  exclusive_scan_seq(std::span<const std::int64_t>(in),
+                     std::span<std::int64_t>(a));
   exclusive_scan(std::span<const std::int64_t>(in), std::span<std::int64_t>(b));
   EXPECT_EQ(a, b);
 }
@@ -158,7 +159,8 @@ TEST(PrefixSum, AllEqualValuesLargeParallelPath) {
   const std::size_t n = (1u << 15) + 13;
   std::vector<std::int64_t> in(n, 5);
   std::vector<std::int64_t> out(n + 1);
-  exclusive_scan(std::span<const std::int64_t>(in), std::span<std::int64_t>(out));
+  exclusive_scan(std::span<const std::int64_t>(in),
+                 std::span<std::int64_t>(out));
   for (std::size_t i = 0; i <= n; i += 997)
     EXPECT_EQ(out[i], static_cast<std::int64_t>(i) * 5) << "at " << i;
   EXPECT_EQ(out[n], static_cast<std::int64_t>(n) * 5);
