@@ -1,0 +1,237 @@
+// Open-loop load generator for the sharded aggregation service: sweeps
+// shards x producer threads x batch_window over ER/RMAT update streams
+// and reports sustained ingest throughput plus submit->applied latency
+// percentiles (p50/p95/p99), the queue high-water mark, and the peak
+// staged footprint.
+//
+// Each configuration first runs a correctness pass: N producers submit
+// a fixed update set concurrently and the drained snapshot must be
+// BIT-IDENTICAL to a one-shot core::spkadd over the same updates. The
+// update values are quantized to small integers so double addition is
+// exact and the comparison is exact regardless of how producers,
+// workers and shard folds interleaved (see src/service/shard.hpp).
+//
+//   ./bench/bench_service --shards 1,2,4 --producers 2 --duration-ms 200
+//   ./bench/bench_service --rate 500 --json samples.json
+#include <cstdio>
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "gen/workload.hpp"
+#include "service/agg_service.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+using namespace spkadd;
+using Csc = CscMatrix<std::int32_t, double>;
+
+namespace {
+
+/// Snap every value to an integer in [-8, 8] so addition is exact.
+void quantize_values(Csc& m) {
+  for (auto& v : m.mutable_values())
+    v = std::round(v * 8.0);
+}
+
+std::string ms(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e3);
+  return buf;
+}
+
+std::string rate_str(double per_sec) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f", per_sec);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli(
+      "bench_service",
+      "aggregation-service loadgen: shards x producers x batch_window");
+  const auto* rows = cli.add_int("rows", 1 << 13, "update rows");
+  const auto* cols = cli.add_int("cols", 32, "update cols");
+  const auto* d = cli.add_int("d", 4, "avg nonzeros per column per update");
+  const auto* updates =
+      cli.add_int("updates", 24, "updates per producer (verify pass)");
+  const auto* shards = cli.add_int_list("shards", "1,2,4", "shard sweep");
+  const auto* producers =
+      cli.add_int_list("producers", "2", "producer-thread sweep");
+  const auto* windows =
+      cli.add_int_list("batch-window", "4", "accumulator fold window sweep");
+  const auto* duration_ms =
+      cli.add_int("duration-ms", 200, "throughput pass duration");
+  const auto* queue = cli.add_int("queue", 64, "ingest queue capacity");
+  const auto* workers = cli.add_int("workers", 0, "worker threads (0=shards)");
+  const auto* rate = cli.add_int(
+      "rate", 0, "per-producer target updates/s (0 = saturation)");
+  const auto* fold_threads = cli.add_int(
+      "fold-threads", 1,
+      "OpenMP threads per shard fold (worker concurrency is the axis "
+      "under test, so per-fold column parallelism defaults off)");
+  const auto* json = cli.add_string("json", "", "write JSON samples here");
+  if (!cli.parse(argc, argv)) return 1;
+
+  // ServiceConfig's knobs are size_t: a negative flag would wrap to a
+  // huge value that sails past validate(), so bound-check here.
+  const auto positive = [](const char* name, std::int64_t v) {
+    if (v < 1) {
+      std::cerr << "bench_service: --" << name << " must be >= 1\n";
+      return false;
+    }
+    return true;
+  };
+  if (!positive("rows", *rows) || !positive("cols", *cols) ||
+      !positive("d", *d) || !positive("updates", *updates) ||
+      !positive("queue", *queue) || !positive("duration-ms", *duration_ms))
+    return 1;
+  if (*workers < 0 || *rate < 0 || *fold_threads < 0) {
+    std::cerr << "bench_service: --workers/--rate/--fold-threads must be"
+                 " >= 0\n";
+    return 1;
+  }
+  for (const auto& [name, list] :
+       {std::pair<const char*, const std::vector<std::int64_t>*>{
+            "shards", shards},
+        {"producers", producers},
+        {"batch-window", windows}})
+    for (const std::int64_t v : *list)
+      if (!positive(name, v)) return 1;
+
+  bench::print_header(
+      "Sharded aggregation service loadgen",
+      "sustained multi-producer ingest over the streaming accumulator");
+  bench::SampleLog log("bench_service");
+
+  bool all_verified = true;
+  util::TablePrinter table({"pattern", "shards", "prod", "window", "upd/s",
+                            "Mnnz/s", "p50 ms", "p99 ms", "queue hw",
+                            "exact"});
+
+  for (const gen::Pattern pattern : {gen::Pattern::ER, gen::Pattern::RMAT}) {
+    const char* pname = pattern == gen::Pattern::ER ? "ER" : "RMAT";
+    for (const std::int64_t P : *producers) {
+      // One fixed update set per (pattern, producer-count): P streams of
+      // --updates each, integer-quantized. The one-shot reduction over
+      // the whole set is the ground truth every config must hit.
+      gen::WorkloadSpec spec;
+      spec.pattern = pattern;
+      spec.rows = *rows;
+      spec.cols = *cols;
+      spec.avg_nnz_per_col = *d;
+      spec.k = static_cast<int>(P * *updates);
+      spec.seed = 9000 + static_cast<std::uint64_t>(P);
+      auto all_updates = gen::make_workload(spec);
+      for (auto& u : all_updates) quantize_values(u);
+      std::cerr << "generated " << spec.describe() << "\n";
+      const Csc expected = core::spkadd(all_updates);
+      std::size_t set_nnz = 0;
+      for (const auto& u : all_updates) set_nnz += u.nnz();
+
+      for (const std::int64_t S : *shards) {
+        for (const std::int64_t W : *windows) {
+          service::ServiceConfig cfg;
+          cfg.shards = static_cast<std::size_t>(S);
+          cfg.workers = static_cast<std::size_t>(*workers);
+          cfg.queue_capacity = static_cast<std::size_t>(*queue);
+          cfg.batch_window = static_cast<std::size_t>(W);
+          cfg.options.threads = static_cast<int>(*fold_threads);
+
+          // --- correctness pass: concurrent ingest == one-shot spkadd.
+          bool exact = false;
+          {
+            service::AggService svc(cfg);
+            std::vector<std::thread> threads;
+            for (std::int64_t p = 0; p < P; ++p)
+              threads.emplace_back([&, p] {
+                for (std::int64_t i = 0; i < *updates; ++i)
+                  svc.submit("bench", all_updates[static_cast<std::size_t>(
+                                          p * *updates + i)]);
+              });
+            for (auto& t : threads) t.join();
+            svc.drain();
+            exact = svc.snapshot("bench").sum == expected;
+          }
+          all_verified = all_verified && exact;
+          if (!exact)
+            std::cerr << "MISMATCH: shards=" << S << " producers=" << P
+                      << " window=" << W << " is not bit-identical to "
+                      << "one-shot spkadd\n";
+
+          // --- throughput pass: open-loop ingest for --duration-ms.
+          service::AggService svc(cfg);
+          util::WallTimer wall;
+          const double duration = static_cast<double>(*duration_ms) * 1e-3;
+          std::vector<std::thread> threads;
+          for (std::int64_t p = 0; p < P; ++p)
+            threads.emplace_back([&, p] {
+              util::WallTimer t;
+              std::size_t i = 0;
+              const std::size_t n = all_updates.size();
+              const std::size_t base = static_cast<std::size_t>(p * *updates);
+              while (t.seconds() < duration) {
+                Csc u = all_updates[(base + i++) % n];
+                if (*rate <= 0) {
+                  svc.submit("bench", std::move(u));  // saturation mode
+                  continue;
+                }
+                // Fixed arrival schedule; a full queue drops the update
+                // (counted by the service) instead of slipping the clock.
+                (void)svc.try_submit("bench", std::move(u));
+                const double next = static_cast<double>(i) /
+                                    static_cast<double>(*rate);
+                const double sleep_s = next - t.seconds();
+                if (sleep_s > 0)
+                  std::this_thread::sleep_for(
+                      std::chrono::duration<double>(sleep_s));
+              }
+            });
+          for (auto& t : threads) t.join();
+          svc.drain();
+          const double elapsed = wall.seconds();
+          const auto st = svc.stats();
+
+          const double upd_s =
+              static_cast<double>(st.applied) / elapsed;
+          std::uint64_t folded = 0;
+          std::size_t peak_staged = 0;
+          for (const auto& sh : st.shards) {
+            folded += sh.folded_nnz;
+            peak_staged = std::max(peak_staged, sh.peak_staged_nnz);
+          }
+          const double nnz_s = static_cast<double>(folded) / elapsed;
+
+          const std::string config =
+              "pattern=" + std::string(pname) + " shards=" +
+              std::to_string(S) + " producers=" + std::to_string(P) +
+              " window=" + std::to_string(W);
+          table.add_row({pname, std::to_string(S), std::to_string(P),
+                         std::to_string(W), rate_str(upd_s),
+                         rate_str(nnz_s / 1e6), ms(st.latency.p50),
+                         ms(st.latency.p99),
+                         std::to_string(st.queue_high_water),
+                         exact ? "yes" : "NO"});
+          log.add("service/" + std::string(pname) + "/ingest", config,
+                  st.applied ? elapsed / static_cast<double>(st.applied)
+                             : 0.0,
+                  peak_staged);
+          log.add("service/" + std::string(pname) + "/p99", config,
+                  st.latency.p99, peak_staged);
+        }
+      }
+    }
+  }
+
+  table.print(std::cout);
+  std::cout << "\nall configurations bit-identical to one-shot spkadd: "
+            << (all_verified ? "yes" : "NO") << "\n";
+  if (!json->empty() && !log.write(*json)) return 1;
+  return all_verified ? 0 : 1;
+}

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Perf-trajectory smoke run: small-shape bench_streaming + bench_fig6_summa
-# with --json, merged into one BENCH_summa.json document. CI runs this per
-# push and uploads the JSON as a workflow artifact, so every commit leaves a
-# machine-readable sample of reducer throughput and streaming-SUMMA
-# footprint behind.
+# merged into BENCH_summa.json, and a short bench_service sweep into
+# BENCH_service.json (same SampleLog schema). CI runs this per push and
+# uploads both JSON files as workflow artifacts, so every commit leaves a
+# machine-readable sample of reducer throughput, streaming-SUMMA footprint
+# and aggregation-service ingest latency behind.
 #
-# Usage: scripts/bench_smoke.sh [output.json]
+# Usage: scripts/bench_smoke.sh [summa_out.json] [service_out.json]
 #   BUILD_DIR=build   build tree holding the bench binaries (configured and
 #                     built here when the binaries are missing)
 set -euo pipefail
@@ -13,18 +14,38 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 OUT="${1:-BENCH_summa.json}"
+SERVICE_OUT="${2:-BENCH_service.json}"
 JOBS="${JOBS:-$(nproc)}"
 
 if [ ! -x "$BUILD_DIR/bench/bench_streaming" ] ||
-   [ ! -x "$BUILD_DIR/bench/bench_fig6_summa" ]; then
+   [ ! -x "$BUILD_DIR/bench/bench_fig6_summa" ] ||
+   [ ! -x "$BUILD_DIR/bench/bench_service" ]; then
   echo "=== bench binaries missing; building $BUILD_DIR ==="
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build "$BUILD_DIR" -j "$JOBS" \
-    --target bench_streaming bench_fig6_summa
+    --target bench_streaming bench_fig6_summa bench_service
 fi
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
+
+# Wrap per-bench SampleLog documents into one trajectory file (no jq
+# needed): merge_benches <out> <in...>
+merge_benches() {
+  local out="$1"
+  shift
+  {
+    printf '{\n"schema": 1,\n"generated_by": "scripts/bench_smoke.sh",\n'
+    printf '"benches": [\n'
+    local first=1
+    for doc in "$@"; do
+      [ "$first" -eq 1 ] || printf ',\n'
+      first=0
+      cat "$doc"
+    done
+    printf ']\n}\n'
+  } > "$out"
+}
 
 # Shapes chosen to finish in seconds on one core while still exercising the
 # real streaming/buffered paths (not toy 1-stage degenerate cases).
@@ -38,22 +59,24 @@ echo "=== bench_fig6_summa (small shape) ==="
 "$BUILD_DIR/bench/bench_fig6_summa" \
   --scale 9 --degree 4 --grid 4 --window 2 --repeats 3 \
   --json "$tmp/fig6.json" > "$tmp/fig6.txt"
+# The service sweep's exit code also gates the run: any configuration
+# whose concurrent sum is not bit-identical to one-shot spkadd fails here.
+echo "=== bench_service (small sweep) ==="
+"$BUILD_DIR/bench/bench_service" \
+  --rows 4096 --cols 16 --d 4 --updates 8 --duration-ms 150 \
+  --shards 1,2,4 --producers 2 \
+  --json "$tmp/service.json" > "$tmp/service.txt"
 
-# Merge the per-bench documents into one trajectory file (no jq needed).
-{
-  printf '{\n"schema": 1,\n"generated_by": "scripts/bench_smoke.sh",\n'
-  printf '"benches": [\n'
-  cat "$tmp/streaming.json"
-  printf ',\n'
-  cat "$tmp/fig6.json"
-  printf ']\n}\n'
-} > "$OUT"
+merge_benches "$OUT" "$tmp/streaming.json" "$tmp/fig6.json"
+merge_benches "$SERVICE_OUT" "$tmp/service.json"
 
-# The merge is string concatenation; make sure the result actually parses.
+# The merge is string concatenation; make sure the results actually parse.
 if command -v jq > /dev/null 2>&1; then
   jq -e '.benches | length == 2' "$OUT" > /dev/null
+  jq -e '.benches | length == 1' "$SERVICE_OUT" > /dev/null
 elif command -v python3 > /dev/null 2>&1; then
   python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$OUT"
+  python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$SERVICE_OUT"
 fi
 
-echo "=== wrote $OUT ==="
+echo "=== wrote $OUT and $SERVICE_OUT ==="

@@ -3,40 +3,60 @@
 # the GitHub Actions matrix runs one leg per job, local use defaults to all:
 #   MODE=plain     Release build + ctest
 #   MODE=sanitize  Debug + address,undefined sanitizers + ctest
-#   MODE=all       both, in sequence (default)
-# Usage: [MODE=plain|sanitize|all] scripts/ci.sh [extra cmake args...]
+#   MODE=tsan      Debug + thread sanitizer, OpenMP off, concurrency
+#                  suites only (the aggregation service's std::thread
+#                  layer; libgomp is not TSAN-instrumented, so the
+#                  OpenMP kernels are out of scope for this leg)
+#   MODE=all       plain + sanitize + tsan, in sequence (default)
+# Usage: [MODE=plain|sanitize|tsan|all] scripts/ci.sh [extra cmake args...]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 MODE="${MODE:-all}"
 
+# run_mode <name> <build_dir> <ctest_label_or_empty> [cmake args...]
 run_mode() {
-  local name="$1" build_dir="$2"
-  shift 2
+  local name="$1" build_dir="$2" label="$3"
+  shift 3
   echo "=== [$name] configure ==="
   cmake -B "$build_dir" -S . "$@"
   echo "=== [$name] build ==="
   cmake --build "$build_dir" -j "$JOBS"
   echo "=== [$name] ctest ==="
-  ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
+  local ctest_args=(--output-on-failure -j "$JOBS")
+  if [ -n "$label" ]; then
+    ctest_args+=(-L "$label")
+  fi
+  ctest --test-dir "$build_dir" "${ctest_args[@]}"
+}
+
+run_tsan() {
+  run_mode tsan build-tsan concurrency \
+    -DCMAKE_BUILD_TYPE=Debug -DSPKADD_SANITIZE=thread \
+    -DSPKADD_DISABLE_OPENMP=ON -DSPKADD_BUILD_BENCH=OFF \
+    -DSPKADD_BUILD_EXAMPLES=OFF "$@"
 }
 
 case "$MODE" in
   plain)
-    run_mode plain build "$@"
+    run_mode plain build "" "$@"
     ;;
   sanitize)
-    run_mode sanitize build-asan \
+    run_mode sanitize build-asan "" \
       -DCMAKE_BUILD_TYPE=Debug -DSPKADD_SANITIZE=address,undefined "$@"
+    ;;
+  tsan)
+    run_tsan "$@"
     ;;
   all)
-    run_mode plain build "$@"
-    run_mode sanitize build-asan \
+    run_mode plain build "" "$@"
+    run_mode sanitize build-asan "" \
       -DCMAKE_BUILD_TYPE=Debug -DSPKADD_SANITIZE=address,undefined "$@"
+    run_tsan "$@"
     ;;
   *)
-    echo "unknown MODE '$MODE' (want plain|sanitize|all)" >&2
+    echo "unknown MODE '$MODE' (want plain|sanitize|tsan|all)" >&2
     exit 2
     ;;
 esac

@@ -157,6 +157,19 @@ class Accumulator {
     cols_ = cols;
   }
 
+  /// Drop every staged addend without folding it — the recovery path
+  /// after a fold threw (e.g. unsorted inputs under a merge-family
+  /// method). The running sum keeps its last consistent value (a failed
+  /// fold never assigns it) and owned buffers are released, so the
+  /// accumulator is usable again instead of re-throwing on every later
+  /// fold of the poisoned batch.
+  void discard_staged() {
+    require_no_open_buffer();
+    staged_.clear();
+    owned_.clear();
+    staged_nnz_ = 0;
+  }
+
   /// Fold everything staged into the running partial sum now. No-op when
   /// nothing is pending.
   void flush() {
@@ -199,6 +212,29 @@ class Accumulator {
     staged_.clear();
     owned_.clear();
     staged_nnz_ = 0;
+  }
+
+  /// Fold any pending addends and borrow the running sum WITHOUT
+  /// consuming it — snapshot readers (the aggregation service) assemble
+  /// a consistent view from many accumulators' partials while each one
+  /// keeps streaming afterwards. An accumulator that never saw an
+  /// addend materializes (and keeps) the all-zero rows x cols sum. The
+  /// reference is invalidated by any later add/flush/finalize.
+  [[nodiscard]] const Matrix& partial_sum() {
+    flush();
+    if (!have_acc_) {
+      acc_ = Matrix(rows_, cols_);
+      have_acc_ = true;
+      acc_sorted_ = true;
+    }
+    return acc_;
+  }
+
+  /// Whether partial_sum()'s columns are sorted — false only after
+  /// unsorted-output hash folds; snapshot assembly uses this to set
+  /// Options::inputs_sorted honestly.
+  [[nodiscard]] bool partial_is_sorted() const {
+    return !have_acc_ || acc_sorted_;
   }
 
   /// Fold any pending addends and hand the sum to the caller. The

@@ -8,7 +8,7 @@
 // copies. The helpers here are generic over both span flavors via deref().
 #pragma once
 
-#include <omp.h>
+#include "util/omp_compat.hpp"
 
 #include <cstdint>
 #include <span>

@@ -1,0 +1,283 @@
+#include "service/agg_service.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/spkadd.hpp"
+#include "io/binary_io.hpp"
+
+namespace spkadd::service {
+
+AggService::Tenant::Tenant(std::int32_t r, std::int32_t c,
+                           const ServiceConfig& cfg)
+    : rows(r), cols(c), partition(RowPartition::make(r, cfg.shards)) {
+  for (std::size_t s = 0; s < cfg.shards; ++s)
+    shards.emplace_back(r, c, cfg.options, cfg.batch_window);
+}
+
+AggService::AggService(ServiceConfig config)
+    : config_(std::move(config)), queue_(config_.queue_capacity) {
+  config_.validate();
+  const std::size_t n = config_.effective_workers();
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+AggService::~AggService() { stop(); }
+
+AggService::Tenant* AggService::find_tenant(const std::string& name) const {
+  std::shared_lock lock(tenants_mutex_);
+  auto it = tenants_.find(name);
+  return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+AggService::Tenant& AggService::tenant_for(const std::string& name,
+                                           std::int32_t rows,
+                                           std::int32_t cols) {
+  const auto check = [&](Tenant& t) -> Tenant& {
+    if (t.rows != rows || t.cols != cols)
+      throw std::invalid_argument(
+          "AggService: update shape does not match tenant '" + name + "'");
+    return t;
+  };
+  {
+    std::shared_lock lock(tenants_mutex_);
+    auto it = tenants_.find(name);
+    if (it != tenants_.end()) return check(*it->second);
+  }
+  std::unique_lock lock(tenants_mutex_);
+  auto it = tenants_.find(name);
+  if (it != tenants_.end()) return check(*it->second);
+  auto t = std::make_unique<Tenant>(rows, cols, config_);
+  return *tenants_.emplace(name, std::move(t)).first->second;
+}
+
+bool AggService::enqueue(Task& task, bool blocking) {
+  {
+    std::lock_guard<std::mutex> lock(progress_mutex_);
+    task.ticket = next_ticket_++;
+    pending_tickets_.insert(task.ticket);
+    ++submitted_;
+  }
+  const std::uint64_t ticket = task.ticket;
+  const bool pushed = blocking ? queue_.push(std::move(task))
+                               : queue_.try_push(std::move(task));
+  if (pushed) return true;
+  // Not accepted (closed, or full in the non-blocking case): retire
+  // the ticket and wake any drainer waiting on it. Blocking pushes
+  // only ever fail closed.
+  {
+    std::lock_guard<std::mutex> lock(progress_mutex_);
+    pending_tickets_.erase(ticket);
+    --submitted_;
+  }
+  progress_cv_.notify_all();
+  if (blocking || queue_.closed())
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+bool AggService::submit(const std::string& tenant, Matrix update) {
+  tenant_for(tenant, update.rows(), update.cols());
+  Task task{tenant, std::move(update),
+            std::chrono::steady_clock::now()};
+  return enqueue(task, /*blocking=*/true);
+}
+
+bool AggService::try_submit(const std::string& tenant, Matrix&& update) {
+  tenant_for(tenant, update.rows(), update.cols());
+  Task task{tenant, std::move(update),
+            std::chrono::steady_clock::now()};
+  if (enqueue(task, /*blocking=*/false)) return true;
+  // try_push leaves the task intact on a full queue, so the caller's
+  // update can be handed back untouched for a later retry.
+  update = std::move(task.update);
+  return false;
+}
+
+void AggService::worker_loop() {
+  while (auto task = queue_.pop()) {
+    const auto submitted_at = task->submitted;
+    // A fold that throws (e.g. a merge-family method fed unsorted
+    // columns) must not std::terminate the whole service: the update is
+    // dropped and counted, and progress still advances so drain() never
+    // hangs on the failed task.
+    bool ok = true;
+    try {
+      apply(std::move(*task));
+    } catch (const std::exception& e) {
+      ok = false;
+      std::cerr << "AggService: dropped update for tenant '" << task->tenant
+                << "': " << e.what() << "\n";
+    }
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - submitted_at)
+                        .count();
+    if (ok) latency_.record(static_cast<std::uint64_t>(ns));
+    {
+      std::lock_guard<std::mutex> lock(progress_mutex_);
+      pending_tickets_.erase(task->ticket);
+      ++(ok ? applied_ : apply_errors_);
+    }
+    progress_cv_.notify_all();
+  }
+}
+
+void AggService::apply(Task&& task) {
+  Tenant* t = find_tenant(task.tenant);
+  if (t == nullptr) return;  // unreachable: submit creates the tenant
+  // Shared vs. snapshot's unique lock: all of this update's slices land
+  // atomically with respect to readers.
+  // Validate BEFORE staging anything: the config declares inputs
+  // sorted to the kernels (merge methods throw on unsorted columns,
+  // sliding hash row-slices by binary search), so an unsorted update is
+  // invalid traffic. Rejecting it here keeps the drop all-or-nothing —
+  // no slice of it ever reaches a shard, and no later fold or snapshot
+  // inherits a poisoned batch.
+  if (config_.options.inputs_sorted && !task.update.is_sorted())
+    throw std::invalid_argument(
+        "update has unsorted columns but options.inputs_sorted is set");
+  std::shared_lock apply_lock(t->apply_mutex);
+  // Defensive backstop for folds that throw anyway (e.g. allocation
+  // failure): the affected shard discards its staged batch — losing
+  // that batch but keeping the accumulator serviceable — and the
+  // exception propagates to worker_loop's apply-error accounting.
+  const auto fold_slice = [](TenantShard& sh, Matrix&& slice) {
+    const std::uint64_t nnz = slice.nnz();
+    std::lock_guard<std::mutex> g(sh.mutex);
+    try {
+      sh.acc.add(std::move(slice));
+    } catch (...) {
+      sh.acc.discard_staged();
+      throw;
+    }
+    ++sh.slices_applied;
+    sh.folded_nnz += nnz;
+  };
+  if (t->shards.size() == 1) {
+    fold_slice(t->shards.front(), std::move(task.update));
+  } else {
+    auto slices = partition_rows(task.update, t->partition);
+    for (std::size_t s = 0; s < slices.size(); ++s) {
+      if (slices[s].nnz() == 0) continue;  // nothing in this row range
+      fold_slice(t->shards[s], std::move(slices[s]));
+    }
+  }
+  t->updates_applied.fetch_add(1, std::memory_order_relaxed);
+}
+
+AggService::Snapshot AggService::snapshot(const std::string& tenant) {
+  Tenant* t = find_tenant(tenant);
+  if (t == nullptr)
+    throw std::invalid_argument("AggService: unknown tenant '" + tenant +
+                                "'");
+  std::unique_lock apply_lock(t->apply_mutex);
+  return snapshot_locked(*t);
+}
+
+AggService::Snapshot AggService::snapshot_locked(Tenant& t) {
+  // Workers are excluded by the unique apply lock; the shard mutexes
+  // are still taken around the fold so stats() readers never race it.
+  std::vector<const Matrix*> parts;
+  parts.reserve(t.shards.size());
+  bool sorted = true;
+  for (auto& sh : t.shards) {
+    std::lock_guard<std::mutex> g(sh.mutex);
+    const Matrix& partial = sh.acc.partial_sum();
+    sorted = sorted && sh.acc.partial_is_sorted();
+    parts.push_back(&partial);
+  }
+  core::Options aopts = config_.options;
+  aopts.inputs_sorted = aopts.inputs_sorted && sorted;
+  Snapshot snap;
+  snap.sum =
+      core::spkadd(core::MatrixPtrs<std::int32_t, double>(parts), aopts);
+  snap.epoch = t.epoch.fetch_add(1, std::memory_order_relaxed) + 1;
+  snap.updates_applied = t.updates_applied.load(std::memory_order_relaxed);
+  t.snapshots.fetch_add(1, std::memory_order_relaxed);
+  return snap;
+}
+
+AggService::Snapshot AggService::save_snapshot(const std::string& tenant,
+                                               const std::string& path) {
+  Snapshot snap = snapshot(tenant);
+  io::write_binary_file(path, snap.sum);
+  return snap;
+}
+
+void AggService::restore(const std::string& tenant,
+                         const std::string& path) {
+  Matrix m = io::read_binary_file(path);  // header-validated
+  Tenant& t = tenant_for(tenant, m.rows(), m.cols());
+  std::unique_lock apply_lock(t.apply_mutex);
+  // Replace, don't merge: the dump IS the running sum. Restored nnz is
+  // deliberately not counted as ingest in the shard counters. (No
+  // single-shard fast path here — restore is cold, and partition_rows
+  // of one shard is just the full matrix.)
+  auto slices = partition_rows(m, t.partition);
+  for (std::size_t s = 0; s < slices.size(); ++s) {
+    auto& sh = t.shards[s];
+    std::lock_guard<std::mutex> g(sh.mutex);
+    (void)sh.acc.finalize();
+    if (slices[s].nnz() != 0) sh.acc.add(std::move(slices[s]));
+  }
+}
+
+void AggService::drain() {
+  std::unique_lock<std::mutex> lock(progress_mutex_);
+  // Wait for exactly the tickets issued before this call: completions
+  // of later-submitted tasks can never satisfy an earlier drain, and
+  // tasks accepted after it do not extend the wait.
+  const std::uint64_t cutoff = next_ticket_;
+  progress_cv_.wait(lock, [&] {
+    return pending_tickets_.empty() || *pending_tickets_.begin() >= cutoff;
+  });
+}
+
+void AggService::stop() {
+  std::call_once(stop_once_, [this] {
+    queue_.close();  // workers fold the backlog, then see nullopt
+    for (auto& w : workers_) w.join();
+  });
+}
+
+ServiceStats AggService::stats() const {
+  ServiceStats out;
+  {
+    std::lock_guard<std::mutex> lock(progress_mutex_);
+    out.submitted = submitted_;
+    out.applied = applied_;
+    out.apply_errors = apply_errors_;
+  }
+  out.rejected = rejected_.load(std::memory_order_relaxed);
+  out.queue_depth = queue_.size();
+  out.queue_high_water = queue_.high_water();
+  out.latency = latency_.summary();
+  out.shards.resize(config_.shards);
+  std::shared_lock tenants_lock(tenants_mutex_);
+  for (const auto& [name, t] : tenants_) {
+    TenantStats ts;
+    ts.tenant = name;
+    ts.updates_applied =
+        t->updates_applied.load(std::memory_order_relaxed);
+    ts.snapshots = t->snapshots.load(std::memory_order_relaxed);
+    ts.epoch = t->epoch.load(std::memory_order_relaxed);
+    for (std::size_t s = 0; s < t->shards.size(); ++s) {
+      auto& sh = t->shards[s];
+      std::lock_guard<std::mutex> g(sh.mutex);
+      ts.folded_nnz += sh.folded_nnz;
+      out.shards[s].slices_applied += sh.slices_applied;
+      out.shards[s].folded_nnz += sh.folded_nnz;
+      out.shards[s].flushes += sh.acc.stats().flushes;
+      out.shards[s].peak_staged_nnz = std::max(
+          out.shards[s].peak_staged_nnz, sh.acc.stats().peak_staged_nnz);
+    }
+    out.tenants.push_back(std::move(ts));
+  }
+  return out;
+}
+
+}  // namespace spkadd::service

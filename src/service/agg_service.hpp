@@ -1,0 +1,195 @@
+// AggService — a long-lived, sharded, concurrent aggregation service
+// over the streaming SpKAdd accumulator.
+//
+// The paper's SpKAdd kernel exists to serve aggregation-heavy systems:
+// distributed SpGEMM stages and sparse gradient aggregation both reduce
+// to "many producers keep adding sparse matrices into running sums".
+// This subsystem is that system layer:
+//
+//   submit(tenant, update)          snapshot(tenant)
+//        |                               ^
+//        v                               | k-way SpKAdd over
+//   [bounded MPMC ingest queue]          | shard partials
+//        |  backpressure when full       |
+//        v                               |
+//   worker pool --- partition_rows ---> shard[(tenant, row-range)]
+//                                        each: mutex + streaming
+//                                        core::Accumulator folding
+//                                        every batch_window slices
+//
+// Guarantees:
+//   * Backpressure, not OOM: at most queue_capacity updates are in
+//     flight; submit() blocks once the queue is full.
+//   * All-or-nothing updates: a worker applies every slice of an update
+//     under a tenant-level shared lock, so a snapshot (unique lock)
+//     never observes half an update — the epoch-consistent cut. Invalid
+//     traffic (unsorted columns under inputs_sorted) is rejected before
+//     any slice is staged, so dropped updates are all-or-nothing too.
+//     The one documented exception: a fold that throws mid-update for
+//     environmental reasons (allocation failure) can leave that update
+//     partially applied; it is counted in ServiceStats::apply_errors,
+//     which operators should treat as "running sums are suspect".
+//   * Snapshots don't stall ingest: submit() keeps accepting into the
+//     queue and other tenants keep folding while one tenant assembles.
+//   * Deterministic totals: shard slices partition each update's
+//     entries, so the final sum's structure is the union of all update
+//     structures and each value is the sum of that entry's
+//     contributions — bit-identical to one-shot core::spkadd whenever
+//     value addition is exact (e.g. integer-valued gradients),
+//     regardless of producer/worker interleaving.
+//
+// The shape mirrors long-lived counter services (cf. the hlld-style
+// set-manager architecture): sharded state behind short locks, bounded
+// ingest, snapshot reads, explicit drain/stop shutdown.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service_config.hpp"
+#include "service/service_stats.hpp"
+#include "service/shard.hpp"
+#include "util/mpmc_queue.hpp"
+
+namespace spkadd::service {
+
+class AggService {
+ public:
+  using Matrix = CscMatrix<std::int32_t, double>;
+
+  /// A consistent view of one tenant's running sum.
+  struct Snapshot {
+    Matrix sum;
+    std::uint64_t epoch = 0;            ///< snapshot sequence number
+    std::uint64_t updates_applied = 0;  ///< updates folded in by then
+  };
+
+  /// Starts the worker pool immediately. Throws std::invalid_argument
+  /// on an unusable config.
+  explicit AggService(ServiceConfig config);
+
+  /// Stops the service (drains the queue backlog first).
+  ~AggService();
+
+  AggService(const AggService&) = delete;
+  AggService& operator=(const AggService&) = delete;
+
+  /// Enqueue one update for `tenant`, blocking while the ingest queue
+  /// is full (backpressure). The tenant is created on first submit with
+  /// the update's shape; later updates must be conformant (throws
+  /// std::invalid_argument otherwise). Returns false — and counts the
+  /// update as rejected — once the service is stopped.
+  bool submit(const std::string& tenant, Matrix update);
+
+  /// Non-blocking submit: false when the queue is full or the service
+  /// is stopped; the update is untouched on a full queue so open-loop
+  /// load generators can count the drop and keep their schedule.
+  bool try_submit(const std::string& tenant, Matrix&& update);
+
+  /// Assemble a consistent full-matrix view of `tenant`'s running sum
+  /// via a k-way SpKAdd over the shard partials, advance the tenant's
+  /// epoch, and return it. In-queue updates are not waited for; every
+  /// applied update is included in full. Throws std::invalid_argument
+  /// for an unknown tenant.
+  Snapshot snapshot(const std::string& tenant);
+
+  /// Take a snapshot and persist its sum via io::binary_io. Returns the
+  /// snapshot so callers know the epoch they persisted.
+  Snapshot save_snapshot(const std::string& tenant,
+                         const std::string& path);
+
+  /// Replace `tenant`'s running sum with a previously saved snapshot
+  /// (creating the tenant if needed — the shard layout follows THIS
+  /// service's config, so a dump taken with 4 shards restores cleanly
+  /// into 2). Throws on header/shape mismatch.
+  void restore(const std::string& tenant, const std::string& path);
+
+  /// Block until every update submit() had accepted when drain() was
+  /// called has been folded into its shards (or dropped by a throwing
+  /// fold — see ServiceStats::apply_errors).
+  void drain();
+
+  /// Stop accepting updates, fold the queued backlog, join the workers.
+  /// Idempotent; snapshot()/stats() remain usable afterwards.
+  void stop();
+
+  /// Aggregate counters across the queue, shards and tenants.
+  [[nodiscard]] ServiceStats stats() const;
+
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct Task {
+    std::string tenant;
+    Matrix update;
+    std::chrono::steady_clock::time_point submitted;
+    std::uint64_t ticket = 0;  ///< acceptance order; drives drain()
+  };
+
+  struct Tenant {
+    Tenant(std::int32_t rows, std::int32_t cols,
+           const ServiceConfig& cfg);
+
+    std::int32_t rows;
+    std::int32_t cols;
+    RowPartition partition;
+    /// shared: workers applying an update's slices; unique: snapshot /
+    /// restore. This is what makes updates all-or-nothing vs. readers.
+    std::shared_mutex apply_mutex;
+    std::deque<TenantShard> shards;  ///< deque: TenantShard is pinned
+    std::atomic<std::uint64_t> updates_applied{0};
+    std::atomic<std::uint64_t> snapshots{0};
+    std::atomic<std::uint64_t> epoch{0};
+  };
+
+  /// Look up a tenant (nullptr when absent).
+  [[nodiscard]] Tenant* find_tenant(const std::string& name) const;
+  /// Look up or create; throws when an existing tenant's shape differs.
+  Tenant& tenant_for(const std::string& name, std::int32_t rows,
+                     std::int32_t cols);
+  /// Shared submit bookkeeping: count, push (blocking or not), roll
+  /// back + wake drainers on failure. On failure `task` is intact iff
+  /// the push was non-blocking and the queue was merely full.
+  bool enqueue(Task& task, bool blocking);
+  void worker_loop();
+  void apply(Task&& task);
+  Snapshot snapshot_locked(Tenant& t);
+
+  ServiceConfig config_;
+  util::BoundedMpmcQueue<Task> queue_;
+
+  mutable std::shared_mutex tenants_mutex_;
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+
+  std::vector<std::thread> workers_;
+  std::once_flag stop_once_;
+
+  // Progress accounting, all guarded by progress_mutex_ so a drainer
+  // can wait on the condition variable without lost wakeups. Every
+  // accepted task carries a ticket; drain() waits for exactly the
+  // tickets issued before it was called (completions of later tasks
+  // cannot satisfy it).
+  mutable std::mutex progress_mutex_;
+  std::condition_variable progress_cv_;
+  std::uint64_t next_ticket_ = 1;
+  std::set<std::uint64_t> pending_tickets_;  ///< accepted, not done
+  std::uint64_t submitted_ = 0;
+  std::uint64_t applied_ = 0;       ///< folded successfully
+  std::uint64_t apply_errors_ = 0;  ///< dropped by a throwing fold
+  std::atomic<std::uint64_t> rejected_{0};
+
+  LatencyHistogram latency_;
+};
+
+}  // namespace spkadd::service

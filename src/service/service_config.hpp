@@ -1,0 +1,77 @@
+// Tuning knobs for the sharded aggregation service (see agg_service.hpp
+// for the architecture). Every knob maps to one axis of the
+// bench_service loadgen sweep.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+#include "core/options.hpp"
+
+namespace spkadd::service {
+
+struct ServiceConfig {
+  /// Row-range shards per tenant. Each incoming update is partitioned
+  /// into `shards` disjoint row slices and each slice folds into its own
+  /// streaming Accumulator, so updates to different row ranges never
+  /// contend on one lock.
+  std::size_t shards = 4;
+
+  /// Worker threads draining the ingest queue. 0 = one per shard.
+  std::size_t workers = 0;
+
+  /// Ingest queue capacity (whole updates). submit() blocks — the
+  /// service's backpressure — once this many updates are in flight.
+  std::size_t queue_capacity = 64;
+
+  /// Accumulator fold window: each shard folds its running sum after
+  /// this many staged slices (core::Accumulator batch_capacity, the
+  /// paper's §V batch size).
+  std::size_t batch_window = 8;
+
+  /// SpKAdd options used for shard folds and snapshot assembly. The
+  /// default (Method::Auto, sorted output) yields canonical snapshots.
+  core::Options options;
+
+  /// Effective worker count after defaulting.
+  [[nodiscard]] std::size_t effective_workers() const {
+    return workers != 0 ? workers : shards;
+  }
+
+  /// Whether the configured fold method refuses unsorted columns
+  /// (merge-family kernels, paper Table I). The service uses this to
+  /// reject a fold-fatal configuration at construction and to validate
+  /// updates BEFORE they are staged.
+  [[nodiscard]] bool method_requires_sorted() const {
+    switch (options.method) {
+      case core::Method::TwoWayIncremental:
+      case core::Method::TwoWayTree:
+      case core::Method::Heap:
+      case core::Method::ReferenceIncremental:
+      case core::Method::ReferenceTree:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  /// Throws std::invalid_argument on an unusable configuration.
+  void validate() const {
+    if (shards < 1)
+      throw std::invalid_argument("ServiceConfig: shards must be >= 1");
+    if (queue_capacity < 1)
+      throw std::invalid_argument(
+          "ServiceConfig: queue_capacity must be >= 1");
+    if (batch_window < 1)
+      throw std::invalid_argument(
+          "ServiceConfig: batch_window must be >= 1");
+    // A merge-family method with inputs declared unsorted would throw
+    // on every single fold; refuse the config instead of the traffic.
+    if (method_requires_sorted() && !options.inputs_sorted)
+      throw std::invalid_argument(
+          "ServiceConfig: method requires sorted inputs but "
+          "options.inputs_sorted is false");
+  }
+};
+
+}  // namespace spkadd::service

@@ -1,0 +1,56 @@
+#include "service/service_stats.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace spkadd::service {
+
+std::size_t LatencyHistogram::bucket_of(std::uint64_t nanos) {
+  if (nanos < kSub) return static_cast<std::size_t>(nanos);
+  // Octave = position of the most significant bit; the next 3 bits pick
+  // the sub-bucket, so bucket width is 1/8 of the octave everywhere.
+  const auto octave = static_cast<std::size_t>(std::bit_width(nanos)) - 1;
+  const std::size_t sub =
+      static_cast<std::size_t>(nanos >> (octave - 3)) & (kSub - 1);
+  const std::size_t idx = (octave - 2) * kSub + sub;
+  return idx < kBuckets ? idx : kBuckets - 1;
+}
+
+std::uint64_t LatencyHistogram::bucket_upper(std::size_t idx) {
+  if (idx < kSub) return idx;
+  const std::size_t octave = idx / kSub + 2;
+  const std::uint64_t sub = idx % kSub;
+  return ((kSub + sub + 1) << (octave - 3)) - 1;
+}
+
+LatencySummary LatencyHistogram::summary() const {
+  std::array<std::uint64_t, kBuckets> counts;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  LatencySummary out;
+  out.count = total;
+  out.max =
+      static_cast<double>(max_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  if (total == 0) return out;
+
+  const auto quantile = [&](double q) {
+    const auto rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(total)));
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      cum += counts[i];
+      if (cum >= rank)
+        return static_cast<double>(bucket_upper(i)) * 1e-9;
+    }
+    return out.max;
+  };
+  out.p50 = quantile(0.50);
+  out.p95 = quantile(0.95);
+  out.p99 = quantile(0.99);
+  return out;
+}
+
+}  // namespace spkadd::service

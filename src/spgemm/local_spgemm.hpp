@@ -12,7 +12,7 @@
 //             always sorted, the CombBLAS default the paper replaces.
 #pragma once
 
-#include <omp.h>
+#include "util/omp_compat.hpp"
 
 #include <span>
 #include <stdexcept>

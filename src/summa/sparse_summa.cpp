@@ -1,6 +1,6 @@
 #include "summa/sparse_summa.hpp"
 
-#include <omp.h>
+#include "util/omp_compat.hpp"
 
 #include <algorithm>
 #include <stdexcept>

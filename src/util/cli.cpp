@@ -1,10 +1,53 @@
 #include "util/cli.hpp"
 
+#include <charconv>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 
 namespace spkadd::util {
+
+namespace {
+
+/// Strict integer parse: the whole token must be one base-10 integer.
+/// (std::stoll would silently accept "12abc" as 12.)
+bool parse_int_strict(const std::string& text, std::int64_t& out) {
+  if (text.empty()) return false;
+  const char* first = text.data();
+  const char* last = first + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc() && ptr == last;
+}
+
+/// Parse "1,2,4" into a list; every element must be a valid integer and
+/// empty elements ("1,,2", trailing comma) are rejected.
+bool parse_int_list(const std::string& text,
+                    std::vector<std::int64_t>& out) {
+  out.clear();
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    std::int64_t value = 0;
+    if (!parse_int_strict(text.substr(start, comma - start), value))
+      return false;
+    out.push_back(value);
+    start = comma + 1;
+  }
+  return !out.empty();
+}
+
+std::string format_int_list(const std::vector<std::int64_t>& values) {
+  std::ostringstream ss;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) ss << ',';
+    ss << values[i];
+  }
+  return ss.str();
+}
+
+}  // namespace
 
 CliParser::CliParser(std::string program, std::string description)
     : program_(std::move(program)), description_(std::move(description)) {}
@@ -54,21 +97,40 @@ const std::string* CliParser::add_string(const std::string& name,
   return &it->second.string_value;
 }
 
+const std::vector<std::int64_t>* CliParser::add_int_list(
+    const std::string& name, const std::string& def,
+    const std::string& help) {
+  Flag f;
+  f.kind = Kind::IntList;
+  f.help = help;
+  if (!parse_int_list(def, f.int_list_value))
+    throw std::invalid_argument("CliParser: bad int-list default '" + def +
+                                "' for --" + name);
+  auto [it, fresh] = flags_.emplace(name, std::move(f));
+  if (fresh) order_.push_back(name);
+  return &it->second.int_list_value;
+}
+
 bool CliParser::assign(Flag& flag, const std::string& text) {
   try {
     switch (flag.kind) {
       case Kind::Int:
-        flag.int_value = std::stoll(text);
+        return parse_int_strict(text, flag.int_value);
+      case Kind::Double: {
+        std::size_t consumed = 0;
+        const double v = std::stod(text, &consumed);
+        if (consumed != text.size()) return false;  // "1.5x" is an error
+        flag.double_value = v;
         return true;
-      case Kind::Double:
-        flag.double_value = std::stod(text);
-        return true;
+      }
       case Kind::Bool:
         flag.bool_value = (text == "1" || text == "true" || text == "yes");
         return true;
       case Kind::String:
         flag.string_value = text;
         return true;
+      case Kind::IntList:
+        return parse_int_list(text, flag.int_list_value);
     }
   } catch (...) {
   }
@@ -141,6 +203,10 @@ std::string CliParser::usage() const {
         break;
       case Kind::String:
         ss << " <str>    (default \"" << f.string_value << "\")";
+        break;
+      case Kind::IntList:
+        ss << " <int,..> (default " << format_int_list(f.int_list_value)
+           << ")";
         break;
     }
     ss << "  " << f.help << "\n";

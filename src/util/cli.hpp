@@ -32,6 +32,13 @@ class CliParser {
   const bool* add_flag(const std::string& name, const std::string& help);
   const std::string* add_string(const std::string& name, std::string def,
                                 const std::string& help);
+  /// Comma-separated integer list (e.g. `--shards 1,2,4`) — the sweep
+  /// axes of the service loadgen. The default is given in the same
+  /// comma-separated form; a malformed default throws
+  /// std::invalid_argument at registration (a programming error).
+  const std::vector<std::int64_t>* add_int_list(const std::string& name,
+                                                const std::string& def,
+                                                const std::string& help);
 
   /// Parse argv. Unknown flags are an error (returns false and prints usage);
   /// `--help` prints usage and calls std::exit(0).
@@ -41,7 +48,7 @@ class CliParser {
   [[nodiscard]] std::string usage() const;
 
  private:
-  enum class Kind { Int, Double, Bool, String };
+  enum class Kind { Int, Double, Bool, String, IntList };
   struct Flag {
     Kind kind = Kind::Bool;
     std::string help;
@@ -49,6 +56,7 @@ class CliParser {
     double double_value = 0;
     bool bool_value = false;
     std::string string_value;
+    std::vector<std::int64_t> int_list_value;
   };
   bool assign(Flag& flag, const std::string& text);
 

@@ -1,0 +1,133 @@
+// Bounded multi-producer/multi-consumer queue — the ingest spine of the
+// aggregation service (src/service/).
+//
+// Design goals, in order: correctness under ThreadSanitizer, bounded
+// memory (backpressure instead of unbounded buffering), and clean
+// shutdown semantics. A mutex + two condition variables is the simplest
+// structure that delivers all three; the service's unit of work is a
+// whole sparse matrix, so per-element queue overhead is noise next to
+// the fold it triggers.
+//
+// Semantics:
+//   * push() blocks while the queue is full (backpressure) and returns
+//     false once the queue is closed — the item is then dropped.
+//   * pop() blocks while the queue is empty and returns nullopt only
+//     when the queue is closed AND drained, so close() lets consumers
+//     finish the backlog before they exit.
+//   * high_water() reports the deepest the queue has ever been — the
+//     stat the service exposes to show how close ingest ran to the
+//     backpressure limit.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+namespace spkadd::util {
+
+template <class T>
+class BoundedMpmcQueue {
+ public:
+  explicit BoundedMpmcQueue(std::size_t capacity) : cap_(capacity) {
+    if (capacity < 1)
+      throw std::invalid_argument("BoundedMpmcQueue: capacity must be >= 1");
+  }
+
+  BoundedMpmcQueue(const BoundedMpmcQueue&) = delete;
+  BoundedMpmcQueue& operator=(const BoundedMpmcQueue&) = delete;
+
+  /// Enqueue, blocking while full. Returns false (and drops the item)
+  /// iff the queue was closed before space opened up.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < cap_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    high_water_ = std::max(high_water_, items_.size());
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Enqueue without blocking. On failure (full or closed) the argument
+  /// is left untouched so the caller can retry or count the drop.
+  bool try_push(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= cap_) return false;
+      items_.push_back(std::move(item));
+      high_water_ = std::max(high_water_, items_.size());
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Dequeue, blocking while empty. Returns nullopt only once the queue
+  /// is closed and fully drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    std::optional<T> out(std::move(items_.front()));
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Dequeue without blocking; nullopt when nothing is available.
+  std::optional<T> try_pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> out(std::move(items_.front()));
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Reject all future pushes and wake every waiter. Items already
+  /// queued remain poppable (shutdown drains the backlog). Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return cap_; }
+
+  /// Deepest the queue has ever been (never exceeds capacity).
+  [[nodiscard]] std::size_t high_water() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return high_water_;
+  }
+
+ private:
+  const std::size_t cap_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  std::size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace spkadd::util

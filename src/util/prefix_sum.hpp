@@ -5,7 +5,7 @@
 // parallelized for large n with the classic two-pass block algorithm.
 #pragma once
 
-#include <omp.h>
+#include "util/omp_compat.hpp"
 
 #include <cstddef>
 #include <span>

@@ -1,6 +1,6 @@
 #include "util/thread_control.hpp"
 
-#include <omp.h>
+#include "util/omp_compat.hpp"
 
 #include <algorithm>
 

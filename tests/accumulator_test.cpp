@@ -24,6 +24,67 @@ using spkadd::testing::random_matrix;
 
 using Csc = spkadd::testing::Csc;
 
+// ----------------------------------------------------- partial_sum borrow
+TEST(Accumulator, PartialSumBorrowsWithoutConsumingTheStream) {
+  const auto inputs = random_collection(6, 64, 8, 120, 11);
+  Accumulator<> acc(64, 8, {}, 4);
+  for (int i = 0; i < 3; ++i) acc.add(inputs[static_cast<std::size_t>(i)]);
+  // Borrowing folds what is pending but keeps the stream alive.
+  const Csc mid = acc.partial_sum();
+  EXPECT_EQ(acc.pending(), 0u);
+  std::vector<Csc> first3(inputs.begin(), inputs.begin() + 3);
+  EXPECT_EQ(mid, core::spkadd(first3));
+  for (int i = 3; i < 6; ++i) acc.add(inputs[static_cast<std::size_t>(i)]);
+  // The earlier borrow did not disturb the running sum: finalize still
+  // matches the full one-shot reduction.
+  const auto oracle = dense_sum_oracle(std::span<const Csc>(inputs));
+  EXPECT_TRUE(approx_equal(oracle, acc.finalize()));
+}
+
+TEST(Accumulator, PartialSumOfVirginAccumulatorIsAllZeroShape) {
+  Accumulator<> acc(10, 4);
+  const Csc& p = acc.partial_sum();
+  EXPECT_EQ(p.rows(), 10);
+  EXPECT_EQ(p.cols(), 4);
+  EXPECT_EQ(p.nnz(), 0u);
+  EXPECT_TRUE(acc.partial_is_sorted());
+  // finalize() after the materializing borrow is still the zero matrix.
+  EXPECT_EQ(acc.finalize().nnz(), 0u);
+}
+
+TEST(Accumulator, PartialSortednessTracksUnsortedHashFolds) {
+  Options opts;
+  opts.method = Method::Hash;
+  opts.sorted_output = false;
+  Accumulator<> acc(128, 6, opts, 2);
+  const auto inputs = random_collection(4, 128, 6, 400, 5);
+  for (const auto& m : inputs) acc.add(m);
+  (void)acc.partial_sum();
+  EXPECT_FALSE(acc.partial_is_sorted());
+}
+
+TEST(Accumulator, DiscardStagedRecoversAfterAFailedFold) {
+  Options opts;
+  opts.method = Method::Heap;  // requires sorted inputs
+  Accumulator<> acc(64, 4, opts, 8);
+  const auto sorted = random_collection(3, 64, 4, 80, 17);
+  for (const auto& m : sorted) acc.add(m);
+  acc.flush();
+  Csc bad = random_matrix(64, 4, 80, 18);
+  gen::shuffle_columns(bad, 5);
+  acc.add(bad);
+  EXPECT_THROW(acc.flush(), std::invalid_argument);
+  // The failed batch is dropped; the running sum keeps its last
+  // consistent value and the accumulator keeps working.
+  acc.discard_staged();
+  EXPECT_EQ(acc.pending(), 0u);
+  acc.add(sorted[0]);
+  std::vector<Csc> expected(sorted);
+  expected.push_back(sorted[0]);
+  EXPECT_TRUE(approx_equal(dense_sum_oracle(std::span<const Csc>(expected)),
+                           acc.finalize()));
+}
+
 // --------------------------------------------------- incremental == one-shot
 TEST(Accumulator, IncrementalAddEqualsOneShotSpkadd) {
   for (const std::uint64_t seed : {1u, 2u, 3u}) {

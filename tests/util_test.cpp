@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
 #include <thread>
+#include <vector>
 
 #include "util/bit_ops.hpp"
 #include "util/cache_info.hpp"
@@ -277,6 +279,47 @@ TEST(Cli, RejectsUnknownFlagAndBadValue) {
   cli3.add_int("rows", 1, "rows");
   const char* bad3[] = {"prog", "--rows"};
   EXPECT_FALSE(cli3.parse(2, bad3));
+}
+
+TEST(Cli, StrictIntRejectsTrailingGarbage) {
+  // std::stoll would accept "12abc" as 12; the strict parser must not.
+  CliParser cli("prog");
+  cli.add_int("rows", 1, "rows");
+  const char* bad[] = {"prog", "--rows", "12abc"};
+  EXPECT_FALSE(cli.parse(3, bad));
+  CliParser cli2("prog");
+  cli2.add_double("scale", 1.0, "scale");
+  const char* bad2[] = {"prog", "--scale", "1.5x"};
+  EXPECT_FALSE(cli2.parse(3, bad2));
+}
+
+TEST(Cli, IntListParsesSweepAxes) {
+  CliParser cli("bench_service");
+  const auto* shards = cli.add_int_list("shards", "4", "shard sweep");
+  const auto* producers = cli.add_int_list("producers", "1,2", "producers");
+  const char* argv[] = {"prog", "--shards", "1,2,8", "--negatives=-3,-1"};
+  const auto* negatives = cli.add_int_list("negatives", "0", "negatives");
+  ASSERT_TRUE(cli.parse(4, argv));
+  EXPECT_EQ(*shards, (std::vector<std::int64_t>{1, 2, 8}));
+  EXPECT_EQ(*producers, (std::vector<std::int64_t>{1, 2}));  // default
+  EXPECT_EQ(*negatives, (std::vector<std::int64_t>{-3, -1}));
+}
+
+TEST(Cli, IntListRejectsMalformedLists) {
+  for (const char* bad : {"1,,2", "1,2,", ",1", "", "1,a", "2;3"}) {
+    CliParser cli("prog");
+    cli.add_int_list("shards", "1", "shards");
+    const char* argv[] = {"prog", "--shards", bad};
+    EXPECT_FALSE(cli.parse(3, argv)) << "accepted '" << bad << "'";
+  }
+}
+
+TEST(Cli, IntListBadDefaultThrowsAtRegistration) {
+  CliParser cli("prog");
+  EXPECT_THROW(cli.add_int_list("shards", "1,x", "shards"),
+               std::invalid_argument);
+  EXPECT_THROW(cli.add_int_list("shards", "", "shards"),
+               std::invalid_argument);
 }
 
 TEST(Cli, UsageMentionsEveryFlag) {
