@@ -51,6 +51,7 @@ const std::vector<core::Method>& table_methods() {
       core::Method::TwoWayTree,        core::Method::ReferenceTree,
       core::Method::Heap,              core::Method::Spa,
       core::Method::Hash,              core::Method::SlidingHash,
+      core::Method::Hybrid,
   };
   return methods;
 }

@@ -25,9 +25,32 @@ std::string mnnz(std::size_t nnz) {
   return util::TablePrinter::fmt_count(nnz);
 }
 
+struct Row {
+  std::string name;
+  summa::SummaConfig cfg;
+};
+
+/// The preset bars of Fig. 6 plus the per-chunk hybrid pipeline, or — when
+/// the user names a reduce method on the CLI — just that one pipeline over
+/// sorted-hash local multiplies.
+std::vector<Row> pipelines(int grid, const std::string& reduce_method) {
+  if (!reduce_method.empty()) {
+    summa::SummaConfig cfg = summa::sorted_hash_pipeline(grid);
+    cfg.reduce_method = core::method_from_name(reduce_method);
+    return {{core::method_name(cfg.reduce_method), cfg}};
+  }
+  return {
+      {"Heap", summa::heap_pipeline(grid)},
+      {"Sorted Hash", summa::sorted_hash_pipeline(grid)},
+      {"Unsorted Hash", summa::unsorted_hash_pipeline(grid)},
+      {"Hybrid", summa::hybrid_pipeline(grid)},
+  };
+}
+
 void run_dataset(const std::string& name,
                  const CscMatrix<std::int32_t, double>& m, int grid,
-                 int window, int repeats, bench::SampleLog& log) {
+                 int window, int repeats, const std::vector<Row>& rows,
+                 bench::SampleLog& log) {
   std::cout << "### " << name << "  (" << m.rows() << "x" << m.cols()
             << ", nnz=" << util::TablePrinter::fmt_count(m.nnz())
             << ", grid=" << grid << "x" << grid << " => k=" << grid
@@ -39,15 +62,6 @@ void run_dataset(const std::string& name,
   util::TablePrinter table({"Pipeline", "Schedule", "sum multiply (s)",
                             "sum spkadd (s)", "wall (s)", "peak live nnz",
                             "intermediate cf"});
-  struct Row {
-    std::string name;
-    summa::SummaConfig cfg;
-  };
-  const std::vector<Row> rows{
-      {"Heap", summa::heap_pipeline(grid)},
-      {"Sorted Hash", summa::sorted_hash_pipeline(grid)},
-      {"Unsorted Hash", summa::unsorted_hash_pipeline(grid)},
-  };
   const std::string shape = "grid=" + std::to_string(grid) +
                             " window=" + std::to_string(window) + " nnz=" +
                             std::to_string(m.nnz());
@@ -110,8 +124,20 @@ int main(int argc, char** argv) {
   const auto* window =
       cli.add_int("window", 2, "streaming stage-product window per process");
   const auto* repeats = cli.add_int("repeats", 1, "timing repetitions");
+  const auto* reduce = cli.add_string(
+      "reduce-method", "",
+      "run a single pipeline with this SpKAdd reduce method instead of "
+      "the preset trio + hybrid (heap, hash, hybrid, ...)");
   const auto* json = cli.add_string("json", "", "write JSON samples here");
   if (!cli.parse(argc, argv)) return 1;
+  // Validate the method name now: the datasets below take minutes at
+  // large --scale, and a typo should fail in milliseconds instead.
+  try {
+    if (!reduce->empty()) (void)core::method_from_name(*reduce);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "bench_fig6_summa: " << e.what() << "\n";
+    return 1;
+  }
 
   bench::print_header(
       "Fig. 6 — effect of SpKAdd on distributed SpGEMM (simulated SUMMA)",
@@ -124,22 +150,25 @@ int main(int argc, char** argv) {
   bench::SampleLog log("bench_fig6_summa");
 
   // Metaclust50 surrogate: larger, sparser, strongly skewed.
-  {
+  try {
     auto p = gen::RmatParams::g500(
         static_cast<int>(*scale), static_cast<int>(*scale),
         (1ull << *scale) * static_cast<std::uint64_t>(*degree), 61);
     run_dataset("Metaclust50 surrogate", gen::rmat_csc(p),
                 static_cast<int>(*grid), static_cast<int>(*window),
-                static_cast<int>(*repeats), log);
-  }
-  // Isolates surrogate: smaller and denser.
-  {
-    auto p = gen::RmatParams::g500(
+                static_cast<int>(*repeats),
+                pipelines(static_cast<int>(*grid), *reduce), log);
+    // Isolates surrogate: smaller and denser.
+    auto q = gen::RmatParams::g500(
         static_cast<int>(*scale) - 2, static_cast<int>(*scale) - 2,
         (1ull << (*scale - 2)) * static_cast<std::uint64_t>(*degree) * 2, 62);
-    run_dataset("Isolates surrogate", gen::rmat_csc(p),
-                std::max(1, static_cast<int>(*grid) / 2),
-                static_cast<int>(*window), static_cast<int>(*repeats), log);
+    const int half_grid = std::max(1, static_cast<int>(*grid) / 2);
+    run_dataset("Isolates surrogate", gen::rmat_csc(q), half_grid,
+                static_cast<int>(*window), static_cast<int>(*repeats),
+                pipelines(half_grid, *reduce), log);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "bench_fig6_summa: " << e.what() << "\n";
+    return 1;
   }
 
   if (!json->empty() && !log.write(*json)) return 1;

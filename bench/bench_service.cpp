@@ -76,8 +76,19 @@ int main(int argc, char** argv) {
       "fold-threads", 1,
       "OpenMP threads per shard fold (worker concurrency is the axis "
       "under test, so per-fold column parallelism defaults off)");
+  const auto* method_flag = cli.add_string(
+      "method", "auto", "shard fold method (auto, hash, hybrid, ...)");
   const auto* json = cli.add_string("json", "", "write JSON samples here");
   if (!cli.parse(argc, argv)) return 1;
+
+  core::Method fold_method;
+  try {
+    // Central parser (core/method.cpp) — no per-bench string->enum map.
+    fold_method = core::method_from_name(*method_flag);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "bench_service: " << e.what() << "\n";
+    return 1;
+  }
 
   // ServiceConfig's knobs are size_t: a negative flag would wrap to a
   // huge value that sails past validate(), so bound-check here.
@@ -113,7 +124,7 @@ int main(int argc, char** argv) {
   bool all_verified = true;
   util::TablePrinter table({"pattern", "shards", "prod", "window", "upd/s",
                             "Mnnz/s", "p50 ms", "p99 ms", "queue hw",
-                            "exact"});
+                            "chunks h/s/H/W", "exact"});
 
   for (const gen::Pattern pattern : {gen::Pattern::ER, gen::Pattern::RMAT}) {
     const char* pname = pattern == gen::Pattern::ER ? "ER" : "RMAT";
@@ -143,6 +154,7 @@ int main(int argc, char** argv) {
           cfg.queue_capacity = static_cast<std::size_t>(*queue);
           cfg.batch_window = static_cast<std::size_t>(W);
           cfg.options.threads = static_cast<int>(*fold_threads);
+          cfg.options.method = fold_method;
 
           // --- correctness pass: concurrent ingest == one-shot spkadd.
           bool exact = false;
@@ -202,21 +214,30 @@ int main(int argc, char** argv) {
               static_cast<double>(st.applied) / elapsed;
           std::uint64_t folded = 0;
           std::size_t peak_staged = 0;
+          core::OpCounters chunk_totals;
           for (const auto& sh : st.shards) {
             folded += sh.folded_nnz;
             peak_staged = std::max(peak_staged, sh.peak_staged_nnz);
+            chunk_totals.chunks_heap += sh.chunks_heap;
+            chunk_totals.chunks_spa += sh.chunks_spa;
+            chunk_totals.chunks_hash += sh.chunks_hash;
+            chunk_totals.chunks_sliding += sh.chunks_sliding;
           }
           const double nnz_s = static_cast<double>(folded) / elapsed;
+          const std::string mix = fold_method == core::Method::Hybrid
+                                      ? chunk_totals.chunk_mix()
+                                      : "-";
 
           const std::string config =
               "pattern=" + std::string(pname) + " shards=" +
               std::to_string(S) + " producers=" + std::to_string(P) +
-              " window=" + std::to_string(W);
+              " window=" + std::to_string(W) +
+              " method=" + core::method_name(fold_method);
           table.add_row({pname, std::to_string(S), std::to_string(P),
                          std::to_string(W), rate_str(upd_s),
                          rate_str(nnz_s / 1e6), ms(st.latency.p50),
                          ms(st.latency.p99),
-                         std::to_string(st.queue_high_water),
+                         std::to_string(st.queue_high_water), mix,
                          exact ? "yes" : "NO"});
           log.add("service/" + std::string(pname) + "/ingest", config,
                   st.applied ? elapsed / static_cast<double>(st.applied)

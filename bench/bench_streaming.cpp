@@ -56,8 +56,22 @@ int main(int argc, char** argv) {
   const auto* batch = cli.add_int("batch", 8, "accumulator batch capacity");
   const auto* repeats = cli.add_int("repeats", 3, "timing repetitions");
   const auto* full = cli.add_flag("full", "also run k=512 (slow)");
+  const auto* method_flag = cli.add_string(
+      "method", "auto", "SpKAdd method (auto, hash, hybrid, ...)");
+  const auto* schedule_flag = cli.add_string(
+      "schedule", "dynamic", "column schedule (dynamic|static|nnz-balanced)");
   const auto* json = cli.add_string("json", "", "write JSON samples here");
   if (!cli.parse(argc, argv)) return 1;
+
+  core::Options base_opts;
+  try {
+    // Central parsers (core/method.cpp) — no per-bench string->enum maps.
+    base_opts.method = core::method_from_name(*method_flag);
+    base_opts.schedule = core::schedule_from_name(*schedule_flag);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "bench_streaming: " << e.what() << "\n";
+    return 1;
+  }
 
   bench::SampleLog log("bench_streaming");
   const std::string shape = "rows=" + std::to_string(*rows) +
@@ -73,7 +87,8 @@ int main(int argc, char** argv) {
   if (*full) ks.push_back(512);
 
   util::TablePrinter table({"pattern", "k", "strategy", "Gnnz/s",
-                            "peak intermediates", "result nnz"});
+                            "peak intermediates", "result nnz",
+                            "chunks h/s/H/W"});
   for (const gen::Pattern pattern : {gen::Pattern::ER, gen::Pattern::RMAT}) {
     for (const int k : ks) {
       gen::WorkloadSpec spec;
@@ -88,17 +103,27 @@ int main(int argc, char** argv) {
       const char* pname = pattern == gen::Pattern::ER ? "ER" : "RMAT";
       std::cerr << "generated " << spec.describe() << "\n";
 
-      core::Options opts;  // Auto method, dynamic schedule
+      core::Options opts = base_opts;
 
-      // One-shot: all k inputs live at once, single reduction.
+      // One-shot: all k inputs live at once, single reduction. One extra
+      // counted run surfaces the hybrid per-chunk kernel mix
+      // (heap/spa/hash/sliding) without polluting the timed laps.
       Csc one_shot;
       const double t_one = bench::time_median(static_cast<int>(*repeats), [&] {
         one_shot = core::spkadd(inputs, opts);
       });
+      std::string mix = "-";
+      if (opts.method == core::Method::Hybrid) {
+        core::OpCounters counters;
+        core::Options copts = opts;
+        copts.counters = &counters;
+        (void)core::spkadd(inputs, copts);
+        mix = counters.chunk_mix();
+      }
       table.add_row({pname, std::to_string(k), "one-shot",
                      gnnzps(in_nnz, t_one),
                      mib(inputs_bytes(inputs) + one_shot.storage_bytes()),
-                     std::to_string(one_shot.nnz())});
+                     std::to_string(one_shot.nnz()), mix});
       log.add(std::string(pname) + "/k=" + std::to_string(k) + "/one-shot",
               shape, t_one, in_nnz);
 
@@ -116,7 +141,7 @@ int main(int argc, char** argv) {
       table.add_row({pname, std::to_string(k), "accumulator",
                      gnnzps(in_nnz, t_stream),
                      mib(acc.stats().peak_intermediate_bytes),
-                     std::to_string(streamed.nnz())});
+                     std::to_string(streamed.nnz()), "-"});
       log.add(std::string(pname) + "/k=" + std::to_string(k) +
                   "/accumulator",
               shape, t_stream, acc.stats().peak_staged_nnz);
@@ -143,6 +168,7 @@ int main(int argc, char** argv) {
     for (const core::Schedule s :
          {core::Schedule::Dynamic, core::Schedule::NnzBalanced}) {
       core::Options opts;
+      opts.method = base_opts.method;
       opts.schedule = s;
       const double t = bench::time_median(static_cast<int>(*repeats), [&] {
         (void)core::spkadd(inputs, opts);

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Perf-trajectory smoke run: small-shape bench_streaming + bench_fig6_summa
-# merged into BENCH_summa.json, and a short bench_service sweep into
-# BENCH_service.json (same SampleLog schema). CI runs this per push and
-# uploads both JSON files as workflow artifacts, so every commit leaves a
-# machine-readable sample of reducer throughput, streaming-SUMMA footprint
-# and aggregation-service ingest latency behind.
+# merged into BENCH_summa.json, a short bench_service sweep into
+# BENCH_service.json, and the hybrid-vs-best-single skew sweep
+# (bench_hybrid) into BENCH_hybrid.json (all SampleLog schema). CI runs
+# this per push and uploads the JSON files as workflow artifacts, so every
+# commit leaves a machine-readable sample of reducer throughput,
+# streaming-SUMMA footprint, aggregation-service ingest latency and the
+# per-chunk hybrid dispatch mix behind.
 #
-# Usage: scripts/bench_smoke.sh [summa_out.json] [service_out.json]
+# Usage: scripts/bench_smoke.sh [summa.json] [service.json] [hybrid.json]
 #   BUILD_DIR=build   build tree holding the bench binaries (configured and
 #                     built here when the binaries are missing)
 set -euo pipefail
@@ -15,15 +17,17 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 OUT="${1:-BENCH_summa.json}"
 SERVICE_OUT="${2:-BENCH_service.json}"
+HYBRID_OUT="${3:-BENCH_hybrid.json}"
 JOBS="${JOBS:-$(nproc)}"
 
 if [ ! -x "$BUILD_DIR/bench/bench_streaming" ] ||
    [ ! -x "$BUILD_DIR/bench/bench_fig6_summa" ] ||
-   [ ! -x "$BUILD_DIR/bench/bench_service" ]; then
+   [ ! -x "$BUILD_DIR/bench/bench_service" ] ||
+   [ ! -x "$BUILD_DIR/bench/bench_hybrid" ]; then
   echo "=== bench binaries missing; building $BUILD_DIR ==="
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build "$BUILD_DIR" -j "$JOBS" \
-    --target bench_streaming bench_fig6_summa bench_service
+    --target bench_streaming bench_fig6_summa bench_service bench_hybrid
 fi
 
 tmp="$(mktemp -d)"
@@ -66,17 +70,28 @@ echo "=== bench_service (small sweep) ==="
   --rows 4096 --cols 16 --d 4 --updates 8 --duration-ms 150 \
   --shards 1,2,4 --producers 2 \
   --json "$tmp/service.json" > "$tmp/service.txt"
+# Hybrid skew sweep: exits nonzero when any method result is not
+# bit-identical to Hash, so correctness gates the run like the others.
+# The shape is big enough (~seconds, not sub-ms laps) that the recorded
+# hybrid-vs-best-single margin is signal, not timer noise.
+echo "=== bench_hybrid (skew sweep) ==="
+"$BUILD_DIR/bench/bench_hybrid" \
+  --rows 65536 --cols 512 --d 16 --k 64 --repeats 9 \
+  --json "$tmp/hybrid.json" > "$tmp/hybrid.txt"
 
 merge_benches "$OUT" "$tmp/streaming.json" "$tmp/fig6.json"
 merge_benches "$SERVICE_OUT" "$tmp/service.json"
+merge_benches "$HYBRID_OUT" "$tmp/hybrid.json"
 
 # The merge is string concatenation; make sure the results actually parse.
 if command -v jq > /dev/null 2>&1; then
   jq -e '.benches | length == 2' "$OUT" > /dev/null
   jq -e '.benches | length == 1' "$SERVICE_OUT" > /dev/null
+  jq -e '.benches | length == 1' "$HYBRID_OUT" > /dev/null
 elif command -v python3 > /dev/null 2>&1; then
-  python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$OUT"
-  python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$SERVICE_OUT"
+  for doc in "$OUT" "$SERVICE_OUT" "$HYBRID_OUT"; do
+    python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$doc"
+  done
 fi
 
-echo "=== wrote $OUT and $SERVICE_OUT ==="
+echo "=== wrote $OUT, $SERVICE_OUT and $HYBRID_OUT ==="

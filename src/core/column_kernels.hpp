@@ -8,6 +8,15 @@
 //   spa_add_column     Alg. 4 (sparse accumulator)
 //   hash_symbolic_column  Alg. 6 (count nnz(B(:,j)))
 //   hash_add_column    Alg. 5 (hash-table accumulation)
+//   sliding_symbolic_column   Alg. 7 (cache-capped symbolic partition)
+//   sliding_hash_add_column   Alg. 8 (cache-capped numeric partition)
+//
+// The ColumnKernel layer at the bottom exposes all of them behind one
+// uniform symbolic/numeric per-column interface — the dispatch unit of
+// Method::Hybrid, whose driver picks a kernel per nnz-balanced column
+// chunk instead of per call. Every kernel accumulates equal-row values
+// strictly left to right over the inputs, so any per-chunk mix of them
+// is bit-identical to any single kernel run over the whole matrix.
 //
 // All kernels optionally count operations into an OpCounters for the
 // Table I complexity bench.
@@ -317,6 +326,215 @@ std::size_t hash_add_column(std::span<const ColumnView<IndexT, ValueT>> cols,
     counters->table_inits += entries;
   }
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Sliding hash (Alg. 7 / Alg. 8)
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+/// Filter the entries of `views` with row index in [r1, r2) into scratch
+/// arrays and return views over the filtered copies. Used for sliding over
+/// *unsorted* inputs, where binary-search slicing is unavailable.
+template <class IndexT, class ValueT>
+void filter_range(std::span<const ColumnView<IndexT, ValueT>> views, IndexT r1,
+                  IndexT r2, std::vector<IndexT>& rows_scratch,
+                  std::vector<ValueT>& vals_scratch,
+                  std::vector<std::size_t>& bounds,
+                  std::vector<ColumnView<IndexT, ValueT>>& out_views) {
+  rows_scratch.clear();
+  vals_scratch.clear();
+  bounds.clear();
+  bounds.push_back(0);
+  for (const auto& v : views) {
+    for (std::size_t i = 0; i < v.nnz(); ++i) {
+      if (v.rows[i] >= r1 && v.rows[i] < r2) {
+        rows_scratch.push_back(v.rows[i]);
+        vals_scratch.push_back(v.vals[i]);
+      }
+    }
+    bounds.push_back(rows_scratch.size());
+  }
+  out_views.clear();
+  for (std::size_t s = 0; s + 1 < bounds.size(); ++s) {
+    const std::size_t lo = bounds[s];
+    const std::size_t len = bounds[s + 1] - lo;
+    if (len == 0) continue;
+    out_views.push_back(ColumnView<IndexT, ValueT>{
+        std::span<const IndexT>(rows_scratch).subspan(lo, len),
+        std::span<const ValueT>(vals_scratch).subspan(lo, len)});
+  }
+}
+
+/// Slice `views` to the row range [r1, r2) into scratch.part_views —
+/// binary search on sorted inputs, filtering otherwise (Alg. 7/8 line 4).
+template <class IndexT, class ValueT>
+void slice_row_range(std::span<const ColumnView<IndexT, ValueT>> views,
+                     IndexT r1, IndexT r2, bool inputs_sorted,
+                     ThreadScratch<IndexT, ValueT>& scratch) {
+  if (inputs_sorted) {
+    scratch.part_views.clear();
+    for (const auto& v : views) {
+      auto sub = v.row_range(r1, r2);
+      if (!sub.empty()) scratch.part_views.push_back(sub);
+    }
+  } else {
+    filter_range(views, r1, r2, scratch.rows_scratch, scratch.vals_scratch,
+                 scratch.bounds, scratch.part_views);
+  }
+}
+
+}  // namespace detail
+
+/// Alg. 7 for one column: plain hash symbolic when the table fits the cache
+/// budget, otherwise slide over `parts` row ranges. Scratch is the shared
+/// per-thread superset (symbolic uses its sym_table + view buffers).
+template <class IndexT, class ValueT>
+std::size_t sliding_symbolic_column(
+    std::span<const ColumnView<IndexT, ValueT>> views, IndexT rows,
+    std::size_t cap_entries, bool inputs_sorted,
+    ThreadScratch<IndexT, ValueT>& scratch, OpCounters* counters) {
+  std::size_t inz = 0;
+  for (const auto& v : views) inz += v.nnz();
+  if (inz == 0) return 0;
+  const std::size_t parts = util::ceil_div(inz, cap_entries);
+  if (parts <= 1)
+    return hash_symbolic_column(views, scratch.sym_table, counters);
+
+  std::size_t nz = 0;
+  for (std::size_t p = 0; p < parts; ++p) {
+    const auto r1 = static_cast<IndexT>(
+        static_cast<std::size_t>(rows) * p / parts);
+    const auto r2 = static_cast<IndexT>(
+        static_cast<std::size_t>(rows) * (p + 1) / parts);
+    detail::slice_row_range(views, r1, r2, inputs_sorted, scratch);
+    nz += hash_symbolic_column(
+        std::span<const ColumnView<IndexT, ValueT>>(scratch.part_views),
+        scratch.sym_table, counters);
+  }
+  return nz;
+}
+
+/// Alg. 8 for one column: partition by the column's *output* nnz (known
+/// from the symbolic phase) so each numeric table fits the `cap_entries`
+/// cache budget, then HASHADD each row-range part in ascending order.
+/// Tables are sized from the part's own keys-only symbolic count — 2-3x
+/// smaller than the input-nnz bound when cf > 1, the effect the paper
+/// highlights for Eukarya. Returns entries written (== out_nnz).
+template <class IndexT, class ValueT>
+std::size_t sliding_hash_add_column(
+    std::span<const ColumnView<IndexT, ValueT>> views, std::size_t out_nnz,
+    IndexT rows, std::size_t cap_entries, bool inputs_sorted,
+    bool sorted_output, ThreadScratch<IndexT, ValueT>& scratch,
+    IndexT* out_rows, ValueT* out_vals, OpCounters* counters = nullptr) {
+  if (out_nnz == 0) return 0;
+  const std::size_t parts = util::ceil_div(out_nnz, cap_entries);
+  if (parts <= 1)
+    return hash_add_column(views, out_nnz, scratch.table, out_rows, out_vals,
+                           sorted_output, counters);
+  std::size_t written = 0;
+  for (std::size_t p = 0; p < parts; ++p) {
+    const auto r1 = static_cast<IndexT>(
+        static_cast<std::size_t>(rows) * p / parts);
+    const auto r2 = static_cast<IndexT>(
+        static_cast<std::size_t>(rows) * (p + 1) / parts);
+    detail::slice_row_range(views, r1, r2, inputs_sorted, scratch);
+    if (scratch.part_views.empty()) continue;
+    const std::span<const ColumnView<IndexT, ValueT>> pviews(
+        scratch.part_views);
+    const std::size_t part_onz =
+        hash_symbolic_column(pviews, scratch.sym_table, counters);
+    written += hash_add_column(pviews, part_onz, scratch.table,
+                               out_rows + written, out_vals + written,
+                               sorted_output, counters);
+  }
+  return written;
+}
+
+// ---------------------------------------------------------------------------
+// ColumnKernel — the uniform per-column dispatch layer
+// ---------------------------------------------------------------------------
+
+/// The four column-loop kernels behind one dispatch tag. This is the unit
+/// Method::Hybrid selects per nnz-balanced column chunk (the whole-matrix
+/// methods Heap/Spa/Hash/SlidingHash are the degenerate "same kernel for
+/// every chunk" points of the same surface).
+enum class ColumnKernel : std::uint8_t { Heap, Spa, Hash, SlidingHash };
+
+[[nodiscard]] inline const char* column_kernel_name(ColumnKernel k) {
+  switch (k) {
+    case ColumnKernel::Heap: return "heap";
+    case ColumnKernel::Spa: return "spa";
+    case ColumnKernel::Hash: return "hash";
+    case ColumnKernel::SlidingHash: return "sliding";
+  }
+  return "?";
+}
+
+/// Record one chunk dispatched to kernel `k` (hybrid observability).
+inline void count_chunk(OpCounters& counters, ColumnKernel k) {
+  switch (k) {
+    case ColumnKernel::Heap: ++counters.chunks_heap; break;
+    case ColumnKernel::Spa: ++counters.chunks_spa; break;
+    case ColumnKernel::Hash: ++counters.chunks_hash; break;
+    case ColumnKernel::SlidingHash: ++counters.chunks_sliding; break;
+  }
+}
+
+/// Per-call constants the uniform kernel interface needs beyond the views
+/// themselves: the matrix row count (SPA sizing, sliding partitions), the
+/// cache-derived sliding table budgets, and the sortedness contract.
+template <class IndexT>
+struct KernelEnv {
+  IndexT rows = 0;
+  std::size_t sym_cap = 0;  ///< sliding symbolic entry budget per thread
+  std::size_t num_cap = 0;  ///< sliding numeric entry budget per thread
+  bool inputs_sorted = true;
+  bool sorted_output = true;
+};
+
+/// Uniform symbolic phase: nnz of the added column under kernel `k`.
+/// Heap/SPA/Hash chunks count with the plain hash symbolic (Alg. 6);
+/// sliding chunks use the cache-capped partition (Alg. 7).
+template <class IndexT, class ValueT>
+std::size_t kernel_symbolic_column(
+    ColumnKernel k, std::span<const ColumnView<IndexT, ValueT>> views,
+    const KernelEnv<IndexT>& env, ThreadScratch<IndexT, ValueT>& scratch,
+    OpCounters* counters = nullptr) {
+  if (k == ColumnKernel::SlidingHash)
+    return sliding_symbolic_column(views, env.rows, env.sym_cap,
+                                   env.inputs_sorted, scratch, counters);
+  return hash_symbolic_column(views, scratch.sym_table, counters);
+}
+
+/// Uniform numeric phase: add the column under kernel `k` into
+/// (out_rows, out_vals), which must hold `expected_nnz` entries (the
+/// symbolic result). Returns entries written (== expected_nnz).
+template <class IndexT, class ValueT>
+std::size_t kernel_numeric_column(
+    ColumnKernel k, std::span<const ColumnView<IndexT, ValueT>> views,
+    std::size_t expected_nnz, const KernelEnv<IndexT>& env,
+    ThreadScratch<IndexT, ValueT>& scratch, IndexT* out_rows,
+    ValueT* out_vals, OpCounters* counters = nullptr) {
+  switch (k) {
+    case ColumnKernel::Heap:
+      return heap_add_column(views, scratch.heap, out_rows, out_vals,
+                             counters);
+    case ColumnKernel::Spa:
+      scratch.spa.ensure_rows(static_cast<std::size_t>(env.rows));
+      return spa_add_column(views, scratch.spa, out_rows, out_vals,
+                            env.sorted_output, counters);
+    case ColumnKernel::Hash:
+      return hash_add_column(views, expected_nnz, scratch.table, out_rows,
+                             out_vals, env.sorted_output, counters);
+    case ColumnKernel::SlidingHash:
+      return sliding_hash_add_column(views, expected_nnz, env.rows,
+                                     env.num_cap, env.inputs_sorted,
+                                     env.sorted_output, scratch, out_rows,
+                                     out_vals, counters);
+  }
+  return 0;  // unreachable
 }
 
 }  // namespace spkadd::core

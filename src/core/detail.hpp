@@ -230,6 +230,40 @@ void for_each_column(IndexT n, const Options& opts, Body&& body) {
                   std::forward<Body>(body));
 }
 
+/// Chunk-parallel loop over pre-partitioned column ranges — the dispatch
+/// unit of Method::Hybrid, whose chunks are already cost-balanced, so the
+/// chunk queue is drained `dynamic,1` exactly like the NnzBalanced
+/// schedule (Schedule::Static keeps a static split for the ablation
+/// bench). `body` is called as body(chunk_index, OpCounters*) with the
+/// same thread-private counter contract as for_each_column.
+template <class IndexT, class Body>
+void for_each_chunk(std::span<const std::pair<IndexT, IndexT>> chunks,
+                    const Options& opts, Body&& body) {
+  const int nthreads =
+      opts.threads > 0 ? opts.threads : omp_get_max_threads();
+  std::vector<OpCounters> per(static_cast<std::size_t>(nthreads));
+  const auto nchunks = static_cast<std::int64_t>(chunks.size());
+  const bool dynamic = opts.schedule != Schedule::Static;
+#pragma omp parallel num_threads(nthreads)
+  {
+    OpCounters* c =
+        opts.counters
+            ? &per[static_cast<std::size_t>(omp_get_thread_num())]
+            : nullptr;
+    if (dynamic) {
+#pragma omp for schedule(dynamic, 1) nowait
+      for (std::int64_t i = 0; i < nchunks; ++i)
+        body(static_cast<std::size_t>(i), c);
+    } else {
+#pragma omp for schedule(static) nowait
+      for (std::int64_t i = 0; i < nchunks; ++i)
+        body(static_cast<std::size_t>(i), c);
+    }
+  }
+  if (opts.counters)
+    for (const auto& c : per) *opts.counters += c;
+}
+
 /// Gather the jth column views of all inputs into `views` (reused scratch);
 /// empty columns are skipped — they contribute nothing to any kernel.
 template <class Element, class IndexT, class ValueT>

@@ -1,11 +1,14 @@
 // k-way SpKAdd drivers (paper §II-C, §III).
 //
-// All four drivers share the same two-phase shape:
+// All drivers share the same two-phase shape:
 //   1. symbolic — nnz(B(:,j)) per column (hash-based, Alg. 6/7), exclusive
 //      scan into the output col_ptr, exact allocation;
 //   2. numeric — column-parallel loop filling each output slice with the
 //      method's kernel on thread-private scratch.
 // The loop is synchronization-free because output slices are disjoint.
+// The four single-kernel drivers run one kernel for every column;
+// spkadd_hybrid evaluates the Fig. 2 surface per nnz-balanced column
+// chunk and mixes kernels through the uniform ColumnKernel interface.
 //
 // Primary signatures take borrowed matrix pointers (MatrixPtrs) plus an
 // optional Runtime: the streaming accumulator folds batches through these
@@ -155,9 +158,10 @@ template <class IndexT, class ValueT>
 
 /// Alg. 8 driver: sliding hash. Symbolic uses the sliding partition of
 /// Alg. 7; the numeric phase re-partitions each column from its *output*
-/// nnz (tables are 2-3x smaller than symbolic ones when cf > 1, the effect
-/// the paper highlights for Eukarya). Row ranges are sliced by binary
-/// search on sorted inputs and by filtering otherwise.
+/// nnz via the shared sliding_hash_add_column kernel (tables are 2-3x
+/// smaller than symbolic ones when cf > 1, the effect the paper highlights
+/// for Eukarya). Row ranges are sliced by binary search on sorted inputs
+/// and by filtering otherwise.
 template <class IndexT, class ValueT>
 [[nodiscard]] CscMatrix<IndexT, ValueT> spkadd_sliding_hash(
     MatrixPtrs<IndexT, ValueT> inputs, const Options& opts = {},
@@ -181,53 +185,85 @@ template <class IndexT, class ValueT>
                           [&](IndexT j, OpCounters* c) {
     auto& s = R.scratch[static_cast<std::size_t>(omp_get_thread_num())];
     detail::gather_views(inputs, j, s.views);
-    const std::span<const ColumnView<IndexT, ValueT>> views(s.views);
     const auto onz = static_cast<std::size_t>(
         cp[static_cast<std::size_t>(j) + 1] - cp[static_cast<std::size_t>(j)]);
-    if (onz == 0) return;
-    auto lo = static_cast<std::size_t>(cp[static_cast<std::size_t>(j)]);
-    // Alg. 8 line 3: partition by the column's output nnz (known from the
-    // symbolic phase) so the numeric tables fit the cache budget.
-    const std::size_t parts = util::ceil_div(onz, cap);
-    if (parts <= 1) {
-      hash_add_column(views, onz, s.table, out_rows + lo, out_vals + lo,
-                      sorted, c);
-      return;
-    }
-    for (std::size_t p = 0; p < parts; ++p) {
-      const auto r1 = static_cast<IndexT>(
-          static_cast<std::size_t>(rows_copy) * p / parts);
-      const auto r2 = static_cast<IndexT>(
-          static_cast<std::size_t>(rows_copy) * (p + 1) / parts);
-      std::size_t part_in = 0;
-      if (inputs_sorted) {
-        s.part_views.clear();
-        for (const auto& v : views) {
-          auto sub = v.row_range(r1, r2);
-          if (!sub.empty()) {
-            s.part_views.push_back(sub);
-            part_in += sub.nnz();
-          }
-        }
-      } else {
-        detail::filter_range(views, r1, r2, s.rows_scratch, s.vals_scratch,
-                             s.bounds, s.part_views);
-        part_in = s.rows_scratch.size();
-      }
-      if (part_in == 0) continue;
-      const std::span<const ColumnView<IndexT, ValueT>> pviews(s.part_views);
-      // Alg. 8's HASHADD sizes its table from the part's output nnz; that
-      // count is not stored by the column-level symbolic pass, so re-derive
-      // it with a keys-only symbolic over the part. At cf > 1 this keeps
-      // the numeric table output-sized (cache-resident) instead of the
-      // cf-times-larger input-nnz bound.
-      const std::size_t part_onz = hash_symbolic_column(pviews, s.sym_table, c);
-      const std::size_t written =
-          hash_add_column(pviews, part_onz, s.table, out_rows + lo,
-                          out_vals + lo, sorted, c);
-      lo += written;
-    }
+    const auto lo = static_cast<std::size_t>(cp[static_cast<std::size_t>(j)]);
+    sliding_hash_add_column(
+        std::span<const ColumnView<IndexT, ValueT>>(s.views), onz, rows_copy,
+        cap, inputs_sorted, sorted, s, out_rows + lo, out_vals + lo, c);
   });
+  if (opts.counters)
+    opts.counters->bytes_moved += detail::streamed_bytes<IndexT, ValueT>(
+        detail::total_nnz(inputs), out.nnz());
+  return out;
+}
+
+/// Method::Hybrid driver: evaluate the Fig. 2 decision surface per
+/// nnz-balanced column chunk instead of per call. The per-column input-nnz
+/// totals (computed once by the caller's cost scan, or here when absent)
+/// are cut into cost-balanced chunks; each chunk is classified
+/// (plan_hybrid) and both phases then run chunk-parallel, every chunk
+/// under its own kernel through the uniform ColumnKernel interface. A
+/// thread's ThreadScratch grows to the union of the kernels it actually
+/// runs — nothing is pre-sized for kernels the plan never dispatches.
+/// Bit-identical to every single-kernel column method: all kernels
+/// accumulate equal-row values strictly left to right over the inputs.
+template <class IndexT, class ValueT>
+[[nodiscard]] CscMatrix<IndexT, ValueT> spkadd_hybrid(
+    MatrixPtrs<IndexT, ValueT> inputs, const Options& opts = {},
+    Runtime<IndexT, ValueT>* rt = nullptr) {
+  const auto [rows, cols] = detail::check_conformant(inputs);
+  Runtime<IndexT, ValueT> local;
+  Runtime<IndexT, ValueT>& R = rt ? *rt : local;
+  R.ensure_threads(opts.threads > 0 ? opts.threads
+                                    : util::current_max_threads());
+  // The plan feeds on the cost vector regardless of schedule; reuse the
+  // caller's scan when it is already sized for these columns.
+  if (R.col_costs.size() != static_cast<std::size_t>(cols))
+    detail::column_input_nnz(inputs, opts, R.col_costs);
+
+  HybridPlan<IndexT> plan;
+  plan_hybrid<IndexT, ValueT>(
+      std::span<const std::uint64_t>(R.col_costs), rows, inputs.size(), opts,
+      plan);
+  if (plan.uses(ColumnKernel::Heap))
+    detail::require_sorted_inputs(inputs, "spkadd_hybrid");
+  if (opts.counters)
+    for (const ColumnKernel k : plan.kernels) count_chunk(*opts.counters, k);
+
+  const std::vector<IndexT> counts =
+      symbolic_nnz_per_column_hybrid(inputs, opts, plan, R);
+  auto out = detail::shell_from_counts<IndexT, ValueT>(rows, cols, counts);
+  auto* out_rows = out.mutable_row_idx().data();
+  auto* out_vals = out.mutable_values().data();
+  const auto cp = out.col_ptr();
+
+  KernelEnv<IndexT> env;
+  env.rows = rows;
+  env.sym_cap = detail::table_entry_cap(opts, sizeof(IndexT));
+  env.num_cap =
+      detail::table_entry_cap(opts, sizeof(IndexT) + sizeof(ValueT));
+  env.inputs_sorted = opts.inputs_sorted;
+  env.sorted_output = opts.sorted_output;
+  detail::for_each_chunk(
+      std::span<const std::pair<IndexT, IndexT>>(plan.chunks), opts,
+      [&](std::size_t ci, OpCounters* c) {
+        auto& s =
+            R.scratch[static_cast<std::size_t>(omp_get_thread_num())];
+        const ColumnKernel kernel = plan.kernels[ci];
+        for (IndexT j = plan.chunks[ci].first; j < plan.chunks[ci].second;
+             ++j) {
+          detail::gather_views(inputs, j, s.views);
+          const auto lo =
+              static_cast<std::size_t>(cp[static_cast<std::size_t>(j)]);
+          const auto expected = static_cast<std::size_t>(
+              cp[static_cast<std::size_t>(j) + 1] -
+              cp[static_cast<std::size_t>(j)]);
+          kernel_numeric_column(
+              kernel, std::span<const ColumnView<IndexT, ValueT>>(s.views),
+              expected, env, s, out_rows + lo, out_vals + lo, c);
+        }
+      });
   if (opts.counters)
     opts.counters->bytes_moved += detail::streamed_bytes<IndexT, ValueT>(
         detail::total_nnz(inputs), out.nnz());
@@ -269,6 +305,15 @@ template <class IndexT, class ValueT>
   std::vector<const CscMatrix<IndexT, ValueT>*> ptrs;
   detail::borrow_all(inputs, ptrs);
   return spkadd_sliding_hash(MatrixPtrs<IndexT, ValueT>(ptrs), opts);
+}
+
+template <class IndexT, class ValueT>
+[[nodiscard]] CscMatrix<IndexT, ValueT> spkadd_hybrid(
+    std::span<const CscMatrix<IndexT, ValueT>> inputs,
+    const Options& opts = {}) {
+  std::vector<const CscMatrix<IndexT, ValueT>*> ptrs;
+  detail::borrow_all(inputs, ptrs);
+  return spkadd_hybrid(MatrixPtrs<IndexT, ValueT>(ptrs), opts);
 }
 
 }  // namespace spkadd::core

@@ -18,10 +18,18 @@ enum class Method {
   SlidingHash,        ///< Alg. 7/8: cache-capped hash slid over row ranges
   ReferenceIncremental,  ///< MKL-substitute pairwise add, folded
   ReferenceTree,         ///< MKL-substitute pairwise add, tree
-  Auto,               ///< pick per Fig. 2's decision surface
+  Auto,               ///< pick ONE kernel per Fig. 2's decision surface
+  Hybrid,             ///< pick a kernel PER nnz-balanced column chunk
 };
 
 [[nodiscard]] std::string method_name(Method m);
+
+/// Inverse of method_name(): parses both the exact display name and the
+/// usual CLI spellings ("hash", "sliding-hash", "2way-tree", "hybrid",
+/// ...), case- and punctuation-insensitively. Throws std::invalid_argument
+/// with the accepted names on unknown input. Round-trip guarantee:
+/// method_from_name(method_name(m)) == m for every Method.
+[[nodiscard]] Method method_from_name(const std::string& name);
 
 /// Loop schedule for the column-parallel outer loop. The paper uses dynamic
 /// scheduling keyed on per-column nnz to balance skewed (RMAT) workloads;
@@ -34,6 +42,10 @@ enum class Schedule { Dynamic, Static, NnzBalanced };
 
 [[nodiscard]] std::string schedule_name(Schedule s);
 
+/// Inverse of schedule_name(); same parsing/throwing contract as
+/// method_from_name().
+[[nodiscard]] Schedule schedule_from_name(const std::string& name);
+
 /// Operation counters, filled when Options::counters is non-null. These
 /// measure the "Work" and "I/O (from memory)" columns of Table I so the
 /// complexity bench can verify the analytic growth rates.
@@ -45,6 +57,15 @@ struct OpCounters {
   std::uint64_t bytes_moved = 0;  ///< streamed matrix bytes (I/O model)
   std::uint64_t table_inits = 0;  ///< hash-table slots initialized
 
+  // Per-kernel chunk-dispatch counts of Method::Hybrid: how many
+  // nnz-balanced column chunks each kernel was chosen for (the observable
+  // decision mix of the per-chunk Fig. 2 surface). Zero under every
+  // single-kernel method.
+  std::uint64_t chunks_heap = 0;     ///< chunks dispatched to the heap merge
+  std::uint64_t chunks_spa = 0;      ///< chunks dispatched to the SPA
+  std::uint64_t chunks_hash = 0;     ///< chunks dispatched to plain hash
+  std::uint64_t chunks_sliding = 0;  ///< chunks dispatched to sliding hash
+
   OpCounters& operator+=(const OpCounters& o) {
     merge_ops += o.merge_ops;
     heap_ops += o.heap_ops;
@@ -52,12 +73,29 @@ struct OpCounters {
     spa_touches += o.spa_touches;
     bytes_moved += o.bytes_moved;
     table_inits += o.table_inits;
+    chunks_heap += o.chunks_heap;
+    chunks_spa += o.chunks_spa;
+    chunks_hash += o.chunks_hash;
+    chunks_sliding += o.chunks_sliding;
     return *this;
   }
 
   /// Total "work" events across data structures (Table I's Work column).
   [[nodiscard]] std::uint64_t work() const {
     return merge_ops + heap_ops + hash_probes + spa_touches;
+  }
+
+  /// Total hybrid chunks dispatched (0 under single-kernel methods).
+  [[nodiscard]] std::uint64_t chunks_total() const {
+    return chunks_heap + chunks_spa + chunks_hash + chunks_sliding;
+  }
+
+  /// Compact "heap/spa/hash/sliding" rendering of the hybrid decision mix
+  /// for bench tables, e.g. "2/0/29/1".
+  [[nodiscard]] std::string chunk_mix() const {
+    return std::to_string(chunks_heap) + "/" + std::to_string(chunks_spa) +
+           "/" + std::to_string(chunks_hash) + "/" +
+           std::to_string(chunks_sliding);
   }
 };
 

@@ -9,6 +9,11 @@
 // tables fit in the last-level cache. For tiny k on skewed inputs the 2-way
 // tree/heap corner of Fig. 2 is honored.
 //
+// Method::Hybrid evaluates the same surface PER nnz-balanced column chunk
+// (spkadd_hybrid in kway.hpp): one dense hub column no longer drags every
+// sparse column onto sliding hash — each chunk runs its own Fig. 2-optimal
+// kernel, bit-identically to any single-kernel run.
+//
 // The Auto prescan (max per-column input nnz) runs as one parallel pass
 // whose per-column totals land in the call's Runtime, where the symbolic
 // phase and the nnz-balanced schedule reuse them — the scan is paid once
@@ -100,12 +105,15 @@ template <class IndexT, class ValueT>
     method = Method::TwoWayTree;
   // Only the column-loop drivers consume costs; TwoWay*/Reference* never
   // schedule by them, so skip the scan for those even under NnzBalanced.
+  // Hybrid always needs the totals: its chunking AND per-chunk kernel
+  // classification feed from them regardless of schedule.
   const bool kway_driver =
       method == Method::Auto || method == Method::Heap ||
       method == Method::Spa || method == Method::Hash ||
       method == Method::SlidingHash;
   const bool want_costs =
-      opts.schedule == Schedule::NnzBalanced && kway_driver;
+      (opts.schedule == Schedule::NnzBalanced && kway_driver) ||
+      method == Method::Hybrid;
   if (method == Method::Auto || want_costs) {
     // One parallel scan: the per-column totals are kept only when the
     // balanced schedule (and through it the symbolic phase) will read
@@ -131,6 +139,8 @@ template <class IndexT, class ValueT>
       return spkadd_hash(inputs, opts, &R);
     case Method::SlidingHash:
       return spkadd_sliding_hash(inputs, opts, &R);
+    case Method::Hybrid:
+      return spkadd_hybrid(inputs, opts, &R);
     case Method::ReferenceIncremental:
       return spkadd_reference_incremental(inputs);
     case Method::ReferenceTree:

@@ -6,12 +6,20 @@
 // Alg. 7 so symbolic tables stay inside the last-level cache. The symbolic
 // table stores keys only (b = sizeof(IndexT) bytes per entry).
 //
-// The primary entry point takes borrowed matrix pointers plus an optional
+// It is also where Method::Hybrid plans its per-chunk dispatch: the
+// per-column input-nnz totals already computed for the Auto prescan and the
+// nnz-balanced schedule are cut into cost-balanced column chunks and each
+// chunk is classified on the paper's Fig. 2 decision surface
+// (plan_hybrid/hybrid_kernel_for) — no new prescan. The hybrid symbolic
+// pass then counts each chunk with its assigned kernel's symbolic variant.
+//
+// The primary entry points take borrowed matrix pointers plus an optional
 // Runtime whose per-thread scratch and per-column cost vector are reused
 // across calls (the streaming accumulator's workspace-persistence path).
 #pragma once
 
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/column_kernels.hpp"
@@ -43,79 +51,7 @@ inline std::size_t table_entry_cap(const Options& opts,
   return std::max<std::size_t>(cap, 8);
 }
 
-/// Filter the entries of `views` with row index in [r1, r2) into scratch
-/// arrays and return views over the filtered copies. Used for sliding over
-/// *unsorted* inputs, where binary-search slicing is unavailable.
-template <class IndexT, class ValueT>
-void filter_range(std::span<const ColumnView<IndexT, ValueT>> views, IndexT r1,
-                  IndexT r2, std::vector<IndexT>& rows_scratch,
-                  std::vector<ValueT>& vals_scratch,
-                  std::vector<std::size_t>& bounds,
-                  std::vector<ColumnView<IndexT, ValueT>>& out_views) {
-  rows_scratch.clear();
-  vals_scratch.clear();
-  bounds.clear();
-  bounds.push_back(0);
-  for (const auto& v : views) {
-    for (std::size_t i = 0; i < v.nnz(); ++i) {
-      if (v.rows[i] >= r1 && v.rows[i] < r2) {
-        rows_scratch.push_back(v.rows[i]);
-        vals_scratch.push_back(v.vals[i]);
-      }
-    }
-    bounds.push_back(rows_scratch.size());
-  }
-  out_views.clear();
-  for (std::size_t s = 0; s + 1 < bounds.size(); ++s) {
-    const std::size_t lo = bounds[s];
-    const std::size_t len = bounds[s + 1] - lo;
-    if (len == 0) continue;
-    out_views.push_back(ColumnView<IndexT, ValueT>{
-        std::span<const IndexT>(rows_scratch).subspan(lo, len),
-        std::span<const ValueT>(vals_scratch).subspan(lo, len)});
-  }
-}
-
 }  // namespace detail
-
-/// Alg. 7 for one column: plain hash symbolic when the table fits the cache
-/// budget, otherwise slide over `parts` row ranges. Scratch is the shared
-/// per-thread superset (symbolic uses its sym_table + view buffers).
-template <class IndexT, class ValueT>
-std::size_t sliding_symbolic_column(
-    std::span<const ColumnView<IndexT, ValueT>> views, IndexT rows,
-    std::size_t cap_entries, bool inputs_sorted,
-    ThreadScratch<IndexT, ValueT>& scratch, OpCounters* counters) {
-  std::size_t inz = 0;
-  for (const auto& v : views) inz += v.nnz();
-  if (inz == 0) return 0;
-  const std::size_t parts = util::ceil_div(inz, cap_entries);
-  if (parts <= 1)
-    return hash_symbolic_column(views, scratch.sym_table, counters);
-
-  std::size_t nz = 0;
-  for (std::size_t p = 0; p < parts; ++p) {
-    const auto r1 = static_cast<IndexT>(
-        static_cast<std::size_t>(rows) * p / parts);
-    const auto r2 = static_cast<IndexT>(
-        static_cast<std::size_t>(rows) * (p + 1) / parts);
-    if (inputs_sorted) {
-      scratch.part_views.clear();
-      for (const auto& v : views) {
-        auto sub = v.row_range(r1, r2);
-        if (!sub.empty()) scratch.part_views.push_back(sub);
-      }
-    } else {
-      detail::filter_range(views, r1, r2, scratch.rows_scratch,
-                           scratch.vals_scratch, scratch.bounds,
-                           scratch.part_views);
-    }
-    nz += hash_symbolic_column(
-        std::span<const ColumnView<IndexT, ValueT>>(scratch.part_views),
-        scratch.sym_table, counters);
-  }
-  return nz;
-}
 
 /// Compute nnz(B(:,j)) for every column of the borrowed addends. `sliding`
 /// selects Alg. 7 (cache-capped tables) vs plain Alg. 6. When `rt` is
@@ -162,6 +98,131 @@ std::vector<IndexT> symbolic_nnz_per_column(
   detail::borrow_all(inputs, ptrs);
   return symbolic_nnz_per_column(MatrixPtrs<IndexT, ValueT>(ptrs), opts,
                                  sliding);
+}
+
+// ---------------------------------------------------------------------------
+// Hybrid per-chunk classification (the Fig. 2 surface, evaluated per chunk)
+// ---------------------------------------------------------------------------
+
+/// Chunk thresholds of the per-chunk decision surface. The sliding/hash
+/// boundary is the paper's cache-residency test and needs no tuning knob;
+/// the heap pair covers the corner Fig. 2 draws at small k on sparse
+/// columns (a k-way merge has no table to initialize or sort).
+inline constexpr std::size_t kHybridHeapMaxK = 4;
+inline constexpr std::uint64_t kHybridHeapMaxColNnz = 64;
+
+/// Classify one nnz-balanced column chunk from its heaviest column's
+/// summed input nnz. `llc_fit_nnz` is the largest per-column input nnz
+/// whose numeric tables (all T threads') still fit the LLC — the same
+/// surface as the whole-matrix Auto test b*T*max > M, just evaluated on
+/// the chunk's own maximum instead of the global one. `spa_fit_rows` is
+/// the largest row count whose T dense SPA arrays (value + generation
+/// stamp per row) stay LLC-resident — the Fig. 3 effect: SPA's direct
+/// indexing beats hashing (no probes, no per-column table init) right up
+/// until its O(T*m) scratch falls out of cache, which is exactly where
+/// the paper's large-m multithreaded runs see it collapse.
+///   1. tables overflow the cache      -> SlidingHash
+///   2. tiny-k sorted sparse chunks    -> Heap
+///   3. SPA arrays stay cache-resident -> Spa
+///   4. everything else                -> Hash
+/// Empty chunks dispatch to Hash (a no-op kernel invocation).
+template <class IndexT>
+[[nodiscard]] ColumnKernel hybrid_kernel_for(std::uint64_t chunk_max_col_nnz,
+                                             std::size_t k, IndexT rows,
+                                             bool inputs_sorted,
+                                             std::uint64_t llc_fit_nnz,
+                                             std::uint64_t spa_fit_rows) {
+  if (chunk_max_col_nnz == 0) return ColumnKernel::Hash;
+  if (chunk_max_col_nnz > llc_fit_nnz) return ColumnKernel::SlidingHash;
+  if (inputs_sorted && k <= kHybridHeapMaxK &&
+      chunk_max_col_nnz <= kHybridHeapMaxColNnz)
+    return ColumnKernel::Heap;
+  if (rows > 0 && static_cast<std::uint64_t>(rows) <= spa_fit_rows)
+    return ColumnKernel::Spa;
+  return ColumnKernel::Hash;
+}
+
+/// The per-chunk execution plan of Method::Hybrid: nnz-balanced column
+/// ranges plus the kernel classified for each.
+template <class IndexT>
+struct HybridPlan {
+  std::vector<std::pair<IndexT, IndexT>> chunks;  ///< [first, second) cols
+  std::vector<ColumnKernel> kernels;              ///< one per chunk
+
+  [[nodiscard]] std::size_t size() const { return chunks.size(); }
+  [[nodiscard]] bool uses(ColumnKernel k) const {
+    for (const ColumnKernel c : kernels)
+      if (c == k) return true;
+    return false;
+  }
+};
+
+/// Build the hybrid plan from the per-column input-nnz totals the call
+/// already computed (the Auto-prescan/NnzBalanced cost vector — no new
+/// scan): cut the columns into cost-balanced chunks, then classify each
+/// chunk from its heaviest column. ValueT fixes the numeric table entry
+/// size of the cache-residency test.
+template <class IndexT, class ValueT>
+void plan_hybrid(std::span<const std::uint64_t> costs, IndexT rows,
+                 std::size_t k, const Options& opts,
+                 HybridPlan<IndexT>& plan) {
+  const int threads =
+      opts.threads > 0 ? opts.threads : util::current_max_threads();
+  detail::balance_chunks(costs, threads, plan.chunks);
+  plan.kernels.clear();
+  plan.kernels.reserve(plan.chunks.size());
+  const std::size_t b = sizeof(IndexT) + sizeof(ValueT);
+  const std::size_t llc =
+      opts.llc_bytes != 0 ? opts.llc_bytes : util::effective_llc_bytes();
+  const auto T = static_cast<std::size_t>(std::max(1, threads));
+  // max fitting nnz: chunk_max > llc/(b*T)  <=>  b*T*chunk_max > llc.
+  const std::uint64_t fit = llc / (b * T);
+  // SPA footprint per row: one ValueT plus one generation stamp.
+  const std::uint64_t spa_fit =
+      llc / ((sizeof(ValueT) + sizeof(std::uint32_t)) * T);
+  for (const auto& [c0, c1] : plan.chunks) {
+    std::uint64_t mx = 0;
+    for (IndexT j = c0; j < c1; ++j)
+      mx = std::max(mx, costs[static_cast<std::size_t>(j)]);
+    plan.kernels.push_back(
+        hybrid_kernel_for(mx, k, rows, opts.inputs_sorted, fit, spa_fit));
+  }
+}
+
+/// Hybrid symbolic phase: count every column with its chunk's kernel
+/// (sliding symbolic on sliding chunks, plain hash symbolic elsewhere).
+/// Chunks are the parallel work unit, drained dynamically — they are
+/// already cost-balanced, so this is the NnzBalanced schedule by
+/// construction.
+template <class IndexT, class ValueT>
+std::vector<IndexT> symbolic_nnz_per_column_hybrid(
+    MatrixPtrs<IndexT, ValueT> inputs, const Options& opts,
+    const HybridPlan<IndexT>& plan, Runtime<IndexT, ValueT>& R) {
+  const auto [rows, cols] = detail::check_conformant(inputs);
+  std::vector<IndexT> counts(static_cast<std::size_t>(cols));
+  R.ensure_threads(opts.threads > 0 ? opts.threads
+                                    : util::current_max_threads());
+  KernelEnv<IndexT> env;
+  env.rows = rows;
+  env.sym_cap = detail::table_entry_cap(opts, sizeof(IndexT));
+  env.inputs_sorted = opts.inputs_sorted;
+  detail::for_each_chunk(
+      std::span<const std::pair<IndexT, IndexT>>(plan.chunks), opts,
+      [&](std::size_t ci, OpCounters* c) {
+        auto& s =
+            R.scratch[static_cast<std::size_t>(omp_get_thread_num())];
+        const ColumnKernel kernel = plan.kernels[ci];
+        for (IndexT j = plan.chunks[ci].first; j < plan.chunks[ci].second;
+             ++j) {
+          detail::gather_views(inputs, j, s.views);
+          counts[static_cast<std::size_t>(j)] = static_cast<IndexT>(
+              kernel_symbolic_column(
+                  kernel,
+                  std::span<const ColumnView<IndexT, ValueT>>(s.views), env,
+                  s, c));
+        }
+      });
+  return counts;
 }
 
 }  // namespace spkadd::core

@@ -132,7 +132,11 @@ struct HeapWorkspace {
 /// scratch structures plus the view/partition buffers of the symbolic and
 /// sliding passes. One superset struct (rather than one per driver) lets a
 /// single pool serve symbolic + numeric phases and every method, so a
-/// streaming accumulator can keep the scratch hot across batches.
+/// streaming accumulator can keep the scratch hot across batches. All
+/// members start empty and only grow on first use, so under the per-chunk
+/// hybrid dispatch a thread's scratch footprint is the union of the
+/// kernels it actually ran — e.g. the O(m) SPA array is never allocated
+/// on a thread that only ever drew hash chunks.
 template <class IndexT, class ValueT>
 struct ThreadScratch {
   HashWorkspace<IndexT, ValueT> table;

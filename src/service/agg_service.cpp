@@ -274,6 +274,10 @@ ServiceStats AggService::stats() const {
       out.shards[s].flushes += sh.acc.stats().flushes;
       out.shards[s].peak_staged_nnz = std::max(
           out.shards[s].peak_staged_nnz, sh.acc.stats().peak_staged_nnz);
+      out.shards[s].chunks_heap += sh.counters.chunks_heap;
+      out.shards[s].chunks_spa += sh.counters.chunks_spa;
+      out.shards[s].chunks_hash += sh.counters.chunks_hash;
+      out.shards[s].chunks_sliding += sh.counters.chunks_sliding;
     }
     out.tenants.push_back(std::move(ts));
   }

@@ -41,7 +41,9 @@ struct ServiceConfig {
   /// Whether the configured fold method refuses unsorted columns
   /// (merge-family kernels, paper Table I). The service uses this to
   /// reject a fold-fatal configuration at construction and to validate
-  /// updates BEFORE they are staged.
+  /// updates BEFORE they are staged. Hybrid is safe either way: its
+  /// per-chunk plan only picks the heap kernel when inputs_sorted is
+  /// declared (and the service then validates updates against it).
   [[nodiscard]] bool method_requires_sorted() const {
     switch (options.method) {
       case core::Method::TwoWayIncremental:

@@ -97,16 +97,30 @@ std::vector<CscMatrix<IndexT, ValueT>> partition_rows(
 }
 
 /// One row-range shard of one tenant: a mutex-guarded streaming
-/// accumulator plus the counters ServiceStats aggregates.
+/// accumulator plus the counters ServiceStats aggregates. Each shard
+/// owns its OpCounters and points its accumulator's fold options at
+/// them (folds run under `mutex`, so the per-call counter contract
+/// holds), making the hybrid per-chunk kernel mix — and the fold work
+/// counters generally — observable per shard. A counters pointer the
+/// caller left in `opts` is overridden: one shared OpCounters across
+/// concurrent shard folds would be a data race.
 struct TenantShard {
   TenantShard(std::int32_t rows, std::int32_t cols,
               const core::Options& opts, std::size_t batch_window)
-      : acc(rows, cols, opts, batch_window) {}
+      : acc(rows, cols, with_counters(opts, &counters), batch_window) {}
 
   std::mutex mutex;
+  core::OpCounters counters;  ///< fold work + hybrid chunk-dispatch mix
   core::Accumulator<std::int32_t, double> acc;
   std::uint64_t slices_applied = 0;
   std::uint64_t folded_nnz = 0;
+
+ private:
+  static core::Options with_counters(core::Options opts,
+                                     core::OpCounters* c) {
+    opts.counters = c;
+    return opts;
+  }
 };
 
 }  // namespace spkadd::service

@@ -42,6 +42,15 @@ SummaConfig unsorted_hash_pipeline(int grid) {
   return c;
 }
 
+SummaConfig hybrid_pipeline(int grid) {
+  SummaConfig c;
+  c.grid = grid;
+  c.local_accumulator = spgemm::Accumulator::Hash;
+  c.sort_local_products = true;  // lets hybrid chunks use the heap corner
+  c.reduce_method = core::Method::Hybrid;
+  return c;
+}
+
 Csc assemble_blocks(const std::vector<std::vector<Csc>>& blocks,
                     const std::vector<std::int32_t>& row_bounds,
                     const std::vector<std::int32_t>& col_bounds) {

@@ -68,6 +68,11 @@ struct SummaConfig {
 SummaConfig heap_pipeline(int grid);
 SummaConfig sorted_hash_pipeline(int grid);
 SummaConfig unsorted_hash_pipeline(int grid);
+/// Per-chunk hybrid reduction (Method::Hybrid): each stage-product fold
+/// picks its kernel per nnz-balanced column chunk, so skewed blocks stop
+/// forcing one whole-matrix method. Bit-identical to the single-kernel
+/// pipelines (every fold is a strict left fold).
+SummaConfig hybrid_pipeline(int grid);
 
 struct SummaResult {
   CscMatrix<std::int32_t, double> c;  ///< assembled global product

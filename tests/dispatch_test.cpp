@@ -25,7 +25,7 @@ TEST(Dispatch, EveryMethodProducesTheSameSum) {
   for (auto m : {Method::TwoWayIncremental, Method::TwoWayTree, Method::Heap,
                  Method::Spa, Method::Hash, Method::SlidingHash,
                  Method::ReferenceIncremental, Method::ReferenceTree,
-                 Method::Auto}) {
+                 Method::Auto, Method::Hybrid}) {
     Options opts;
     opts.method = m;
     EXPECT_TRUE(approx_equal(oracle, core::spkadd(inputs, opts)))
@@ -117,14 +117,43 @@ TEST(AutoPolicy, DeterministicLlcBoundaryRegression) {
             Method::SlidingHash);
 }
 
+namespace {
+constexpr Method kAllMethods[] = {
+    Method::TwoWayIncremental, Method::TwoWayTree,
+    Method::Heap,              Method::Spa,
+    Method::Hash,              Method::SlidingHash,
+    Method::ReferenceIncremental,
+    Method::ReferenceTree,     Method::Auto,
+    Method::Hybrid};
+}  // namespace
+
 TEST(MethodName, AllNamesDistinct) {
   std::set<std::string> names;
-  for (auto m : {Method::TwoWayIncremental, Method::TwoWayTree, Method::Heap,
-                 Method::Spa, Method::Hash, Method::SlidingHash,
-                 Method::ReferenceIncremental, Method::ReferenceTree,
-                 Method::Auto})
-    names.insert(method_name(m));
-  EXPECT_EQ(names.size(), 9u);
+  for (auto m : kAllMethods) names.insert(method_name(m));
+  EXPECT_EQ(names.size(), 10u);
+}
+
+TEST(MethodName, FromNameRoundTripsEveryMethod) {
+  for (auto m : kAllMethods) EXPECT_EQ(method_from_name(method_name(m)), m);
+}
+
+TEST(MethodName, FromNameAcceptsCliSpellings) {
+  EXPECT_EQ(method_from_name("hash"), Method::Hash);
+  EXPECT_EQ(method_from_name("sliding-hash"), Method::SlidingHash);
+  EXPECT_EQ(method_from_name("SLIDING_HASH"), Method::SlidingHash);
+  EXPECT_EQ(method_from_name("2way-tree"), Method::TwoWayTree);
+  EXPECT_EQ(method_from_name("ref-tree"), Method::ReferenceTree);
+  EXPECT_EQ(method_from_name("Hybrid"), Method::Hybrid);
+  EXPECT_THROW((void)method_from_name("hashish"), std::invalid_argument);
+  EXPECT_THROW((void)method_from_name(""), std::invalid_argument);
+}
+
+TEST(ScheduleName, FromNameRoundTripsEverySchedule) {
+  for (auto s :
+       {Schedule::Dynamic, Schedule::Static, Schedule::NnzBalanced})
+    EXPECT_EQ(schedule_from_name(schedule_name(s)), s);
+  EXPECT_EQ(schedule_from_name("NNZ-Balanced"), Schedule::NnzBalanced);
+  EXPECT_THROW((void)schedule_from_name("guided"), std::invalid_argument);
 }
 
 TEST(Dispatch, VectorOverloadMatchesSpanOverload) {

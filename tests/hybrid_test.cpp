@@ -1,0 +1,365 @@
+// Method::Hybrid — per-chunk kernel dispatch: classification of the
+// per-chunk Fig. 2 surface, bit-identity of the mixed-kernel result to
+// every single-kernel method and the reference folds, and the chunk
+// counters/consumer integrations (accumulator, SUMMA).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/accumulator.hpp"
+#include "core/spkadd.hpp"
+#include "gen/workload.hpp"
+#include "matrix/validate.hpp"
+#include "summa/sparse_summa.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace spkadd;
+using namespace spkadd::core;
+using spkadd::testing::canonicalized;
+using spkadd::testing::dense_sum_oracle;
+using spkadd::testing::random_collection;
+
+using Csc = spkadd::testing::Csc;
+using Coo = spkadd::testing::Coo;
+
+/// k addends with one dense hub column (col 0, ~rows/2 entries each) among
+/// sparse ones — the workload whole-matrix dispatch handles worst.
+std::vector<Csc> hub_collection(int k, std::int32_t rows, std::int32_t cols,
+                                std::uint64_t seed) {
+  std::vector<Csc> out;
+  for (int i = 0; i < k; ++i) {
+    Coo coo(rows, cols);
+    for (std::int32_t r = (i % 2); r < rows; r += 2)
+      coo.push(r, 0, 1.0 + static_cast<double>(r % 5));
+    util::Xoshiro256 rng(seed + static_cast<std::uint64_t>(i));
+    for (std::int32_t j = 1; j < cols; ++j)
+      for (int t = 0; t < 4; ++t)
+        coo.push(static_cast<std::int32_t>(
+                     rng.bounded(static_cast<std::uint64_t>(rows))),
+                 j, 1.0 - rng.uniform());
+    coo.compress();
+    out.push_back(coo.to_csc());
+  }
+  return out;
+}
+
+void quantize(std::vector<Csc>& inputs) {
+  for (auto& m : inputs)
+    for (auto& v : m.mutable_values()) v = std::round(v * 8.0);
+}
+
+// ---------------------------------------------------------------------------
+// Classification (hybrid_kernel_for / plan_hybrid)
+// ---------------------------------------------------------------------------
+
+TEST(HybridClassify, EmptyChunkIsAHashNoop) {
+  EXPECT_EQ(hybrid_kernel_for<std::int32_t>(0, 16, 1 << 20, true, 100, 0),
+            ColumnKernel::Hash);
+}
+
+TEST(HybridClassify, CacheOverflowPicksSliding) {
+  EXPECT_EQ(hybrid_kernel_for<std::int32_t>(101, 16, 1 << 20, true, 100, 0),
+            ColumnKernel::SlidingHash);
+  // Boundary: exactly fitting stays off sliding (b*T*max > M is strict).
+  EXPECT_NE(hybrid_kernel_for<std::int32_t>(100, 16, 1 << 20, true, 100, 0),
+            ColumnKernel::SlidingHash);
+}
+
+TEST(HybridClassify, CacheResidentSpaArraysPickSpa) {
+  // rows <= spa_fit_rows (the T dense arrays stay LLC-resident) -> SPA;
+  // one row past the budget falls back to hash (the Fig. 3 collapse).
+  EXPECT_EQ(hybrid_kernel_for<std::int32_t>(256, 16, 1024, true, 1 << 20,
+                                            1024),
+            ColumnKernel::Spa);
+  EXPECT_EQ(hybrid_kernel_for<std::int32_t>(256, 16, 1025, true, 1 << 20,
+                                            1024),
+            ColumnKernel::Hash);
+}
+
+TEST(HybridClassify, TinyKSortedSparseChunkPicksHeap) {
+  EXPECT_EQ(hybrid_kernel_for<std::int32_t>(kHybridHeapMaxColNnz,
+                                            kHybridHeapMaxK, 1 << 20, true,
+                                            1 << 20, 0),
+            ColumnKernel::Heap);
+  // k above the corner, nnz above the corner, or unsorted inputs -> hash.
+  EXPECT_EQ(hybrid_kernel_for<std::int32_t>(64, kHybridHeapMaxK + 1, 1 << 20,
+                                            true, 1 << 20, 0),
+            ColumnKernel::Hash);
+  EXPECT_EQ(hybrid_kernel_for<std::int32_t>(kHybridHeapMaxColNnz + 1,
+                                            kHybridHeapMaxK, 1 << 20, true,
+                                            1 << 20, 0),
+            ColumnKernel::Hash);
+  EXPECT_EQ(hybrid_kernel_for<std::int32_t>(64, kHybridHeapMaxK, 1 << 20,
+                                            false, 1 << 20, 0),
+            ColumnKernel::Hash);
+}
+
+TEST(HybridPlanTest, ChunksPartitionTheColumns) {
+  std::vector<std::uint64_t> costs(64, 10);
+  costs[7] = 100000;  // hub
+  Options opts;
+  opts.threads = 3;
+  HybridPlan<std::int32_t> plan;
+  plan_hybrid<std::int32_t, double>(costs, 1 << 20, 16, opts, plan);
+  ASSERT_EQ(plan.chunks.size(), plan.kernels.size());
+  ASSERT_FALSE(plan.chunks.empty());
+  std::int32_t next = 0;
+  for (const auto& [c0, c1] : plan.chunks) {
+    EXPECT_EQ(c0, next);
+    EXPECT_LT(c0, c1);
+    next = c1;
+  }
+  EXPECT_EQ(next, 64);
+}
+
+TEST(HybridPlanTest, DenseHubChunkSlidesWhileSparseChunksDoNot) {
+  // 16 columns: col 0 carries 16384, the rest 32 each. With threads=2 and
+  // llc pinned so fit = 1000 entries, the hub chunk must slide and every
+  // sparse chunk must stay on a cache-resident kernel.
+  std::vector<std::uint64_t> costs(16, 32);
+  costs[0] = 16384;
+  Options opts;
+  opts.threads = 2;
+  opts.llc_bytes = (sizeof(std::int32_t) + sizeof(double)) * 2 * 1000;
+  HybridPlan<std::int32_t> plan;
+  plan_hybrid<std::int32_t, double>(costs, 4096, 8, opts, plan);
+  ASSERT_GE(plan.size(), 2u);
+  EXPECT_EQ(plan.kernels.front(), ColumnKernel::SlidingHash);
+  for (std::size_t i = 1; i < plan.kernels.size(); ++i)
+    EXPECT_NE(plan.kernels[i], ColumnKernel::SlidingHash) << i;
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity of the mixed-kernel result
+// ---------------------------------------------------------------------------
+
+TEST(HybridBitIdentity, MatchesEverySingleKernelMethodOnGrids) {
+  // Every column kernel accumulates equal-row values strictly left to
+  // right, so hybrid's per-chunk mix must reproduce each single-kernel
+  // method bit for bit — raw FP values, no quantization.
+  for (const gen::Pattern p : {gen::Pattern::ER, gen::Pattern::RMAT}) {
+    for (const int k : {2, 8, 16}) {
+      for (const int d : {2, 32}) {
+        gen::WorkloadSpec spec;
+        spec.pattern = p;
+        spec.rows = 512;
+        spec.cols = 16;
+        spec.avg_nnz_per_col = d;
+        spec.k = k;
+        spec.seed = 500 + static_cast<std::uint64_t>(k) * 17 +
+                    static_cast<std::uint64_t>(d);
+        const auto inputs = gen::make_workload(spec);
+        Options hopts;
+        hopts.method = Method::Hybrid;
+        const Csc hybrid = core::spkadd(inputs, hopts);
+        for (const Method m : {Method::Heap, Method::Spa, Method::Hash,
+                               Method::SlidingHash}) {
+          Options opts;
+          opts.method = m;
+          EXPECT_TRUE(hybrid == core::spkadd(inputs, opts))
+              << method_name(m) << " k=" << k << " d=" << d;
+        }
+      }
+    }
+  }
+}
+
+TEST(HybridBitIdentity, MatchesReferenceFoldsOnQuantizedValues) {
+  // The reference/tree folds associate differently, so bit-identity to
+  // them is checked where addition is exact (integer-quantized values) —
+  // the same contract the sharded service pins.
+  for (const gen::Pattern p : {gen::Pattern::ER, gen::Pattern::RMAT}) {
+    gen::WorkloadSpec spec;
+    spec.pattern = p;
+    spec.rows = 512;
+    spec.cols = 16;
+    spec.avg_nnz_per_col = 8;
+    spec.k = 8;
+    spec.seed = 611;
+    auto inputs = gen::make_workload(spec);
+    quantize(inputs);
+    Options hopts;
+    hopts.method = Method::Hybrid;
+    const Csc hybrid = core::spkadd(inputs, hopts);
+    for (const Method m :
+         {Method::ReferenceTree, Method::ReferenceIncremental,
+          Method::TwoWayTree, Method::TwoWayIncremental}) {
+      Options opts;
+      opts.method = m;
+      EXPECT_TRUE(hybrid == core::spkadd(inputs, opts)) << method_name(m);
+    }
+  }
+}
+
+TEST(HybridBitIdentity, AllEmptyColumns) {
+  std::vector<Csc> empties;
+  for (int i = 0; i < 4; ++i) empties.emplace_back(64, 8);
+  Options opts;
+  opts.method = Method::Hybrid;
+  const Csc out = core::spkadd(empties, opts);
+  EXPECT_EQ(out.nnz(), 0u);
+  Options hash_opts;
+  hash_opts.method = Method::Hash;
+  EXPECT_TRUE(out == core::spkadd(empties, hash_opts));
+}
+
+TEST(HybridBitIdentity, DenseHubAmongSparseMixesKernels) {
+  const auto inputs = hub_collection(8, 4096, 16, 77);
+  Options opts;
+  opts.method = Method::Hybrid;
+  opts.threads = 2;
+  // fit = 1000 entries: the hub column (8 * ~2048 input nnz) overflows,
+  // the sparse columns do not.
+  opts.llc_bytes = (sizeof(std::int32_t) + sizeof(double)) * 2 * 1000;
+  OpCounters counters;
+  opts.counters = &counters;
+  const Csc hybrid = core::spkadd(inputs, opts);
+
+  EXPECT_GE(counters.chunks_sliding, 1u);
+  EXPECT_GE(counters.chunks_total() - counters.chunks_sliding, 1u)
+      << "sparse chunks should not be dragged onto sliding hash";
+
+  Options hash_opts;
+  hash_opts.method = Method::Hash;
+  EXPECT_TRUE(hybrid == core::spkadd(inputs, hash_opts));
+  EXPECT_TRUE(approx_equal(
+      dense_sum_oracle(std::span<const Csc>(inputs)), hybrid));
+}
+
+TEST(HybridBitIdentity, IdenticalAcrossSchedules) {
+  const auto inputs = random_collection(12, 512, 16, 600, 21);
+  Csc results[3];
+  int i = 0;
+  for (const Schedule s :
+       {Schedule::Dynamic, Schedule::Static, Schedule::NnzBalanced}) {
+    Options opts;
+    opts.method = Method::Hybrid;
+    opts.schedule = s;
+    results[i++] = core::spkadd(inputs, opts);
+  }
+  EXPECT_TRUE(results[0] == results[1]);
+  EXPECT_TRUE(results[0] == results[2]);
+}
+
+TEST(HybridBitIdentity, UnsortedOutputCanonicalizesToSorted) {
+  const auto inputs = random_collection(8, 512, 16, 600, 31);
+  Options sorted_opts;
+  sorted_opts.method = Method::Hybrid;
+  Options unsorted_opts = sorted_opts;
+  unsorted_opts.sorted_output = false;
+  const Csc sorted = core::spkadd(inputs, sorted_opts);
+  const Csc unsorted = core::spkadd(inputs, unsorted_opts);
+  EXPECT_TRUE(validate(unsorted, /*require_sorted=*/false).valid);
+  EXPECT_TRUE(canonicalized(unsorted) == sorted);
+}
+
+TEST(HybridBitIdentity, UnsortedInputsMatchHash) {
+  auto inputs = random_collection(8, 512, 16, 600, 41);
+  for (auto& m : inputs) gen::shuffle_columns(m, 99);
+  Options opts;
+  opts.method = Method::Hybrid;
+  opts.inputs_sorted = false;
+  const Csc hybrid = core::spkadd(inputs, opts);
+  Options hash_opts = opts;
+  hash_opts.method = Method::Hash;
+  EXPECT_TRUE(hybrid == core::spkadd(inputs, hash_opts));
+}
+
+// ---------------------------------------------------------------------------
+// Observability + dispatch plumbing
+// ---------------------------------------------------------------------------
+
+TEST(HybridCounters, ChunkCountsMatchThePlan) {
+  const auto inputs = random_collection(8, 512, 32, 800, 51);
+  Options opts;
+  opts.method = Method::Hybrid;
+  opts.threads = 3;
+  OpCounters counters;
+  opts.counters = &counters;
+  (void)core::spkadd(inputs, opts);
+
+  std::vector<const Csc*> ptrs;
+  core::detail::borrow_all(std::span<const Csc>(inputs), ptrs);
+  std::vector<std::uint64_t> costs;
+  core::detail::column_input_nnz(MatrixPtrs<std::int32_t, double>(ptrs),
+                                 opts, costs);
+  HybridPlan<std::int32_t> plan;
+  plan_hybrid<std::int32_t, double>(costs, inputs[0].rows(), inputs.size(),
+                                    opts, plan);
+  EXPECT_EQ(counters.chunks_total(), plan.size());
+  EXPECT_GT(counters.chunks_total(), 0u);
+}
+
+TEST(HybridCounters, SingleKernelMethodsCountNoChunks) {
+  const auto inputs = random_collection(8, 256, 8, 300, 61);
+  for (const Method m : {Method::Hash, Method::Heap, Method::Spa,
+                         Method::SlidingHash, Method::Auto}) {
+    Options opts;
+    opts.method = m;
+    OpCounters counters;
+    opts.counters = &counters;
+    (void)core::spkadd(inputs, opts);
+    EXPECT_EQ(counters.chunks_total(), 0u) << method_name(m);
+  }
+}
+
+TEST(HybridDispatch, OptionsMethodRoutesToTheDriver) {
+  const auto inputs = random_collection(8, 512, 16, 600, 71);
+  Options opts;
+  opts.method = Method::Hybrid;
+  EXPECT_TRUE(core::spkadd(inputs, opts) ==
+              spkadd_hybrid(std::span<const Csc>(inputs), opts));
+}
+
+TEST(HybridDispatch, HeapChunksRequireActuallySortedInputs) {
+  // Tiny k + sparse columns classify into the heap corner; declaring
+  // inputs sorted while they are not must throw (like spkadd_heap), not
+  // silently mis-merge.
+  auto inputs = random_collection(3, 512, 8, 60, 81);
+  for (auto& m : inputs) gen::shuffle_columns(m, 5);
+  Options opts;
+  opts.method = Method::Hybrid;
+  opts.inputs_sorted = true;  // a lie
+  EXPECT_THROW((void)core::spkadd(inputs, opts), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Consumer integration: accumulator + SUMMA
+// ---------------------------------------------------------------------------
+
+TEST(HybridConsumers, AccumulatorStreamingIsBitIdenticalToOneShot) {
+  const auto inputs = random_collection(20, 512, 16, 700, 91);
+  Options opts;
+  opts.method = Method::Hybrid;
+  const Csc one_shot = core::spkadd(inputs, opts);
+
+  Accumulator<> acc(512, 16, opts, /*batch_capacity=*/4);
+  for (const auto& m : inputs) acc.add(m);
+  EXPECT_TRUE(acc.finalize() == one_shot);
+}
+
+TEST(HybridConsumers, SummaHybridPipelineMatchesSortedHash) {
+  gen::WorkloadSpec spec;
+  spec.pattern = gen::Pattern::RMAT;
+  spec.rows = 256;
+  spec.cols = 256;
+  spec.avg_nnz_per_col = 4;
+  spec.k = 1;
+  spec.seed = 101;
+  const Csc a = gen::make_workload(spec)[0];
+
+  summa::SummaConfig hybrid_cfg = summa::hybrid_pipeline(4);
+  summa::SummaConfig hash_cfg = summa::sorted_hash_pipeline(4);
+  const auto hybrid_streaming = summa::multiply(a, a, hybrid_cfg);
+  hybrid_cfg.streaming = false;
+  const auto hybrid_buffered = summa::multiply(a, a, hybrid_cfg);
+  const auto hash_result = summa::multiply(a, a, hash_cfg);
+
+  EXPECT_TRUE(hybrid_streaming.c == hash_result.c);
+  EXPECT_TRUE(hybrid_buffered.c == hash_result.c);
+}
+
+}  // namespace

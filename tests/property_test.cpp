@@ -77,7 +77,7 @@ std::vector<SweepCase> sweep_cases() {
   std::vector<SweepCase> cases;
   const Method methods[] = {Method::TwoWayIncremental, Method::TwoWayTree,
                             Method::Heap, Method::Spa, Method::Hash,
-                            Method::SlidingHash};
+                            Method::SlidingHash, Method::Hybrid};
   for (Pattern p : {Pattern::ER, Pattern::RMAT})
     for (int k : {2, 4, 8, 16})
       for (int d : {2, 8, 32})
@@ -85,7 +85,7 @@ std::vector<SweepCase> sweep_cases() {
           cases.push_back({p, k, d, m, true});
           // Unsorted output only for the methods that can skip the sort.
           if (m == Method::Spa || m == Method::Hash ||
-              m == Method::SlidingHash)
+              m == Method::SlidingHash || m == Method::Hybrid)
             cases.push_back({p, k, d, m, false});
         }
   return cases;

@@ -424,4 +424,39 @@ TEST(AggService, RestoreRejectsShapeMismatchWithExistingTenant) {
   std::remove(path.c_str());
 }
 
+TEST(AggService, HybridFoldsMatchOneShotAndReportChunkMix) {
+  // Per-chunk hybrid dispatch as the shard fold method: the concurrent
+  // sharded sum must stay bit-identical to one-shot spkadd (integer
+  // values), and the per-shard chunk-dispatch counters must surface the
+  // kernel mix through ServiceStats.
+  std::vector<Csc> updates;
+  for (int i = 0; i < 16; ++i)
+    updates.push_back(
+        integer_matrix(257, 11, 180, static_cast<std::uint64_t>(900 + i)));
+  const Csc expected = spkadd(updates);
+
+  ServiceConfig cfg;
+  cfg.shards = 3;
+  cfg.workers = 2;
+  cfg.batch_window = 4;
+  cfg.options.method = spkadd::core::Method::Hybrid;
+  AggService svc(cfg);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 2; ++p)
+    producers.emplace_back([&, p] {
+      for (int i = p; i < 16; i += 2)
+        EXPECT_TRUE(svc.submit("t", updates[static_cast<std::size_t>(i)]));
+    });
+  for (auto& t : producers) t.join();
+  svc.drain();
+  EXPECT_EQ(svc.snapshot("t").sum, expected);
+
+  const auto st = svc.stats();
+  std::uint64_t chunks = 0;
+  for (const auto& sh : st.shards)
+    chunks += sh.chunks_heap + sh.chunks_spa + sh.chunks_hash +
+              sh.chunks_sliding;
+  EXPECT_GT(chunks, 0u);
+}
+
 }  // namespace
