@@ -12,7 +12,8 @@
 // workers and shard folds interleaved (see src/service/shard.hpp).
 //
 //   ./bench/bench_service --shards 1,2,4 --producers 2 --duration-ms 200
-//   ./bench/bench_service --rate 500 --json samples.json
+//   ./bench/bench_service --rate 500 --burst 1,8 --json samples.json
+#include <atomic>
 #include <cstdio>
 #include <cmath>
 #include <iostream>
@@ -25,6 +26,7 @@
 #include "gen/workload.hpp"
 #include "service/agg_service.hpp"
 #include "util/cli.hpp"
+#include "util/thread_control.hpp"
 #include "util/timer.hpp"
 
 using namespace spkadd;
@@ -62,13 +64,23 @@ int main(int argc, char** argv) {
   const auto* updates =
       cli.add_int("updates", 24, "updates per producer (verify pass)");
   const auto* shards = cli.add_int_list("shards", "1,2,4", "shard sweep");
-  const auto* producers =
-      cli.add_int_list("producers", "2", "producer-thread sweep");
+  const auto* producers = cli.add_int_list(
+      "producers", "2", "producer-thread sweep (0 = OpenMP max threads)");
   const auto* windows =
       cli.add_int_list("batch-window", "4", "accumulator fold window sweep");
+  const auto* bursts = cli.add_int_list(
+      "burst", "8", "producer burst-buffer size sweep (1 = per-update)");
+  const auto* flush_deadline_us = cli.add_int(
+      "flush-deadline-us", 500, "max microseconds an update may sit staged");
   const auto* duration_ms =
       cli.add_int("duration-ms", 200, "throughput pass duration");
   const auto* queue = cli.add_int("queue", 64, "ingest queue capacity");
+  const auto* queue_high = cli.add_int(
+      "queue-high", 0, "throttle watermark (0 = queue capacity)");
+  const auto* queue_low = cli.add_int(
+      "queue-low", 0, "release watermark (0 = 3/4 of the high watermark)");
+  const auto* pin = cli.add_flag(
+      "pin", "pin worker i to CPU i (thread/shard affinity for scaling runs)");
   const auto* workers = cli.add_int("workers", 0, "worker threads (0=shards)");
   const auto* rate = cli.add_int(
       "rate", 0, "per-producer target updates/s (0 = saturation)");
@@ -101,20 +113,27 @@ int main(int argc, char** argv) {
   };
   if (!positive("rows", *rows) || !positive("cols", *cols) ||
       !positive("d", *d) || !positive("updates", *updates) ||
-      !positive("queue", *queue) || !positive("duration-ms", *duration_ms))
+      !positive("queue", *queue) || !positive("duration-ms", *duration_ms) ||
+      !positive("flush-deadline-us", *flush_deadline_us))
     return 1;
-  if (*workers < 0 || *rate < 0 || *fold_threads < 0) {
-    std::cerr << "bench_service: --workers/--rate/--fold-threads must be"
-                 " >= 0\n";
+  if (*workers < 0 || *rate < 0 || *fold_threads < 0 || *queue_high < 0 ||
+      *queue_low < 0) {
+    std::cerr << "bench_service: --workers/--rate/--fold-threads/"
+                 "--queue-high/--queue-low must be >= 0\n";
     return 1;
   }
   for (const auto& [name, list] :
        {std::pair<const char*, const std::vector<std::int64_t>*>{
             "shards", shards},
-        {"producers", producers},
-        {"batch-window", windows}})
+        {"batch-window", windows},
+        {"burst", bursts}})
     for (const std::int64_t v : *list)
       if (!positive(name, v)) return 1;
+  for (const std::int64_t v : *producers)
+    if (v < 0) {
+      std::cerr << "bench_service: --producers must be >= 0\n";
+      return 1;
+    }
 
   bench::print_header(
       "Sharded aggregation service loadgen",
@@ -122,13 +141,21 @@ int main(int argc, char** argv) {
   bench::SampleLog log("bench_service");
 
   bool all_verified = true;
-  util::TablePrinter table({"pattern", "shards", "prod", "window", "upd/s",
-                            "Mnnz/s", "p50 ms", "p99 ms", "queue hw",
-                            "chunks h/s/H/W", "exact"});
+  util::TablePrinter table({"pattern", "shards", "prod", "window", "burst",
+                            "upd/s", "Mnnz/s", "p50 ms", "p99 ms", "avg bst",
+                            "thr ms", "drops", "queue hw", "chunks h/s/H/W",
+                            "exact"});
 
   for (const gen::Pattern pattern : {gen::Pattern::ER, gen::Pattern::RMAT}) {
     const char* pname = pattern == gen::Pattern::ER ? "ER" : "RMAT";
-    for (const std::int64_t P : *producers) {
+    for (const std::int64_t P_flag : *producers) {
+      // 0 producers = "one per available hardware thread", the knob the
+      // multi-core CI scaling leg turns without caring what the runner
+      // has (mirrors OpenMP's threads=0 convention in core::Options).
+      const std::int64_t P =
+          P_flag != 0 ? P_flag
+                      : static_cast<std::int64_t>(
+                            util::current_max_threads());
       // One fixed update set per (pattern, producer-count): P streams of
       // --updates each, integer-quantized. The one-shot reduction over
       // the whole set is the ground truth every config must hit.
@@ -148,11 +175,18 @@ int main(int argc, char** argv) {
 
       for (const std::int64_t S : *shards) {
         for (const std::int64_t W : *windows) {
+         for (const std::int64_t B : *bursts) {
           service::ServiceConfig cfg;
           cfg.shards = static_cast<std::size_t>(S);
           cfg.workers = static_cast<std::size_t>(*workers);
           cfg.queue_capacity = static_cast<std::size_t>(*queue);
           cfg.batch_window = static_cast<std::size_t>(W);
+          cfg.burst_size = static_cast<std::size_t>(B);
+          cfg.flush_deadline_us =
+              static_cast<std::size_t>(*flush_deadline_us);
+          cfg.queue_high_watermark = static_cast<std::size_t>(*queue_high);
+          cfg.queue_low_watermark = static_cast<std::size_t>(*queue_low);
+          cfg.pin_threads = *pin;
           cfg.options.threads = static_cast<int>(*fold_threads);
           cfg.options.method = fold_method;
 
@@ -181,6 +215,7 @@ int main(int argc, char** argv) {
           service::AggService svc(cfg);
           util::WallTimer wall;
           const double duration = static_cast<double>(*duration_ms) * 1e-3;
+          std::atomic<std::uint64_t> drops{0};
           std::vector<std::thread> threads;
           for (std::int64_t p = 0; p < P; ++p)
             threads.emplace_back([&, p] {
@@ -194,9 +229,12 @@ int main(int argc, char** argv) {
                   svc.submit("bench", std::move(u));  // saturation mode
                   continue;
                 }
-                // Fixed arrival schedule; a full queue drops the update
-                // (counted by the service) instead of slipping the clock.
-                (void)svc.try_submit("bench", std::move(u));
+                // Fixed arrival schedule; a saturated ingest path drops
+                // the update (counted here) instead of slipping the
+                // clock — that keeps offered load matched across
+                // configurations when comparing their p99.
+                if (!svc.try_submit("bench", std::move(u)))
+                  drops.fetch_add(1, std::memory_order_relaxed);
                 const double next = static_cast<double>(i) /
                                     static_cast<double>(*rate);
                 const double sleep_s = next - t.seconds();
@@ -228,15 +266,22 @@ int main(int argc, char** argv) {
                                       ? chunk_totals.chunk_mix()
                                       : "-";
 
+          char avg_bst[32];
+          std::snprintf(avg_bst, sizeof(avg_bst), "%.1f",
+                        st.ingest.avg_burst());
           const std::string config =
               "pattern=" + std::string(pname) + " shards=" +
               std::to_string(S) + " producers=" + std::to_string(P) +
-              " window=" + std::to_string(W) +
+              " window=" + std::to_string(W) + " burst=" +
+              std::to_string(B) + " rate=" + std::to_string(*rate) +
+              " pin=" + (*pin ? "1" : "0") +
               " method=" + core::method_name(fold_method);
           table.add_row({pname, std::to_string(S), std::to_string(P),
-                         std::to_string(W), rate_str(upd_s),
-                         rate_str(nnz_s / 1e6), ms(st.latency.p50),
-                         ms(st.latency.p99),
+                         std::to_string(W), std::to_string(B),
+                         rate_str(upd_s), rate_str(nnz_s / 1e6),
+                         ms(st.latency.p50), ms(st.latency.p99), avg_bst,
+                         ms(st.ingest.throttle_seconds),
+                         *rate > 0 ? std::to_string(drops.load()) : "-",
                          std::to_string(st.queue_high_water), mix,
                          exact ? "yes" : "NO"});
           log.add("service/" + std::string(pname) + "/ingest", config,
@@ -245,6 +290,7 @@ int main(int argc, char** argv) {
                   peak_staged);
           log.add("service/" + std::string(pname) + "/p99", config,
                   st.latency.p99, peak_staged);
+         }
         }
       }
     }

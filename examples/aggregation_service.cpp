@@ -67,9 +67,12 @@ int main(int argc, char** argv) {
       cli.add_int("rounds", 12, "gradients per producer thread");
   const auto* shards = cli.add_int("shards", 4, "row-range shards");
   const auto* window = cli.add_int("batch-window", 4, "fold window");
+  const auto* burst =
+      cli.add_int("burst", 4, "producer burst-buffer size (1 = per-update)");
   if (!cli.parse(argc, argv)) return 1;
   // ServiceConfig's knobs are size_t: negative flags would wrap huge.
-  if (*workers < 1 || *rounds < 1 || *shards < 1 || *window < 1) {
+  if (*workers < 1 || *rounds < 1 || *shards < 1 || *window < 1 ||
+      *burst < 1) {
     std::cerr << "aggregation_service: all flags must be >= 1\n";
     return 1;
   }
@@ -83,6 +86,7 @@ int main(int argc, char** argv) {
   spkadd::service::ServiceConfig cfg;
   cfg.shards = static_cast<std::size_t>(*shards);
   cfg.batch_window = static_cast<std::size_t>(*window);
+  cfg.burst_size = static_cast<std::size_t>(*burst);
   cfg.options.threads = 1;  // producer/worker threads are the parallelism
   spkadd::service::AggService svc(cfg);
 
@@ -136,6 +140,12 @@ int main(int argc, char** argv) {
   std::cout << "service: " << st.applied << " updates applied, p99 "
             << st.latency.p99 * 1e3 << " ms, queue high-water "
             << st.queue_high_water << "/" << cfg.queue_capacity << "\n";
+  std::cout << "ingest: " << st.ingest.bursts << " bursts, avg "
+            << st.ingest.avg_burst() << " updates/burst (full/deadline/"
+            << "drain flushes " << st.ingest.flushes_full << "/"
+            << st.ingest.flushes_deadline << "/" << st.ingest.flushes_drain
+            << "), throttled " << st.ingest.throttle_events << "x for "
+            << st.ingest.throttle_seconds * 1e3 << " ms\n";
   svc.stop();
   return ok ? 0 : 1;
 }

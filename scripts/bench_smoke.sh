@@ -11,6 +11,13 @@
 # Usage: scripts/bench_smoke.sh [summa.json] [service.json] [hybrid.json]
 #   BUILD_DIR=build   build tree holding the bench binaries (configured and
 #                     built here when the binaries are missing)
+#   SERVICE_THREADS=N run ONLY the service sweep, sized for a multi-core
+#                     scaling leg: N producers/workers with thread/shard
+#                     affinity pinning and a fixed per-producer arrival
+#                     rate (matched offered load across the shard sweep),
+#                     written to BENCH_service_t${N}.json. The CI
+#                     bench-service-scaling matrix fans this out over
+#                     thread counts; all other benches are skipped.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -19,6 +26,7 @@ OUT="${1:-BENCH_summa.json}"
 SERVICE_OUT="${2:-BENCH_service.json}"
 HYBRID_OUT="${3:-BENCH_hybrid.json}"
 JOBS="${JOBS:-$(nproc)}"
+SERVICE_THREADS="${SERVICE_THREADS:-}"
 
 if [ ! -x "$BUILD_DIR/bench/bench_streaming" ] ||
    [ ! -x "$BUILD_DIR/bench/bench_fig6_summa" ] ||
@@ -51,6 +59,30 @@ merge_benches() {
   } > "$out"
 }
 
+# Multi-core scaling leg: service sweep only, N producer threads at a
+# fixed arrival rate so the p99-vs-shards comparison holds offered load
+# constant, with worker/CPU affinity pinning. Burst 1 vs 8 puts the
+# pre-burst ingest path and the batched one side by side in one file.
+# The flush deadline is dropped to 100us because the offered
+# inter-arrival (500us at --rate 2000) matches the default 500us
+# deadline, which would make buffer residence - not queue/fold time -
+# the whole p99.
+if [ -n "$SERVICE_THREADS" ]; then
+  SCALING_OUT="BENCH_service_t${SERVICE_THREADS}.json"
+  export OMP_NUM_THREADS="$SERVICE_THREADS"
+  echo "=== bench_service scaling leg (threads=$SERVICE_THREADS) ==="
+  "$BUILD_DIR/bench/bench_service" \
+    --rows 4096 --cols 16 --d 4 --updates 8 --duration-ms 2000 \
+    --shards 1,2,4 --producers "$SERVICE_THREADS" \
+    --workers "$SERVICE_THREADS" --burst 1,8 --rate 2000 \
+    --flush-deadline-us 100 --pin \
+    --json "$tmp/service_scaling.json" > "$tmp/service_scaling.txt"
+  cat "$tmp/service_scaling.txt"
+  merge_benches "$SCALING_OUT" "$tmp/service_scaling.json"
+  echo "=== wrote $SCALING_OUT ==="
+  exit 0
+fi
+
 # Shapes chosen to finish in seconds on one core while still exercising the
 # real streaming/buffered paths (not toy 1-stage degenerate cases).
 echo "=== bench_streaming (small shape) ==="
@@ -68,7 +100,7 @@ echo "=== bench_fig6_summa (small shape) ==="
 echo "=== bench_service (small sweep) ==="
 "$BUILD_DIR/bench/bench_service" \
   --rows 4096 --cols 16 --d 4 --updates 8 --duration-ms 150 \
-  --shards 1,2,4 --producers 2 \
+  --shards 1,2,4 --producers 2 --burst 1,8 \
   --json "$tmp/service.json" > "$tmp/service.txt"
 # Hybrid skew sweep: exits nonzero when any method result is not
 # bit-identical to Hash, so correctness gates the run like the others.

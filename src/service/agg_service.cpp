@@ -7,8 +7,18 @@
 
 #include "core/spkadd.hpp"
 #include "io/binary_io.hpp"
+#include "util/thread_control.hpp"
 
 namespace spkadd::service {
+
+namespace {
+
+ServiceConfig validated(ServiceConfig cfg) {
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace
 
 AggService::Tenant::Tenant(std::int32_t r, std::int32_t c,
                            const ServiceConfig& cfg)
@@ -18,12 +28,14 @@ AggService::Tenant::Tenant(std::int32_t r, std::int32_t c,
 }
 
 AggService::AggService(ServiceConfig config)
-    : config_(std::move(config)), queue_(config_.queue_capacity) {
-  config_.validate();
+    : config_(validated(std::move(config))),
+      queue_(config_.queue_capacity, config_.effective_high_watermark(),
+             config_.effective_low_watermark()) {
   const std::size_t n = config_.effective_workers();
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  flusher_ = std::thread([this] { flusher_loop(); });
 }
 
 AggService::~AggService() { stop(); }
@@ -55,99 +67,282 @@ AggService::Tenant& AggService::tenant_for(const std::string& name,
   return *tenants_.emplace(name, std::move(t)).first->second;
 }
 
-bool AggService::enqueue(Task& task, bool blocking) {
+AggService::BurstBuffer& AggService::local_buffer() {
+  // Keyed by service address: one producer thread can feed several
+  // services. An entry outlives its service only as an expired weak_ptr
+  // (the service's buffers_ vector holds the owning reference), so an
+  // address reused by a new service simply misses and re-registers.
+  thread_local std::map<const AggService*, std::weak_ptr<BurstBuffer>>
+      cache;
+  auto& slot = cache[this];
+  if (auto existing = slot.lock()) return *existing;
+  for (auto it = cache.begin(); it != cache.end();) {
+    it = it->second.expired() && it->first != this ? cache.erase(it)
+                                                   : std::next(it);
+  }
+  auto created = std::make_shared<BurstBuffer>();
+  created->tasks.reserve(config_.burst_size);
+  slot = created;
+  BurstBuffer& ref = *created;
+  std::lock_guard<std::mutex> lock(buffers_mutex_);
+  buffers_.push_back(std::move(created));
+  return ref;
+}
+
+bool AggService::flush_locked(BurstBuffer& buf, FlushReason reason,
+                              bool blocking) {
+  if (buf.tasks.empty()) return true;
+  const std::size_t n = buf.tasks.size();
+  // Tickets are issued here, per burst, never per submit: this is the
+  // ONE progress-lock acquisition the whole burst pays on the producer
+  // side (retirement in apply_burst is its worker-side mirror).
   {
     std::lock_guard<std::mutex> lock(progress_mutex_);
-    task.ticket = next_ticket_++;
-    pending_tickets_.insert(task.ticket);
-    ++submitted_;
+    for (auto& task : buf.tasks) {
+      task.ticket = next_ticket_++;
+      pending_tickets_.insert(task.ticket);
+    }
+    submitted_ += n;
   }
-  const std::uint64_t ticket = task.ticket;
-  const bool pushed = blocking ? queue_.push(std::move(task))
-                               : queue_.try_push(std::move(task));
-  if (pushed) return true;
-  // Not accepted (closed, or full in the non-blocking case): retire
-  // the ticket and wake any drainer waiting on it. Blocking pushes
-  // only ever fail closed.
+  const auto retire = [&](std::size_t first, std::size_t count) {
+    {
+      std::lock_guard<std::mutex> lock(progress_mutex_);
+      for (std::size_t i = first; i < first + count; ++i)
+        pending_tickets_.erase(buf.tasks[i].ticket);
+      submitted_ -= count;
+    }
+    progress_cv_.notify_all();
+  };
+  std::size_t pushed = 0;
+  bool flushed_all = true;
+  if (blocking) {
+    pushed = queue_.push_burst(buf.tasks);  // erases the pushed prefix
+    if (!buf.tasks.empty()) {
+      // Queue closed mid-burst; the hand-back contract left the tail in
+      // our hands. Account the drop instead of losing it silently.
+      retire(0, buf.tasks.size());
+      rejected_.fetch_add(buf.tasks.size(), std::memory_order_relaxed);
+      buf.tasks.clear();
+    }
+  } else if (queue_.try_push_burst(buf.tasks)) {
+    pushed = n;
+  } else if (queue_.closed()) {
+    retire(0, n);
+    rejected_.fetch_add(n, std::memory_order_relaxed);
+    buf.tasks.clear();
+  } else {
+    // Saturated, not closed: un-ticket the burst and leave it staged
+    // for a later flush (the gap in ticket numbers is harmless —
+    // pending_tickets_ is a set, and the tasks get fresh tickets when
+    // a flush finally lands them).
+    retire(0, n);
+    flushed_all = false;
+  }
+  if (pushed != 0) {
+    bursts_.fetch_add(1, std::memory_order_relaxed);
+    burst_updates_.fetch_add(pushed, std::memory_order_relaxed);
+    std::size_t prev = max_burst_.load(std::memory_order_relaxed);
+    while (prev < pushed && !max_burst_.compare_exchange_weak(
+                                prev, pushed, std::memory_order_relaxed)) {
+    }
+    switch (reason) {
+      case FlushReason::kFull:
+        flushes_full_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case FlushReason::kDeadline:
+        flushes_deadline_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case FlushReason::kDrain:
+        flushes_drain_.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  }
+  return flushed_all;
+}
+
+void AggService::flush_all_buffers(FlushReason reason) {
+  std::vector<std::shared_ptr<BurstBuffer>> bufs;
   {
-    std::lock_guard<std::mutex> lock(progress_mutex_);
-    pending_tickets_.erase(ticket);
-    --submitted_;
+    std::lock_guard<std::mutex> lock(buffers_mutex_);
+    bufs = buffers_;
   }
-  progress_cv_.notify_all();
-  if (blocking || queue_.closed())
-    rejected_.fetch_add(1, std::memory_order_relaxed);
-  return false;
+  for (auto& buf : bufs) {
+    std::lock_guard<std::mutex> lock(buf->mutex);
+    (void)flush_locked(*buf, reason, /*blocking=*/true);
+  }
+}
+
+void AggService::flusher_loop() {
+  const auto period = std::chrono::microseconds(config_.flush_deadline_us);
+  std::unique_lock<std::mutex> lock(flusher_mutex_);
+  while (!flusher_stop_) {
+    flusher_cv_.wait_for(lock, period, [this] { return flusher_stop_; });
+    if (flusher_stop_) break;
+    lock.unlock();
+    std::vector<std::shared_ptr<BurstBuffer>> bufs;
+    {
+      std::lock_guard<std::mutex> g(buffers_mutex_);
+      bufs = buffers_;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& buf : bufs) {
+      // try_to_lock: a contended buffer means its producer is mid-
+      // submit (it will flush on full, or the next sweep catches it).
+      // Yielding here keeps the flusher from ever making a producer's
+      // try_submit fail on a momentarily-held buffer mutex.
+      std::unique_lock<std::mutex> g(buf->mutex, std::try_to_lock);
+      if (!g.owns_lock()) continue;
+      if (buf->tasks.empty() || now - buf->oldest < period) continue;
+      // Non-blocking: a throttled queue means the system is saturated,
+      // not that the update is stranded — the next sweep (or the
+      // producer's own full-buffer flush) retries, and the flusher
+      // never wedges on one buffer while others age.
+      (void)flush_locked(*buf, FlushReason::kDeadline,
+                         /*blocking=*/false);
+    }
+    lock.lock();
+  }
 }
 
 bool AggService::submit(const std::string& tenant, Matrix update) {
+  if (stopped_.load(std::memory_order_seq_cst)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   tenant_for(tenant, update.rows(), update.cols());
-  Task task{tenant, std::move(update),
-            std::chrono::steady_clock::now()};
-  return enqueue(task, /*blocking=*/true);
+  BurstBuffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  // Re-check under the buffer lock: stop() sets stopped_ and then
+  // sweeps every buffer under its mutex, so a submit that stages after
+  // this check is ordered before that sweep (or sees stopped_ here).
+  if (stopped_.load(std::memory_order_seq_cst)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  if (buf.tasks.empty()) buf.oldest = now;
+  buf.tasks.push_back(Task{tenant, std::move(update), now});
+  if (buf.tasks.size() >= config_.burst_size)
+    (void)flush_locked(buf, FlushReason::kFull, /*blocking=*/true);
+  return true;
 }
 
 bool AggService::try_submit(const std::string& tenant, Matrix&& update) {
+  if (stopped_.load(std::memory_order_seq_cst)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   tenant_for(tenant, update.rows(), update.cols());
-  Task task{tenant, std::move(update),
-            std::chrono::steady_clock::now()};
-  if (enqueue(task, /*blocking=*/false)) return true;
-  // try_push leaves the task intact on a full queue, so the caller's
-  // update can be handed back untouched for a later retry.
-  update = std::move(task.update);
-  return false;
+  BurstBuffer& buf = local_buffer();
+  // A busy buffer is either the flusher's microsecond-scale sweep (one
+  // yield rides it out) or a drain/stop sweep blocked on the watermark
+  // (genuine backpressure: report it rather than blocking an open-loop
+  // load generator behind it).
+  std::unique_lock<std::mutex> lock(buf.mutex, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    std::this_thread::yield();
+    if (!lock.try_lock()) return false;
+  }
+  if (stopped_.load(std::memory_order_seq_cst)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (buf.tasks.size() >= config_.burst_size &&
+      !flush_locked(buf, FlushReason::kFull, /*blocking=*/false)) {
+    return false;  // ingest saturated; the update is untouched
+  }
+  const auto now = std::chrono::steady_clock::now();
+  if (buf.tasks.empty()) buf.oldest = now;
+  buf.tasks.push_back(Task{tenant, std::move(update), now});
+  if (buf.tasks.size() >= config_.burst_size)
+    (void)flush_locked(buf, FlushReason::kFull, /*blocking=*/false);
+  return true;
 }
 
-void AggService::worker_loop() {
-  while (auto task = queue_.pop()) {
-    const auto submitted_at = task->submitted;
-    // A fold that throws (e.g. a merge-family method fed unsorted
-    // columns) must not std::terminate the whole service: the update is
-    // dropped and counted, and progress still advances so drain() never
-    // hangs on the failed task.
-    bool ok = true;
-    try {
-      apply(std::move(*task));
-    } catch (const std::exception& e) {
-      ok = false;
-      std::cerr << "AggService: dropped update for tenant '" << task->tenant
-                << "': " << e.what() << "\n";
-    }
-    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                        std::chrono::steady_clock::now() - submitted_at)
-                        .count();
-    if (ok) latency_.record(static_cast<std::uint64_t>(ns));
-    {
-      std::lock_guard<std::mutex> lock(progress_mutex_);
-      pending_tickets_.erase(task->ticket);
-      ++(ok ? applied_ : apply_errors_);
-    }
-    progress_cv_.notify_all();
+void AggService::worker_loop(std::size_t worker_index) {
+  if (config_.pin_threads)
+    (void)util::pin_current_thread_to_cpu(worker_index);
+  std::vector<Task> burst;
+  burst.reserve(config_.burst_size);
+  // pop_burst returns 0 only once the queue is closed AND drained, so
+  // shutdown folds the whole backlog before the workers exit.
+  while (queue_.pop_burst(burst, config_.burst_size) != 0) {
+    apply_burst(burst);
+    burst.clear();
   }
 }
 
-void AggService::apply(Task&& task) {
-  Tenant* t = find_tenant(task.tenant);
-  if (t == nullptr) return;  // unreachable: submit creates the tenant
-  // Shared vs. snapshot's unique lock: all of this update's slices land
-  // atomically with respect to readers.
+void AggService::apply_burst(std::vector<Task>& burst) {
+  // Group task indices per tenant, preserving burst order (= each
+  // producer's submission order) within a group. Bursts are small
+  // (<= burst_size), so linear grouping beats a map.
+  std::vector<std::pair<const std::string*, std::vector<std::size_t>>>
+      groups;
+  for (std::size_t i = 0; i < burst.size(); ++i) {
+    auto it = std::find_if(
+        groups.begin(), groups.end(),
+        [&](const auto& g) { return *g.first == burst[i].tenant; });
+    if (it == groups.end())
+      groups.emplace_back(&burst[i].tenant,
+                          std::vector<std::size_t>{i});
+    else
+      it->second.push_back(i);
+  }
+  std::vector<unsigned char> ok(burst.size(), 1);
+  for (auto& g : groups) apply_group(burst, g.second, ok);
+  const auto now = std::chrono::steady_clock::now();
+  std::uint64_t n_ok = 0;
+  for (std::size_t i = 0; i < burst.size(); ++i) {
+    if (!ok[i]) continue;
+    ++n_ok;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        now - burst[i].submitted)
+                        .count();
+    latency_.record(static_cast<std::uint64_t>(ns));
+  }
+  // Retire the whole burst's tickets with one progress-lock
+  // acquisition — the worker-side mirror of ticket issue at flush.
+  {
+    std::lock_guard<std::mutex> lock(progress_mutex_);
+    for (const auto& task : burst) pending_tickets_.erase(task.ticket);
+    applied_ += n_ok;
+    apply_errors_ += burst.size() - n_ok;
+  }
+  progress_cv_.notify_all();
+}
+
+void AggService::apply_group(std::vector<Task>& burst,
+                             const std::vector<std::size_t>& group,
+                             std::vector<unsigned char>& ok) {
+  Tenant* t = find_tenant(burst[group.front()].tenant);
+  if (t == nullptr) {  // unreachable: submit creates the tenant
+    for (auto i : group) ok[i] = 0;
+    return;
+  }
+  const auto drop = [&](std::size_t i, const char* what) {
+    ok[i] = 0;
+    std::cerr << "AggService: dropped update for tenant '"
+              << burst[i].tenant << "': " << what << "\n";
+  };
   // Validate BEFORE staging anything: the config declares inputs
   // sorted to the kernels (merge methods throw on unsorted columns,
   // sliding hash row-slices by binary search), so an unsorted update is
   // invalid traffic. Rejecting it here keeps the drop all-or-nothing —
   // no slice of it ever reaches a shard, and no later fold or snapshot
   // inherits a poisoned batch.
-  if (config_.options.inputs_sorted && !task.update.is_sorted())
-    throw std::invalid_argument(
-        "update has unsorted columns but options.inputs_sorted is set");
-  std::shared_lock apply_lock(t->apply_mutex);
+  if (config_.options.inputs_sorted) {
+    for (auto i : group) {
+      if (!burst[i].update.is_sorted())
+        drop(i, "update has unsorted columns but options.inputs_sorted"
+                " is set");
+    }
+  }
   // Defensive backstop for folds that throw anyway (e.g. allocation
   // failure): the affected shard discards its staged batch — losing
-  // that batch but keeping the accumulator serviceable — and the
-  // exception propagates to worker_loop's apply-error accounting.
+  // that batch but keeping the accumulator serviceable — and the task
+  // is dropped into the apply-error accounting. Caller holds sh.mutex.
   const auto fold_slice = [](TenantShard& sh, Matrix&& slice) {
     const std::uint64_t nnz = slice.nnz();
-    std::lock_guard<std::mutex> g(sh.mutex);
     try {
       sh.acc.add(std::move(slice));
     } catch (...) {
@@ -157,16 +352,49 @@ void AggService::apply(Task&& task) {
     ++sh.slices_applied;
     sh.folded_nnz += nnz;
   };
+  // Shared vs. snapshot's unique lock: every update in the group lands
+  // atomically with respect to readers.
+  std::shared_lock apply_lock(t->apply_mutex);
+  std::uint64_t applied_here = 0;
   if (t->shards.size() == 1) {
-    fold_slice(t->shards.front(), std::move(task.update));
-  } else {
-    auto slices = partition_rows(task.update, t->partition);
-    for (std::size_t s = 0; s < slices.size(); ++s) {
-      if (slices[s].nnz() == 0) continue;  // nothing in this row range
-      fold_slice(t->shards[s], std::move(slices[s]));
+    // One shard-lock acquisition for the whole group.
+    TenantShard& sh = t->shards.front();
+    std::lock_guard<std::mutex> g(sh.mutex);
+    for (auto i : group) {
+      if (!ok[i]) continue;
+      try {
+        fold_slice(sh, std::move(burst[i].update));
+        ++applied_here;
+      } catch (const std::exception& e) {
+        drop(i, e.what());
+      }
     }
+  } else {
+    // Partition every update up front, then visit each shard ONCE for
+    // the whole group: one shard-lock acquisition per (burst, shard)
+    // instead of per (update, shard).
+    std::vector<std::vector<Matrix>> sliced(group.size());
+    for (std::size_t k = 0; k < group.size(); ++k) {
+      if (ok[group[k]])
+        sliced[k] = partition_rows(burst[group[k]].update, t->partition);
+    }
+    for (std::size_t s = 0; s < t->shards.size(); ++s) {
+      TenantShard& sh = t->shards[s];
+      std::lock_guard<std::mutex> g(sh.mutex);
+      for (std::size_t k = 0; k < group.size(); ++k) {
+        const std::size_t i = group[k];
+        if (!ok[i] || sliced[k][s].nnz() == 0) continue;
+        try {
+          fold_slice(sh, std::move(sliced[k][s]));
+        } catch (const std::exception& e) {
+          drop(i, e.what());  // later shards skip this task
+        }
+      }
+    }
+    for (auto i : group)
+      if (ok[i]) ++applied_here;
   }
-  t->updates_applied.fetch_add(1, std::memory_order_relaxed);
+  t->updates_applied.fetch_add(applied_here, std::memory_order_relaxed);
 }
 
 AggService::Snapshot AggService::snapshot(const std::string& tenant) {
@@ -227,6 +455,10 @@ void AggService::restore(const std::string& tenant,
 }
 
 void AggService::drain() {
+  // Push every staged burst first so the cutoff below covers them; a
+  // drain on a stopped service flushes into a closed queue, which
+  // retires the stragglers as rejected instead of hanging on them.
+  flush_all_buffers(FlushReason::kDrain);
   std::unique_lock<std::mutex> lock(progress_mutex_);
   // Wait for exactly the tickets issued before this call: completions
   // of later-submitted tasks can never satisfy an earlier drain, and
@@ -239,8 +471,22 @@ void AggService::drain() {
 
 void AggService::stop() {
   std::call_once(stop_once_, [this] {
-    queue_.close();  // workers fold the backlog, then see nullopt
+    stopped_.store(true, std::memory_order_seq_cst);
+    {
+      std::lock_guard<std::mutex> lock(flusher_mutex_);
+      flusher_stop_ = true;
+    }
+    flusher_cv_.notify_all();
+    if (flusher_.joinable()) flusher_.join();
+    // Staged bursts reach the queue before it closes, so the workers'
+    // backlog fold covers them.
+    flush_all_buffers(FlushReason::kDrain);
+    queue_.close();  // workers fold the backlog, then see 0
     for (auto& w : workers_) w.join();
+    // Self-heal the submit/stop race: anything staged concurrently
+    // with the sweep above now flushes into the closed queue and is
+    // retired as rejected rather than leaving a pending ticket.
+    flush_all_buffers(FlushReason::kDrain);
   });
 }
 
@@ -255,6 +501,15 @@ ServiceStats AggService::stats() const {
   out.rejected = rejected_.load(std::memory_order_relaxed);
   out.queue_depth = queue_.size();
   out.queue_high_water = queue_.high_water();
+  out.ingest.bursts = bursts_.load(std::memory_order_relaxed);
+  out.ingest.burst_updates = burst_updates_.load(std::memory_order_relaxed);
+  out.ingest.max_burst = max_burst_.load(std::memory_order_relaxed);
+  out.ingest.flushes_full = flushes_full_.load(std::memory_order_relaxed);
+  out.ingest.flushes_deadline =
+      flushes_deadline_.load(std::memory_order_relaxed);
+  out.ingest.flushes_drain = flushes_drain_.load(std::memory_order_relaxed);
+  out.ingest.throttle_events = queue_.throttle_events();
+  out.ingest.throttle_seconds = queue_.throttle_seconds();
   out.latency = latency_.summary();
   out.shards.resize(config_.shards);
   std::shared_lock tenants_lock(tenants_mutex_);

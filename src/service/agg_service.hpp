@@ -6,20 +6,36 @@
 // to "many producers keep adding sparse matrices into running sums".
 // This subsystem is that system layer:
 //
-//   submit(tenant, update)          snapshot(tenant)
-//        |                               ^
-//        v                               | k-way SpKAdd over
-//   [bounded MPMC ingest queue]          | shard partials
-//        |  backpressure when full       |
-//        v                               |
-//   worker pool --- partition_rows ---> shard[(tenant, row-range)]
-//                                        each: mutex + streaming
-//                                        core::Accumulator folding
-//                                        every batch_window slices
+//   submit(tenant, update)              snapshot(tenant)
+//        |                                   ^
+//        v                                   | k-way SpKAdd over
+//   [thread-local burst buffer]              | shard partials
+//        |  flushed as ONE enqueue when      |
+//        |  full / deadline / drain          |
+//        v                                   |
+//   [bounded MPMC ingest queue]              |
+//        |  high/low watermark hysteresis    |
+//        v                                   |
+//   worker pool --- pops whole bursts,       |
+//     groups slices per shard ---------> shard[(tenant, row-range)]
+//                                         each: mutex + streaming
+//                                         core::Accumulator folding
+//                                         every batch_window slices
+//
+// Ingest is burst-batched (the FlexiCAS transaction-queue pattern):
+// producers stage updates into a thread-local burst buffer and pay one
+// queue-lock acquisition per burst instead of one MPMC round-trip per
+// submit; a background flusher guarantees a lone update never waits
+// longer than flush_deadline_us; workers pop up to a burst at a time
+// and fold its slices grouped per shard, so the shard mutex too is
+// taken once per burst. The queue throttles producers at the high
+// watermark and releases them at the low watermark (hysteresis), not
+// hard blocking at capacity.
 //
 // Guarantees:
-//   * Backpressure, not OOM: at most queue_capacity updates are in
-//     flight; submit() blocks once the queue is full.
+//   * Backpressure, not OOM: at most queue_capacity updates (plus one
+//     burst buffer per producer thread) are in flight; submit() blocks
+//     once the queue is throttled.
 //   * All-or-nothing updates: a worker applies every slice of an update
 //     under a tenant-level shared lock, so a snapshot (unique lock)
 //     never observes half an update — the epoch-consistent cut. Invalid
@@ -36,7 +52,10 @@
 //     structures and each value is the sum of that entry's
 //     contributions — bit-identical to one-shot core::spkadd whenever
 //     value addition is exact (e.g. integer-valued gradients),
-//     regardless of producer/worker interleaving.
+//     regardless of producer/worker interleaving. Per-producer
+//     submission order is preserved end to end (buffer -> burst ->
+//     per-shard fold), so the single-producer/single-worker/one-shard
+//     configuration folds in exact submission order.
 //
 // The shape mirrors long-lived counter services (cf. the hlld-style
 // set-manager architecture): sharded state behind short locks, bounded
@@ -75,26 +94,31 @@ class AggService {
     std::uint64_t updates_applied = 0;  ///< updates folded in by then
   };
 
-  /// Starts the worker pool immediately. Throws std::invalid_argument
-  /// on an unusable config.
+  /// Starts the worker pool (and the burst flusher) immediately. Throws
+  /// std::invalid_argument on an unusable config.
   explicit AggService(ServiceConfig config);
 
-  /// Stops the service (drains the queue backlog first).
+  /// Stops the service (drains staged bursts and the queue backlog).
   ~AggService();
 
   AggService(const AggService&) = delete;
   AggService& operator=(const AggService&) = delete;
 
-  /// Enqueue one update for `tenant`, blocking while the ingest queue
-  /// is full (backpressure). The tenant is created on first submit with
+  /// Stage one update for `tenant` into this thread's burst buffer,
+  /// blocking (backpressure) only when the buffer flush finds the
+  /// ingest queue throttled. The tenant is created on first submit with
   /// the update's shape; later updates must be conformant (throws
   /// std::invalid_argument otherwise). Returns false — and counts the
-  /// update as rejected — once the service is stopped.
+  /// update as rejected — once the service is stopped. An update
+  /// accepted concurrently with stop() may still be dropped and counted
+  /// in ServiceStats::rejected.
   bool submit(const std::string& tenant, Matrix update);
 
-  /// Non-blocking submit: false when the queue is full or the service
-  /// is stopped; the update is untouched on a full queue so open-loop
-  /// load generators can count the drop and keep their schedule.
+  /// Non-blocking submit: false when the service is stopped or the
+  /// ingest path is saturated (burst buffer full and the queue
+  /// throttled, or a deadline flush of this thread's buffer is in
+  /// flight); the update is untouched on failure so open-loop load
+  /// generators can count the drop and keep their schedule.
   bool try_submit(const std::string& tenant, Matrix&& update);
 
   /// Assemble a consistent full-matrix view of `tenant`'s running sum
@@ -115,13 +139,14 @@ class AggService {
   /// into 2). Throws on header/shape mismatch.
   void restore(const std::string& tenant, const std::string& path);
 
-  /// Block until every update submit() had accepted when drain() was
-  /// called has been folded into its shards (or dropped by a throwing
-  /// fold — see ServiceStats::apply_errors).
+  /// Flush every producer's staged burst, then block until every update
+  /// accepted by then has been folded into its shards (or dropped by a
+  /// throwing fold — see ServiceStats::apply_errors).
   void drain();
 
-  /// Stop accepting updates, fold the queued backlog, join the workers.
-  /// Idempotent; snapshot()/stats() remain usable afterwards.
+  /// Stop accepting updates, flush staged bursts, fold the queued
+  /// backlog, join the flusher and workers. Idempotent;
+  /// snapshot()/stats() remain usable afterwards.
   void stop();
 
   /// Aggregate counters across the queue, shards and tenants.
@@ -136,6 +161,19 @@ class AggService {
     std::chrono::steady_clock::time_point submitted;
     std::uint64_t ticket = 0;  ///< acceptance order; drives drain()
   };
+
+  /// One producer thread's staging area: tasks accumulate here and are
+  /// flushed into the MPMC queue as a single burst. `mutex` serializes
+  /// the owning producer with the deadline flusher and drain/stop
+  /// sweeps; flushes happen entirely under it so per-producer FIFO
+  /// order survives every flush path.
+  struct BurstBuffer {
+    std::mutex mutex;
+    std::vector<Task> tasks;
+    std::chrono::steady_clock::time_point oldest{};  ///< staging of tasks[0]
+  };
+
+  enum class FlushReason { kFull, kDeadline, kDrain };
 
   struct Tenant {
     Tenant(std::int32_t rows, std::int32_t cols,
@@ -158,12 +196,26 @@ class AggService {
   /// Look up or create; throws when an existing tenant's shape differs.
   Tenant& tenant_for(const std::string& name, std::int32_t rows,
                      std::int32_t cols);
-  /// Shared submit bookkeeping: count, push (blocking or not), roll
-  /// back + wake drainers on failure. On failure `task` is intact iff
-  /// the push was non-blocking and the queue was merely full.
-  bool enqueue(Task& task, bool blocking);
-  void worker_loop();
-  void apply(Task&& task);
+  /// This thread's burst buffer for THIS service instance (created and
+  /// registered on first use).
+  BurstBuffer& local_buffer();
+  /// Flush `buf`'s staged tasks into the queue as one burst. The caller
+  /// holds buf.mutex. Blocking flushes push everything unless the queue
+  /// closes mid-burst (the leftover is dropped: tickets retired,
+  /// counted rejected). Non-blocking flushes are all-or-nothing and
+  /// leave the tasks staged on a saturated queue. Returns true iff the
+  /// buffer is empty afterwards because everything was pushed.
+  bool flush_locked(BurstBuffer& buf, FlushReason reason, bool blocking);
+  void flush_all_buffers(FlushReason reason);
+  void flusher_loop();
+  void worker_loop(std::size_t worker_index);
+  /// Fold one popped burst: group tasks by tenant, apply each group
+  /// with one shard-lock acquisition per shard, then retire the whole
+  /// burst's tickets under one progress-lock acquisition.
+  void apply_burst(std::vector<Task>& burst);
+  void apply_group(std::vector<Task>& burst,
+                   const std::vector<std::size_t>& group,
+                   std::vector<unsigned char>& ok);
   Snapshot snapshot_locked(Tenant& t);
 
   ServiceConfig config_;
@@ -172,22 +224,43 @@ class AggService {
   mutable std::shared_mutex tenants_mutex_;
   std::map<std::string, std::unique_ptr<Tenant>> tenants_;
 
+  // Burst buffers of every producer thread that ever submitted here;
+  // the flusher and drain/stop sweep them. shared_ptr so a producer's
+  // cached reference (a thread_local weak_ptr in local_buffer())
+  // expires with the service.
+  mutable std::mutex buffers_mutex_;
+  std::vector<std::shared_ptr<BurstBuffer>> buffers_;
+
   std::vector<std::thread> workers_;
+  std::thread flusher_;
+  std::mutex flusher_mutex_;
+  std::condition_variable flusher_cv_;
+  bool flusher_stop_ = false;  ///< guarded by flusher_mutex_
+  std::atomic<bool> stopped_{false};
   std::once_flag stop_once_;
 
   // Progress accounting, all guarded by progress_mutex_ so a drainer
-  // can wait on the condition variable without lost wakeups. Every
-  // accepted task carries a ticket; drain() waits for exactly the
-  // tickets issued before it was called (completions of later tasks
-  // cannot satisfy it).
+  // can wait on the condition variable without lost wakeups. Tickets
+  // are issued per burst at flush time (one lock acquisition per burst
+  // on both the producer and worker side); drain() flushes the buffers
+  // first, so everything staged before it gets a ticket below its
+  // cutoff and completions of later tasks can never satisfy it.
   mutable std::mutex progress_mutex_;
   std::condition_variable progress_cv_;
   std::uint64_t next_ticket_ = 1;
   std::set<std::uint64_t> pending_tickets_;  ///< accepted, not done
-  std::uint64_t submitted_ = 0;
-  std::uint64_t applied_ = 0;       ///< folded successfully
-  std::uint64_t apply_errors_ = 0;  ///< dropped by a throwing fold
+  std::uint64_t submitted_ = 0;  ///< handed to the queue
+  std::uint64_t applied_ = 0;    ///< folded successfully
+  std::uint64_t apply_errors_ = 0;  ///< dropped by a failing apply
   std::atomic<std::uint64_t> rejected_{0};
+
+  // Burst-flush counters (IngestStats), relaxed: they are statistics.
+  std::atomic<std::uint64_t> bursts_{0};
+  std::atomic<std::uint64_t> burst_updates_{0};
+  std::atomic<std::size_t> max_burst_{0};
+  std::atomic<std::uint64_t> flushes_full_{0};
+  std::atomic<std::uint64_t> flushes_deadline_{0};
+  std::atomic<std::uint64_t> flushes_drain_{0};
 
   LatencyHistogram latency_;
 };

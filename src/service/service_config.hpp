@@ -3,6 +3,7 @@
 // bench_service loadgen sweep.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <stdexcept>
 
@@ -20,9 +21,37 @@ struct ServiceConfig {
   /// Worker threads draining the ingest queue. 0 = one per shard.
   std::size_t workers = 0;
 
-  /// Ingest queue capacity (whole updates). submit() blocks — the
-  /// service's backpressure — once this many updates are in flight.
+  /// Ingest queue capacity (whole updates): the hard memory bound on
+  /// in-flight updates. Producer admission is governed by the
+  /// watermarks below, not by raw capacity.
   std::size_t queue_capacity = 64;
+
+  /// Producer burst buffer size: submit() stages updates into a
+  /// thread-local buffer flushed into the ingest queue as ONE enqueue
+  /// (one queue-lock acquisition per burst, not per update) once this
+  /// many are staged. Workers pop up to a burst at a time and fold the
+  /// slices grouped per shard (one shard-lock acquisition per burst).
+  /// 1 = flush on every submit, the pre-burst behavior.
+  std::size_t burst_size = 8;
+
+  /// A staged update never waits in a burst buffer longer than this
+  /// before the background flusher pushes the partial burst, so a lone
+  /// update is not stranded waiting for the buffer to fill.
+  std::size_t flush_deadline_us = 500;
+
+  /// Queue admission hysteresis (FlexiCAS XACT_QUEUE_HIGH/LOW):
+  /// producers throttle once the queue depth reaches the high
+  /// watermark and are released only when workers drain it to the low
+  /// watermark, instead of hard-blocking at capacity and waking on
+  /// every pop. 0 defaults: high = queue_capacity, low = 3/4 of high.
+  std::size_t queue_high_watermark = 0;
+  std::size_t queue_low_watermark = 0;
+
+  /// Pin worker thread i to logical CPU i mod online-CPUs
+  /// (best-effort), giving stable thread/shard affinity on multi-core
+  /// scaling runs. Off by default: pinning a whole worker pool onto an
+  /// oversubscribed box hurts.
+  bool pin_threads = false;
 
   /// Accumulator fold window: each shard folds its running sum after
   /// this many staged slices (core::Accumulator batch_capacity, the
@@ -36,6 +65,17 @@ struct ServiceConfig {
   /// Effective worker count after defaulting.
   [[nodiscard]] std::size_t effective_workers() const {
     return workers != 0 ? workers : shards;
+  }
+
+  /// Watermarks after defaulting (high = capacity, low = 3/4 high).
+  [[nodiscard]] std::size_t effective_high_watermark() const {
+    return queue_high_watermark != 0 ? queue_high_watermark
+                                     : queue_capacity;
+  }
+  [[nodiscard]] std::size_t effective_low_watermark() const {
+    if (queue_low_watermark != 0) return queue_low_watermark;
+    const std::size_t high = effective_high_watermark();
+    return std::max<std::size_t>(1, high - high / 4);
   }
 
   /// Whether the configured fold method refuses unsorted columns
@@ -67,6 +107,17 @@ struct ServiceConfig {
     if (batch_window < 1)
       throw std::invalid_argument(
           "ServiceConfig: batch_window must be >= 1");
+    if (burst_size < 1)
+      throw std::invalid_argument("ServiceConfig: burst_size must be >= 1");
+    if (flush_deadline_us < 1)
+      throw std::invalid_argument(
+          "ServiceConfig: flush_deadline_us must be >= 1");
+    if (effective_high_watermark() > queue_capacity)
+      throw std::invalid_argument(
+          "ServiceConfig: queue_high_watermark exceeds queue_capacity");
+    if (effective_low_watermark() > effective_high_watermark())
+      throw std::invalid_argument(
+          "ServiceConfig: queue_low_watermark exceeds the high watermark");
     // A merge-family method with inputs declared unsorted would throw
     // on every single fold; refuse the config instead of the traffic.
     if (method_requires_sorted() && !options.inputs_sorted)

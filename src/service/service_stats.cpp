@@ -1,5 +1,6 @@
 #include "service/service_stats.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 
@@ -42,8 +43,12 @@ LatencySummary LatencyHistogram::summary() const {
     std::uint64_t cum = 0;
     for (std::size_t i = 0; i < kBuckets; ++i) {
       cum += counts[i];
+      // Clamp to the exactly-tracked maximum: the top occupied bucket's
+      // upper bound can exceed every recorded value, and a reported p99
+      // above the true max is a lie operators will chase.
       if (cum >= rank)
-        return static_cast<double>(bucket_upper(i)) * 1e-9;
+        return std::min(static_cast<double>(bucket_upper(i)) * 1e-9,
+                        out.max);
     }
     return out.max;
   };

@@ -69,6 +69,27 @@ struct ShardStats {
   std::uint64_t chunks_sliding = 0;
 };
 
+/// Producer-side burst/watermark counters for the batched ingest path.
+struct IngestStats {
+  std::uint64_t bursts = 0;         ///< burst flushes into the queue
+  std::uint64_t burst_updates = 0;  ///< updates across those bursts
+  std::size_t max_burst = 0;        ///< largest single burst flushed
+  std::uint64_t flushes_full = 0;   ///< buffer reached burst_size
+  std::uint64_t flushes_deadline = 0;  ///< background deadline sweeps
+  std::uint64_t flushes_drain = 0;     ///< drain()/stop() sweeps
+  std::uint64_t throttle_events = 0;   ///< pushes blocked at high watermark
+  double throttle_seconds = 0;  ///< total producer time spent throttled
+
+  /// Mean updates per flushed burst (the amortization factor actually
+  /// realized: every queue-lock acquisition covered this many updates).
+  [[nodiscard]] double avg_burst() const {
+    return bursts != 0
+               ? static_cast<double>(burst_updates) /
+                     static_cast<double>(bursts)
+               : 0.0;
+  }
+};
+
 /// Per-tenant counters.
 struct TenantStats {
   std::string tenant;
@@ -89,6 +110,7 @@ struct ServiceStats {
   std::uint64_t apply_errors = 0;
   std::size_t queue_depth = 0;
   std::size_t queue_high_water = 0;  ///< deepest ingest backlog seen
+  IngestStats ingest;                ///< burst/watermark ingest counters
   LatencySummary latency;            ///< submit -> applied
   std::vector<ShardStats> shards;
   std::vector<TenantStats> tenants;

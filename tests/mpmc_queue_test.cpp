@@ -44,14 +44,46 @@ TEST(MpmcQueue, TryPushRespectsCapacity) {
 }
 
 TEST(MpmcQueue, TryPopNeverBlocks) {
+  using Status = BoundedMpmcQueue<int>::PopStatus;
   BoundedMpmcQueue<int> q(2);
-  EXPECT_FALSE(q.try_pop().has_value());  // empty: no blocking
+  int out = -1;
+  EXPECT_EQ(q.try_pop(out), Status::kEmpty);  // empty: no blocking
+  EXPECT_EQ(out, -1);                         // untouched without an item
   EXPECT_TRUE(q.push(7));
-  auto v = q.try_pop();
-  ASSERT_TRUE(v.has_value());
-  EXPECT_EQ(*v, 7);
+  EXPECT_EQ(q.try_pop(out), Status::kItem);
+  EXPECT_EQ(out, 7);
   q.close();
-  EXPECT_FALSE(q.try_pop().has_value());  // closed and drained
+  EXPECT_EQ(q.try_pop(out), Status::kClosed);  // closed and drained
+}
+
+// "Momentarily empty" and "closed and drained" must be distinguishable,
+// or a non-blocking consumer cannot tell "retry later" from "shut down"
+// — and a closed queue with a backlog must still hand out the items.
+TEST(MpmcQueue, TryPopDistinguishesEmptyFromClosed) {
+  using Status = BoundedMpmcQueue<int>::PopStatus;
+  BoundedMpmcQueue<int> q(4);
+  int out = 0;
+  EXPECT_EQ(q.try_pop(out), Status::kEmpty);  // open + empty: retry
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  q.close();
+  EXPECT_EQ(q.try_pop(out), Status::kItem);  // closed but NOT drained
+  EXPECT_EQ(out, 1);
+  EXPECT_EQ(q.try_pop(out), Status::kItem);
+  EXPECT_EQ(out, 2);
+  EXPECT_EQ(q.try_pop(out), Status::kClosed);  // now drained: stop
+}
+
+// A rejected blocking push must leave the item in the caller's hands —
+// the old by-value signature destroyed the moved-from payload on a
+// closed queue while try_push promised the opposite.
+TEST(MpmcQueue, PushHandsItemBackWhenClosed) {
+  BoundedMpmcQueue<std::vector<int>> q(2);
+  q.close();
+  std::vector<int> payload{1, 2, 3};
+  EXPECT_FALSE(q.push(std::move(payload)));
+  // The caller can still account or retry the exact item it offered.
+  EXPECT_EQ(payload, (std::vector<int>{1, 2, 3}));
 }
 
 TEST(MpmcQueue, HighWaterTracksDeepestBacklog) {
@@ -123,6 +155,114 @@ TEST(MpmcQueue, CloseWakesBlockedProducer) {
   q.close();
   producer.join();
   EXPECT_TRUE(rejected.load());
+}
+
+TEST(MpmcQueue, PushBurstPreservesFifo) {
+  BoundedMpmcQueue<int> q(8);
+  std::vector<int> burst{0, 1, 2, 3, 4};
+  EXPECT_EQ(q.push_burst(burst), 5u);
+  EXPECT_TRUE(burst.empty());  // fully admitted
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(q.pop().value(), i);
+}
+
+// A burst larger than the queue's free space is admitted in chunks: the
+// producer blocks between chunks while a consumer makes room, and every
+// item still arrives exactly once, in order.
+TEST(MpmcQueue, PushBurstChunksThroughConsumer) {
+  BoundedMpmcQueue<int> q(4);
+  std::vector<int> burst(16);
+  for (int i = 0; i < 16; ++i) burst[static_cast<std::size_t>(i)] = i;
+  std::thread producer([&] { EXPECT_EQ(q.push_burst(burst), 16u); });
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(q.pop().value(), i);
+  producer.join();
+  EXPECT_TRUE(burst.empty());
+}
+
+// close() while a burst is mid-flight: the pushed prefix is consumable,
+// the unpushed tail comes back to the producer (never destroyed).
+TEST(MpmcQueue, PushBurstHandsBackRemainderOnClose) {
+  BoundedMpmcQueue<int> q(2);
+  std::vector<int> burst{10, 11, 12, 13, 14};
+  std::atomic<std::size_t> pushed{0};
+  std::thread producer([&] { pushed.store(q.push_burst(burst)); });
+  // Let the producer fill the queue and block on the second chunk.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  producer.join();
+  EXPECT_EQ(pushed.load(), 2u);
+  EXPECT_EQ(burst, (std::vector<int>{12, 13, 14}));  // the unpushed tail
+  EXPECT_EQ(q.pop().value(), 10);  // prefix still drains after close
+  EXPECT_EQ(q.pop().value(), 11);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(MpmcQueue, TryPushBurstAllOrNothing) {
+  BoundedMpmcQueue<int> q(4);
+  std::vector<int> first{1, 2, 3};
+  EXPECT_TRUE(q.try_push_burst(first));
+  EXPECT_TRUE(first.empty());
+  std::vector<int> second{4, 5};  // only one slot free: must not split
+  EXPECT_FALSE(q.try_push_burst(second));
+  EXPECT_EQ(second, (std::vector<int>{4, 5}));  // untouched on failure
+  EXPECT_EQ(q.size(), 3u);
+  (void)q.pop();
+  EXPECT_TRUE(q.try_push_burst(second));  // two slots free now
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.pop().value(), 3);
+  EXPECT_EQ(q.pop().value(), 4);
+  EXPECT_EQ(q.pop().value(), 5);
+}
+
+// Hysteresis: admission shuts off at the high watermark and does NOT
+// come back until the depth falls to the low watermark — a queue
+// hovering between the two stays closed to producers.
+TEST(MpmcQueue, WatermarkHysteresisGatesAdmission) {
+  BoundedMpmcQueue<int> q(8, /*high_watermark=*/6, /*low_watermark=*/3);
+  for (int i = 0; i < 6; ++i) EXPECT_TRUE(q.try_push(std::move(i)));
+  int extra = 100;
+  EXPECT_FALSE(q.try_push(std::move(extra)));  // throttled at high
+  (void)q.pop();
+  (void)q.pop();
+  EXPECT_EQ(q.size(), 4u);  // above low: still throttled
+  EXPECT_FALSE(q.try_push(std::move(extra)));
+  (void)q.pop();
+  EXPECT_EQ(q.size(), 3u);  // at low: released
+  EXPECT_TRUE(q.try_push(std::move(extra)));
+}
+
+// A blocking producer throttled at the high watermark is released only
+// by the drain to the low watermark, and the throttle is counted.
+TEST(MpmcQueue, WatermarkReleaseWakesBlockedProducer) {
+  BoundedMpmcQueue<int> q(8, /*high_watermark=*/4, /*low_watermark=*/2);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.push(i));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(99));
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());  // throttled at the high watermark
+  (void)q.pop();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());  // size 3 > low: hysteresis holds
+  (void)q.pop();                // size 2 == low: released
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_GE(q.throttle_events(), 1u);
+  EXPECT_GE(q.throttle_seconds(), 0.0);
+}
+
+TEST(MpmcQueue, PopBurstDrainsUpToMax) {
+  BoundedMpmcQueue<int> q(8);
+  std::vector<int> burst{0, 1, 2, 3, 4};
+  EXPECT_EQ(q.push_burst(burst), 5u);
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_burst(out, 3), 3u);  // capped at max_items
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(q.pop_burst(out, 8), 2u);  // appends the remainder
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+  q.close();
+  EXPECT_EQ(q.pop_burst(out, 8), 0u);  // closed and drained: exit signal
 }
 
 // P producers x C consumers; every pushed value is popped exactly once

@@ -131,15 +131,23 @@ TEST(AggService, DeterministicFinalSumAcrossConfigsAndInterleavings) {
   const Csc expected = spkadd(all);
 
   struct Config {
-    std::size_t shards, workers, window;
+    std::size_t shards, workers, window, burst;
   };
-  for (const Config c : {Config{1, 2, 4}, Config{4, 4, 2}, Config{3, 2, 8}}) {
+  // burst = 1 is the pre-burst per-update flush path; the larger bursts
+  // exercise batch flushing and grouped per-shard folding.
+  for (const Config c :
+       {Config{1, 2, 4, 1}, Config{4, 4, 2, 8}, Config{3, 2, 8, 3}}) {
     for (std::uint64_t round = 0; round < 2; ++round) {
       ServiceConfig cfg;
       cfg.shards = c.shards;
       cfg.workers = c.workers;
       cfg.batch_window = c.window;
+      cfg.burst_size = c.burst;
       cfg.queue_capacity = 8;  // small: exercise backpressure too
+      // Real watermark hysteresis under real traffic: producers get
+      // throttled at 6 and released at 3 without changing the sum.
+      cfg.queue_high_watermark = 6;
+      cfg.queue_low_watermark = 3;
       AggService svc(cfg);
       std::vector<std::thread> producers;
       for (int p = 0; p < kProducers; ++p)
@@ -159,6 +167,31 @@ TEST(AggService, DeterministicFinalSumAcrossConfigsAndInterleavings) {
                 static_cast<std::uint64_t>(kProducers * kPerProducer));
     }
   }
+}
+
+TEST(AggService, BurstedSingleLaneStillMatchesSequentialAccumulator) {
+  // Same bit-for-bit pin as above, but with burst batching active and a
+  // fast deadline flusher racing the producer: batching may change WHEN
+  // updates reach the shard, never in WHAT order, so even arbitrary
+  // double values must match a sequential Accumulator exactly.
+  const auto updates = spkadd::testing::random_collection(13, 300, 9, 150, 5);
+  ServiceConfig cfg;
+  cfg.shards = 1;
+  cfg.workers = 1;
+  cfg.batch_window = 4;
+  cfg.burst_size = 4;
+  cfg.flush_deadline_us = 200;  // some bursts flush by deadline instead
+  AggService svc(cfg);
+  for (const auto& u : updates) {
+    EXPECT_TRUE(svc.submit("t", u));
+    if (u.nnz() % 3 == 0)
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+  }
+  svc.drain();
+  spkadd::core::Accumulator<> acc(300, 9, cfg.options, cfg.batch_window);
+  for (const auto& u : updates) acc.add(u);
+  EXPECT_EQ(svc.snapshot("t").sum, acc.finalize());
+  EXPECT_EQ(svc.snapshot("t").updates_applied, updates.size());
 }
 
 // ------------------------------------------------------- consistency
@@ -261,6 +294,78 @@ TEST(AggService, StopFoldsBacklogThenRejects) {
   EXPECT_EQ(svc.snapshot("t").sum, spkadd(ten));
 }
 
+// ------------------------------------------------------- burst ingest
+TEST(AggService, DrainFlushesPartialBurstBuffers) {
+  // A burst buffer far larger than the traffic and a flusher that
+  // effectively never fires: drain() alone must still deliver every
+  // staged update, or "drain then snapshot" silently loses the tail.
+  ServiceConfig cfg;
+  cfg.shards = 2;
+  cfg.workers = 2;
+  cfg.burst_size = 64;
+  cfg.flush_deadline_us = 10'000'000;
+  AggService svc(cfg);
+  std::vector<Csc> updates;
+  for (int i = 0; i < 5; ++i) {
+    updates.push_back(integer_matrix(70, 6, 50, 40 + i));
+    EXPECT_TRUE(svc.submit("t", updates.back()));
+  }
+  svc.drain();
+  const auto st = svc.stats();
+  EXPECT_EQ(st.applied, 5u);
+  EXPECT_GE(st.ingest.flushes_drain, 1u);
+  EXPECT_EQ(st.ingest.flushes_full, 0u);  // buffer never filled
+  EXPECT_EQ(st.ingest.max_burst, 5u);     // one five-update burst
+  EXPECT_EQ(svc.snapshot("t").sum, spkadd(updates));
+}
+
+TEST(AggService, StopFlushesPartialBurstBuffers) {
+  // Shutdown gives the same guarantee as drain(): no update accepted by
+  // submit() is lost in a half-full burst buffer.
+  ServiceConfig cfg;
+  cfg.shards = 2;
+  cfg.workers = 1;
+  cfg.burst_size = 64;
+  cfg.flush_deadline_us = 10'000'000;
+  AggService svc(cfg);
+  std::vector<Csc> updates;
+  for (int i = 0; i < 5; ++i) {
+    updates.push_back(integer_matrix(70, 6, 50, 60 + i));
+    EXPECT_TRUE(svc.submit("t", updates.back()));
+  }
+  svc.stop();
+  const auto st = svc.stats();
+  EXPECT_EQ(st.applied, 5u);
+  EXPECT_EQ(st.rejected, 0u);
+  EXPECT_GE(st.ingest.flushes_drain, 1u);
+  EXPECT_EQ(svc.snapshot("t").sum, spkadd(updates));
+}
+
+TEST(AggService, DeadlineFlushDeliversLoneUpdate) {
+  // One update, a 64-deep buffer, and no drain: only the background
+  // deadline flusher can deliver it. A stranded lone update is exactly
+  // the failure mode flush_deadline_us exists to rule out.
+  ServiceConfig cfg;
+  cfg.shards = 1;
+  cfg.workers = 1;
+  cfg.burst_size = 64;
+  cfg.flush_deadline_us = 1000;
+  AggService svc(cfg);
+  EXPECT_TRUE(svc.submit("t", integer_matrix(40, 4, 30, 11)));
+  // Poll for the counter too: the worker can apply the update before
+  // the flusher (which pushes first, then counts) bumps its counter.
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while ((svc.stats().applied == 0 ||
+          svc.stats().ingest.flushes_deadline == 0) &&
+         std::chrono::steady_clock::now() < give_up)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  const auto st = svc.stats();
+  EXPECT_EQ(st.applied, 1u);
+  EXPECT_GE(st.ingest.flushes_deadline, 1u);
+  EXPECT_EQ(st.ingest.flushes_full, 0u);
+}
+
 TEST(AggService, ConfigValidationRejectsNonsense) {
   ServiceConfig cfg;
   cfg.shards = 0;
@@ -349,6 +454,47 @@ TEST(AggService, StatsAccountForEveryFoldedNonzero) {
   EXPECT_EQ(st.latency.count, 8u);
   EXPECT_LE(st.latency.p50, st.latency.p99);
   EXPECT_GT(st.latency.p99, 0.0);
+}
+
+TEST(AggService, StatsIncludeIngestBurstCounters) {
+  ServiceConfig cfg;
+  cfg.shards = 2;
+  cfg.workers = 1;
+  cfg.burst_size = 4;
+  cfg.flush_deadline_us = 1'000'000;  // only full-buffer flushes here
+  AggService svc(cfg);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_TRUE(svc.submit(
+        "t", integer_matrix(60, 5, 40, static_cast<std::uint64_t>(i))));
+  svc.drain();
+  const auto st = svc.stats();
+  EXPECT_EQ(st.submitted, 8u);
+  // Every update the service accepted went through a counted burst.
+  EXPECT_EQ(st.ingest.burst_updates, st.submitted);
+  EXPECT_GE(st.ingest.bursts, 2u);
+  EXPECT_GE(st.ingest.flushes_full, 2u);
+  EXPECT_EQ(st.ingest.max_burst, 4u);
+  EXPECT_GT(st.ingest.avg_burst(), 1.0);
+}
+
+TEST(LatencyHistogram, QuantilesClampedToRecordedMax) {
+  // The top occupied bucket's upper bound can exceed every recorded
+  // value (log buckets are up to 12.5% wide); a reported p99 above the
+  // true max is a lie operators will chase. Quantiles must clamp.
+  spkadd::service::LatencyHistogram h;
+  h.record(1'000'000'001);  // 1.000000001 s; its bucket tops out higher
+  const auto s = h.summary();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.max, 1.000000001);
+  EXPECT_DOUBLE_EQ(s.p50, s.max);
+  EXPECT_DOUBLE_EQ(s.p99, s.max);
+  // Quantiles landing in lower buckets stay bucket-quantized but can
+  // never overshoot the maximum either.
+  h.record(1000);
+  const auto s2 = h.summary();
+  EXPECT_EQ(s2.count, 2u);
+  EXPECT_LE(s2.p50, s2.p99);
+  EXPECT_LE(s2.p99, s2.max);
 }
 
 // -------------------------------------------------------- persistence
