@@ -1,0 +1,347 @@
+// Measured-miss calibration of the Hybrid planner (three modes).
+//
+//   --emit <path>      Sweep all four ColumnKernels over a (k x density x
+//                      chunk-width) ER grid through the modeled cache
+//                      hierarchy (cachesim::trace_kernel_spkadd) and write
+//                      the versioned MissCostTable JSON the planner
+//                      consumes (calibration/misscost_default.json is the
+//                      committed output of scripts/calibrate.sh).
+//   --table <path>     Load a table and race analytic-vs-calibrated Hybrid
+//                      (plus the single kernels) on the shared skew
+//                      presets. Bit-identity to Hash is a hard gate; the
+//                      +2%-of-best-single overhead budget is reported and
+//                      enforced only under --enforce-overhead (timing
+//                      noise makes it advisory in CI).
+//   --drift-against <path>  Re-run a reduced sweep with the loaded
+//                      table's own hierarchy/rows/threads and count grid
+//                      points whose argmin kernel changed; more than
+//                      --drift-tolerance mismatches fails. This is the CI
+//                      guard that the committed table still matches what
+//                      the simulator measures.
+//
+// The sweep is fully deterministic (fixed seeds, explicit --cache-spec),
+// so the committed table is reproducible on any machine.
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cachesim/traced_spkadd.hpp"
+#include "core/calibration.hpp"
+#include "gen/workload.hpp"
+#include "util/cli.hpp"
+
+using namespace spkadd;
+using Csc = CscMatrix<std::int32_t, double>;
+
+namespace {
+
+std::vector<std::uint64_t> parse_axis(const std::string& text,
+                                      const char* flag) {
+  std::vector<std::uint64_t> out;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string tok =
+        text.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    try {
+      std::size_t used = 0;
+      const unsigned long long v = std::stoull(tok, &used);
+      if (used != tok.size() || v == 0) throw std::invalid_argument(tok);
+      out.push_back(v);
+    } catch (const std::exception&) {
+      throw std::invalid_argument(std::string(flag) + ": bad entry '" + tok +
+                                  "' (want comma-separated positive ints)");
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  for (std::size_t i = 1; i < out.size(); ++i)
+    if (out[i] <= out[i - 1])
+      throw std::invalid_argument(std::string(flag) +
+                                  ": entries must strictly increase");
+  return out;
+}
+
+/// Measure one grid cell: k ER addends with `w` columns of ~d nnz each,
+/// traced once per kernel. Unmeasured cells (none today) would be < 0.
+void sweep_cell(const cachesim::HierarchySpec& hier, int threads,
+                std::int64_t rows, std::uint64_t k, std::uint64_t d,
+                std::uint64_t w, core::MissCostTable& table,
+                std::size_t cell) {
+  gen::WorkloadSpec spec;
+  spec.pattern = gen::Pattern::ER;
+  spec.rows = rows;
+  spec.cols = static_cast<std::int64_t>(w);
+  spec.avg_nnz_per_col = static_cast<std::int64_t>(d);
+  spec.k = static_cast<int>(k);
+  // One deterministic seed per cell so re-runs reproduce bit-identical
+  // tables on any host.
+  spec.seed = 9000 + 31 * k + 7 * d + w;
+  const std::vector<Csc> inputs = gen::make_workload(spec);
+
+  for (std::size_t ki = 0; ki < core::kNumColumnKernels; ++ki) {
+    cachesim::KernelTraceConfig cfg;
+    cfg.hierarchy = hier;
+    cfg.threads = threads;
+    cfg.kernel = static_cast<core::ColumnKernel>(ki);
+    const cachesim::KernelTraceResult r =
+        cachesim::trace_kernel_spkadd(inputs, cfg);
+    table.costs[ki][cell] = r.weighted_miss_cost;
+  }
+}
+
+core::MissCostTable run_sweep(const cachesim::HierarchySpec& hier,
+                              int threads, std::int64_t rows,
+                              const std::vector<std::uint64_t>& k_axis,
+                              const std::vector<std::uint64_t>& d_axis,
+                              const std::vector<std::uint64_t>& w_axis) {
+  core::MissCostTable table;
+  table.hierarchy = hier.to_string();
+  table.rows = rows;
+  table.threads = threads;
+  table.k_axis = k_axis;
+  table.d_axis = d_axis;
+  table.width_axis = w_axis;
+  for (auto& costs : table.costs) costs.assign(table.cells(), -1.0);
+
+  std::size_t cell = 0;
+  for (std::size_t ik = 0; ik < k_axis.size(); ++ik)
+    for (std::size_t id = 0; id < d_axis.size(); ++id)
+      for (std::size_t iw = 0; iw < w_axis.size(); ++iw, ++cell) {
+        sweep_cell(hier, threads, rows, k_axis[ik], d_axis[id], w_axis[iw],
+                   table, cell);
+        std::cout << "  cell k=" << k_axis[ik] << " d=" << d_axis[id]
+                  << " w=" << w_axis[iw] << "  heap/spa/hash/sliding = "
+                  << table.costs[0][cell] << "/" << table.costs[1][cell]
+                  << "/" << table.costs[2][cell] << "/"
+                  << table.costs[3][cell] << "\n";
+      }
+  return table;
+}
+
+std::string pct(double ratio) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", (ratio - 1.0) * 100.0);
+  return buf;
+}
+
+/// Count grid points of `probe` whose argmin kernel (sorted and unsorted
+/// alike) disagrees with `committed` at the same (k, d, w).
+std::size_t count_drift(const core::MissCostTable& committed,
+                        const core::MissCostTable& probe) {
+  std::size_t drift = 0;
+  for (const std::uint64_t k : probe.k_axis)
+    for (const std::uint64_t d : probe.d_axis)
+      for (const std::uint64_t w : probe.width_axis)
+        for (const bool sorted : {true, false}) {
+          // best_kernel snaps (k, summed nnz, width) to the nearest grid
+          // point; feeding exact grid coordinates compares cell argmins.
+          const auto want = committed.best_kernel(k, k * d, w, sorted);
+          const auto got = probe.best_kernel(k, k * d, w, sorted);
+          if (want != got) {
+            ++drift;
+            std::cout << "  drift at k=" << k << " d=" << d << " w=" << w
+                      << (sorted ? "" : " (unsorted)") << ": committed "
+                      << core::column_kernel_name(want) << ", measured "
+                      << core::column_kernel_name(got) << "\n";
+          }
+        }
+  return drift;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli("bench_calibration",
+                      "measured-miss calibration of the Hybrid planner");
+  const auto* emit = cli.add_string(
+      "emit", "", "sweep and write a MissCostTable JSON to this path");
+  const auto* table_path = cli.add_string(
+      "table", "", "load this table and race analytic vs calibrated Hybrid");
+  const auto* drift_against = cli.add_string(
+      "drift-against", "",
+      "re-sweep on the loaded table's grid subset and count argmin changes");
+  const auto* drift_tol = cli.add_int(
+      "drift-tolerance", 0,
+      "max tolerated argmin mismatches under --drift-against");
+  const auto* cache_spec = cli.add_string(
+      "cache-spec", "",
+      "modeled hierarchy, e.g. L1:32K:8,L2:1M:16,LLC:8M:16 (empty = "
+      "detected machine)");
+  const auto* threads =
+      cli.add_int("threads", 48, "simulated threads sharing the LLC");
+  const auto* rows =
+      cli.add_int("rows", 1 << 14, "trace-matrix rows per sweep cell");
+  const auto* k_axis_s =
+      cli.add_string("k-axis", "4,16,64", "addend-count grid");
+  const auto* d_axis_s = cli.add_string(
+      "d-axis", "2,16,128,1024", "per-addend column-nnz grid");
+  const auto* w_axis_s =
+      cli.add_string("w-axis", "4,16,64", "chunk-width grid (columns)");
+  const auto* bench_rows =
+      cli.add_int("bench-rows", 1 << 15, "preset rows in --table mode");
+  const auto* bench_cols =
+      cli.add_int("bench-cols", 64, "preset cols in --table mode");
+  const auto* repeats = cli.add_int("repeats", 3, "timing repetitions");
+  const auto* overhead_pct = cli.add_int(
+      "max-overhead-pct", 2,
+      "calibrated-Hybrid budget over the best single kernel");
+  const auto* enforce = cli.add_flag(
+      "enforce-overhead", "fail (exit 1) when the overhead budget is blown");
+  const auto* json = cli.add_string("json", "", "write JSON samples here");
+  if (!cli.parse(argc, argv)) return 1;
+
+  try {
+    const cachesim::HierarchySpec hier =
+        cache_spec->empty()
+            ? cachesim::HierarchySpec::detected()
+            : cachesim::HierarchySpec::from_cli_spec(*cache_spec);
+
+    // ---- drift mode -----------------------------------------------------
+    if (!drift_against->empty()) {
+      const auto committed = core::MissCostTable::load(*drift_against);
+      const auto committed_hier =
+          cachesim::HierarchySpec::from_cli_spec(committed.hierarchy);
+      std::cout << "# drift check against " << *drift_against << "\n"
+                << "hierarchy: " << committed.hierarchy
+                << "  threads: " << committed.threads
+                << "  rows: " << committed.rows << "\n";
+      const auto probe = run_sweep(
+          committed_hier, committed.threads, committed.rows,
+          parse_axis(*k_axis_s, "--k-axis"),
+          parse_axis(*d_axis_s, "--d-axis"),
+          parse_axis(*w_axis_s, "--w-axis"));
+      const std::size_t drift = count_drift(committed, probe);
+      std::cout << "drift: " << drift << " argmin mismatches (tolerance "
+                << *drift_tol << ")\n";
+      return drift <= static_cast<std::size_t>(*drift_tol) ? 0 : 1;
+    }
+
+    // ---- emit mode ------------------------------------------------------
+    if (!emit->empty()) {
+      std::cout << "# calibration sweep\nhierarchy: " << hier.to_string()
+                << "  threads: " << *threads << "  rows: " << *rows << "\n";
+      const auto table = run_sweep(hier, static_cast<int>(*threads), *rows,
+                                   parse_axis(*k_axis_s, "--k-axis"),
+                                   parse_axis(*d_axis_s, "--d-axis"),
+                                   parse_axis(*w_axis_s, "--w-axis"));
+      table.save(*emit);
+      // Round-trip through the loader so a table we cannot re-read never
+      // lands on disk unnoticed.
+      (void)core::MissCostTable::load(*emit);
+      std::cout << "wrote " << *emit << " (" << table.cells()
+                << " cells x " << core::kNumColumnKernels << " kernels)\n";
+      if (*table_path == *emit || table_path->empty()) return 0;
+    }
+
+    // ---- compare mode ---------------------------------------------------
+    if (table_path->empty()) {
+      if (emit->empty())
+        std::cerr << "bench_calibration: need --emit, --table or "
+                     "--drift-against\n";
+      return emit->empty() ? 1 : 0;
+    }
+    const auto table = core::MissCostTable::load(*table_path);
+
+    bench::print_header(
+        "Analytic vs calibrated Hybrid dispatch",
+        "the measured-miss table should match or beat the analytic Fig. 2 "
+        "thresholds on every skew preset, bit-identically");
+    std::cout << "table: " << *table_path << " (hierarchy "
+              << table.hierarchy << ", threads " << table.threads << ")\n\n";
+    bench::SampleLog log("bench_calibration");
+
+    const auto presets =
+        bench::make_skew_presets(*bench_rows, *bench_cols, 8, 64);
+    const std::vector<core::Method> singles = {
+        core::Method::Heap, core::Method::Spa, core::Method::Hash,
+        core::Method::SlidingHash};
+    const std::string shape = "rows=" + std::to_string(*bench_rows) +
+                              " cols=" + std::to_string(*bench_cols) +
+                              " table=" + table.hierarchy;
+
+    bool all_exact = true;
+    bool within_budget = true;
+    util::TablePrinter out(
+        {"preset", "best single", "analytic hybrid", "calibrated hybrid",
+         "calib chunks h/s/H/W", "calib vs best"});
+
+    for (const auto& p : presets) {
+      core::Options base;
+      core::Options hash_opts = base;
+      hash_opts.method = core::Method::Hash;
+      const Csc expected = core::spkadd(p.inputs, hash_opts);
+
+      double best_single = -1.0;
+      std::string best_name;
+      for (const core::Method m : singles) {
+        const double t =
+            bench::time_spkadd(p.inputs, m, base, static_cast<int>(*repeats));
+        if (best_single < 0 || t < best_single) {
+          best_single = t;
+          best_name = core::method_name(m);
+        }
+      }
+
+      auto run_hybrid = [&](const core::MissCostTable* calib, double& t_out,
+                            std::string& mix_out) {
+        core::Options opts = base;
+        opts.method = core::Method::Hybrid;
+        opts.calibration = calib;
+        // Same lap shape as time_spkadd (best-of-repeats, result kept alive
+        // through the timer) so hybrid and single-kernel numbers are
+        // comparable.
+        t_out = bench::time_best(static_cast<int>(*repeats), [&] {
+          auto out = core::spkadd(p.inputs, opts);
+          static thread_local std::size_t sink = 0;
+          sink += out.nnz();
+        });
+        const Csc out_m = core::spkadd(p.inputs, opts);
+        if (!(out_m == expected)) {
+          std::cerr << "MISMATCH: " << (calib ? "calibrated" : "analytic")
+                    << " Hybrid on " << p.name
+                    << " is not bit-identical to Hash\n";
+          all_exact = false;
+        }
+        core::OpCounters counters;
+        core::Options copts = opts;
+        copts.counters = &counters;
+        (void)core::spkadd(p.inputs, copts);
+        mix_out = counters.chunk_mix();
+      };
+
+      double t_analytic = 0.0, t_calibrated = 0.0;
+      std::string mix_analytic, mix_calibrated;
+      run_hybrid(nullptr, t_analytic, mix_analytic);
+      run_hybrid(&table, t_calibrated, mix_calibrated);
+
+      const double over = t_calibrated / best_single;
+      if (over > 1.0 + static_cast<double>(*overhead_pct) / 100.0)
+        within_budget = false;
+      out.add_row({p.name, best_name + " " + bench::cell(best_single),
+                   bench::cell(t_analytic), bench::cell(t_calibrated),
+                   mix_calibrated, pct(over)});
+      log.add(p.name + "/analytic-hybrid", shape + " chunks=" + mix_analytic,
+              t_analytic);
+      log.add(p.name + "/calibrated-hybrid",
+              shape + " chunks=" + mix_calibrated, t_calibrated);
+      log.add(p.name + "/best-single(" + best_name + ")", shape,
+              best_single);
+    }
+
+    out.print(std::cout);
+    std::cout << "\nbudget: calibrated Hybrid within +" << *overhead_pct
+              << "% of the best single kernel on every preset: "
+              << (within_budget ? "yes" : "NO") << "\n";
+    if (!json->empty() && !log.write(*json)) return 1;
+    if (!all_exact) return 1;
+    return (*enforce && !within_budget) ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_calibration: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -6,6 +6,8 @@
 #include <iostream>
 #include <sstream>
 
+#include "gen/workload.hpp"
+#include "matrix/coo.hpp"
 #include "util/cache_info.hpp"
 #include "util/timer.hpp"
 #include "version.hpp"
@@ -13,7 +15,7 @@
 namespace spkadd::bench {
 
 void print_header(const std::string& title, const std::string& what) {
-  const auto info = util::detect_machine();
+  const auto& info = util::cached_machine();
   std::cout << "# " << title << "\n"
             << "spkadd version: " << kVersion << "\n"
             << "reproduces: " << what << "\n"
@@ -58,6 +60,58 @@ const std::vector<core::Method>& table_methods() {
 
 std::string cell(double seconds) {
   return seconds < 0 ? "n/a" : util::TablePrinter::fmt_seconds(seconds);
+}
+
+namespace {
+
+/// Densify column 0 of `m` to ~rows/2 entries (the hub): every even row,
+/// deterministic values. Other columns keep their pattern.
+CscMatrix<std::int32_t, double> with_hub_column(
+    const CscMatrix<std::int32_t, double>& m, std::uint64_t seed) {
+  CooMatrix<std::int32_t, double> coo(m.rows(), m.cols());
+  for (std::int32_t r = 0; r < m.rows(); r += 2)
+    coo.push(r, 0, 1.0 + static_cast<double>((r + seed) % 7));
+  for (std::int32_t j = 1; j < m.cols(); ++j) {
+    const auto col = m.column(j);
+    for (std::size_t i = 0; i < col.nnz(); ++i)
+      coo.push(col.rows[i], j, col.vals[i]);
+  }
+  coo.compress();
+  return coo.to_csc();
+}
+
+}  // namespace
+
+std::vector<SkewPreset> make_skew_presets(std::int64_t rows,
+                                          std::int64_t cols, std::int64_t d,
+                                          int k) {
+  std::vector<SkewPreset> presets;
+  gen::WorkloadSpec spec;
+  spec.rows = rows;
+  spec.cols = cols;
+  spec.avg_nnz_per_col = d;
+  spec.k = k;
+
+  spec.pattern = gen::Pattern::ER;
+  spec.seed = 1101;
+  presets.push_back({"ER-uniform-k64", gen::make_workload(spec)});
+
+  gen::WorkloadSpec tiny = spec;
+  tiny.avg_nnz_per_col = 2;
+  tiny.k = 4;
+  tiny.seed = 1102;
+  presets.push_back({"ER-sparse-k4", gen::make_workload(tiny)});
+
+  spec.pattern = gen::Pattern::RMAT;
+  spec.seed = 1103;
+  presets.push_back({"RMAT-skew-k64", gen::make_workload(spec)});
+
+  spec.seed = 1104;
+  auto hub = gen::make_workload(spec);
+  for (std::size_t i = 0; i < hub.size(); ++i)
+    hub[i] = with_hub_column(hub[i], i);
+  presets.push_back({"RMAT-hub-k64", std::move(hub)});
+  return presets;
 }
 
 double time_median(int repeats, const std::function<void()>& fn) {
@@ -115,7 +169,7 @@ bool SampleLog::write(const std::string& path) const {
   out << "{\n"
       << "  \"bench\": \"" << json_escape(bench_) << "\",\n"
       << "  \"version\": \"" << json_escape(std::string(kVersion)) << "\",\n"
-      << "  \"machine\": \"" << json_escape(util::detect_machine().summary())
+      << "  \"machine\": \"" << json_escape(util::cached_machine().summary())
       << "\",\n"
       << "  \"samples\": [";
   for (std::size_t i = 0; i < samples_.size(); ++i) {

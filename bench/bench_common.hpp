@@ -33,6 +33,22 @@ double time_spkadd(const std::vector<CscMatrix<std::int32_t, double>>& inputs,
 /// The method rows of Tables III/IV in paper order.
 const std::vector<core::Method>& table_methods();
 
+/// One named skew-sweep workload (bench_hybrid / bench_calibration share
+/// the same four presets so analytic-vs-calibrated comparisons line up
+/// with the hybrid trajectory).
+struct SkewPreset {
+  std::string name;
+  std::vector<CscMatrix<std::int32_t, double>> inputs;
+};
+
+/// The four presets spanning the skew axis of the per-chunk Fig. 2
+/// surface: ER-uniform-k64, ER-sparse-k4 (the heap corner), RMAT-skew-k64
+/// and RMAT-hub-k64 (one dense hub column among sparse ones). `k` sets the
+/// addend count of the k64 presets; the sparse preset always uses k=4,d=2.
+std::vector<SkewPreset> make_skew_presets(std::int64_t rows,
+                                          std::int64_t cols, std::int64_t d,
+                                          int k);
+
 /// Shorthand: "0.0083" or "n/a" when seconds < 0 (method skipped).
 std::string cell(double seconds);
 

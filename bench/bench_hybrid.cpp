@@ -14,38 +14,19 @@
 // BENCH_hybrid.json.
 #include <cstdio>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "cachesim/cache_hierarchy.hpp"
 #include "gen/workload.hpp"
-#include "matrix/coo.hpp"
 #include "util/cli.hpp"
 
 using namespace spkadd;
 using Csc = CscMatrix<std::int32_t, double>;
 
 namespace {
-
-/// Densify column 0 of `m` to ~rows/2 entries (the hub): every even row,
-/// deterministic values. Other columns keep their pattern.
-Csc with_hub_column(const Csc& m, std::uint64_t seed) {
-  CooMatrix<std::int32_t, double> coo(m.rows(), m.cols());
-  for (std::int32_t r = 0; r < m.rows(); r += 2)
-    coo.push(r, 0, 1.0 + static_cast<double>((r + seed) % 7));
-  for (std::int32_t j = 1; j < m.cols(); ++j) {
-    const auto col = m.column(j);
-    for (std::size_t i = 0; i < col.nnz(); ++i)
-      coo.push(col.rows[i], j, col.vals[i]);
-  }
-  coo.compress();
-  return coo.to_csc();
-}
-
-struct Preset {
-  std::string name;
-  std::vector<Csc> inputs;
-};
 
 std::string gnnzps(std::size_t nnz, double seconds) {
   char buf[32];
@@ -71,14 +52,26 @@ int main(int argc, char** argv) {
   const auto* k = cli.add_int("k", 64, "addends in the k=64 presets");
   const auto* repeats = cli.add_int("repeats", 3, "timing repetitions");
   const auto* threads = cli.add_int("threads", 0, "OpenMP threads (0=omp)");
-  const auto* llc = cli.add_int(
-      "llc-bytes", 0,
-      "pin the LLC budget of the decision surface (0 = detected)");
+  const auto* cache_spec = cli.add_string(
+      "cache-spec", "",
+      "pin the modeled hierarchy, e.g. L1:32K:8,L2:1M:16,LLC:8M:16; the "
+      "last level's capacity drives the decision surface (empty = "
+      "detected)");
   const auto* json = cli.add_string("json", "", "write JSON samples here");
   if (!cli.parse(argc, argv)) return 1;
-  if (*llc < 0 || *threads < 0) {
-    std::cerr << "bench_hybrid: --llc-bytes/--threads must be >= 0\n";
+  if (*threads < 0) {
+    std::cerr << "bench_hybrid: --threads must be >= 0\n";
     return 1;
+  }
+  std::size_t llc_bytes = 0;
+  if (!cache_spec->empty()) {
+    try {
+      const auto hier = cachesim::HierarchySpec::from_cli_spec(*cache_spec);
+      llc_bytes = static_cast<std::size_t>(hier.levels.back().bytes);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "bench_hybrid: bad --cache-spec: " << e.what() << "\n";
+      return 1;
+    }
   }
 
   bench::print_header(
@@ -91,36 +84,10 @@ int main(int argc, char** argv) {
   const std::string shape =
       "rows=" + std::to_string(*rows) + " cols=" + std::to_string(*cols) +
       " d=" + std::to_string(*d) + " k=" + std::to_string(*k) +
-      " llc=" + std::to_string(*llc);
+      " llc=" + std::to_string(llc_bytes);
 
-  std::vector<Preset> presets;
-  {
-    gen::WorkloadSpec spec;
-    spec.rows = *rows;
-    spec.cols = *cols;
-    spec.avg_nnz_per_col = *d;
-    spec.k = static_cast<int>(*k);
-
-    spec.pattern = gen::Pattern::ER;
-    spec.seed = 1101;
-    presets.push_back({"ER-uniform-k64", gen::make_workload(spec)});
-
-    gen::WorkloadSpec tiny = spec;
-    tiny.avg_nnz_per_col = 2;
-    tiny.k = 4;
-    tiny.seed = 1102;
-    presets.push_back({"ER-sparse-k4", gen::make_workload(tiny)});
-
-    spec.pattern = gen::Pattern::RMAT;
-    spec.seed = 1103;
-    presets.push_back({"RMAT-skew-k64", gen::make_workload(spec)});
-
-    spec.seed = 1104;
-    auto hub = gen::make_workload(spec);
-    for (std::size_t i = 0; i < hub.size(); ++i)
-      hub[i] = with_hub_column(hub[i], i);
-    presets.push_back({"RMAT-hub-k64", std::move(hub)});
-  }
+  const std::vector<bench::SkewPreset> presets =
+      bench::make_skew_presets(*rows, *cols, *d, static_cast<int>(*k));
 
   const std::vector<core::Method> singles = {
       core::Method::Heap, core::Method::Spa, core::Method::Hash,
@@ -131,11 +98,11 @@ int main(int argc, char** argv) {
   util::TablePrinter verdict(
       {"preset", "best single", "hybrid vs best", "hybrid vs Auto"});
 
-  for (const Preset& p : presets) {
+  for (const bench::SkewPreset& p : presets) {
     const std::size_t in_nnz = gen::total_input_nnz(p.inputs);
     core::Options base;
     base.threads = static_cast<int>(*threads);
-    base.llc_bytes = static_cast<std::size_t>(*llc);
+    base.llc_bytes = llc_bytes;
 
     core::Options hash_opts = base;
     hash_opts.method = core::Method::Hash;

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Regenerate the committed Hybrid-planner calibration table
+# (calibration/misscost_default.json): build bench_calibration, sweep all
+# four column kernels over the (k x density x chunk-width) grid through the
+# modeled paper hierarchy, and validate the emitted JSON by loading it
+# back plus (when python3 is around) checking it parses as plain JSON.
+#
+# The hierarchy is an EXPLICIT spec (the paper's 8MB-LLC EPYC shape behind
+# a typical private L1/L2), never the detected machine, so the table is
+# byte-identical no matter which host runs the sweep — that is what lets
+# CI diff planner choices against the committed file.
+#
+# Usage: scripts/calibrate.sh [out.json]
+#   BUILD_DIR=build    build tree holding bench_calibration
+#   QUICK=1            reduced sweep (CI calibrate-smoke): fewer grid
+#                      points, smaller trace matrices; written to the out
+#                      path but NOT meant to be committed.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${1:-calibration/misscost_default.json}"
+JOBS="${JOBS:-$(nproc)}"
+QUICK="${QUICK:-}"
+
+# The modeled machine of the committed table: paper-shaped 8MB shared LLC
+# behind private 32K/1M levels. Keep in sync with README "Calibrated
+# dispatch" and the committed table's "hierarchy" field.
+CACHE_SPEC="L1:32K:8,L2:1M:16,LLC:8M:16"
+THREADS=48
+
+if [ ! -x "$BUILD_DIR/bench/bench_calibration" ]; then
+  echo "=== bench_calibration missing; building $BUILD_DIR ==="
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_calibration
+fi
+
+mkdir -p "$(dirname "$OUT")"
+
+if [ -n "$QUICK" ]; then
+  # Reduced sweep: endpoint-heavy subset of the full axes so CI can diff
+  # argmin choices at shared grid points in seconds.
+  AXES=(--k-axis 4,64 --d-axis 2,128,1024 --w-axis 4,64 --rows 4096)
+else
+  AXES=(--k-axis 4,16,64 --d-axis 2,16,128,1024 --w-axis 4,16,64 --rows 16384)
+fi
+
+echo "=== calibration sweep (spec $CACHE_SPEC, threads $THREADS) ==="
+"$BUILD_DIR/bench/bench_calibration" \
+  --emit "$OUT" --cache-spec "$CACHE_SPEC" --threads "$THREADS" "${AXES[@]}"
+
+# bench_calibration already round-trips the table through its own loader;
+# double-check the file is plain JSON for external consumers.
+if command -v python3 > /dev/null 2>&1; then
+  python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$OUT"
+elif command -v jq > /dev/null 2>&1; then
+  jq -e '.version == 1' "$OUT" > /dev/null
+fi
+
+echo "=== wrote $OUT ==="

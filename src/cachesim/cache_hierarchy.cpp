@@ -1,0 +1,146 @@
+#include "cachesim/cache_hierarchy.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace spkadd::cachesim {
+
+namespace {
+
+/// Assign default miss penalties: positional for the first levels, DRAM
+/// for the last (whatever the depth).
+void fill_default_penalties(std::vector<LevelSpec>& levels) {
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (levels[i].miss_penalty > 0.0) continue;
+    levels[i].miss_penalty =
+        (i + 1 == levels.size())
+            ? kDramMissPenalty
+            : kDefaultMissPenalty[i < 3 ? i : 2];
+  }
+}
+
+LevelSpec from_cache_level(const util::CacheLevel& l, std::string name) {
+  LevelSpec spec;
+  spec.name = std::move(name);
+  spec.bytes = l.bytes;
+  spec.ways = l.ways > 0 ? l.ways : 8;
+  spec.line_bytes = l.line_bytes > 0 ? static_cast<int>(l.line_bytes) : 64;
+  spec.shared = l.shared;
+  return spec;
+}
+
+}  // namespace
+
+HierarchySpec HierarchySpec::from_machine(const util::MachineInfo& m) {
+  HierarchySpec spec;
+  if (m.l1.bytes > 0) spec.levels.push_back(from_cache_level(m.l1, "L1"));
+  if (m.l2.bytes > 0 && m.l2.bytes > m.l1.bytes)
+    spec.levels.push_back(from_cache_level(m.l2, "L2"));
+  if (m.llc.bytes > 0 &&
+      (spec.levels.empty() || m.llc.bytes > spec.levels.back().bytes)) {
+    LevelSpec llc = from_cache_level(m.llc, "LLC");
+    llc.shared = true;
+    spec.levels.push_back(std::move(llc));
+  }
+  if (spec.levels.empty())  // pathological detection: paper's Skylake LLC
+    spec.levels.push_back(LevelSpec{"LLC", 32ull << 20, 16, 64, true, 0.0});
+  fill_default_penalties(spec.levels);
+  spec.validate();
+  return spec;
+}
+
+HierarchySpec HierarchySpec::detected() {
+  return from_machine(util::cached_machine());
+}
+
+HierarchySpec HierarchySpec::single(const CacheConfig& config) {
+  HierarchySpec spec;
+  spec.levels.push_back(LevelSpec{"LLC", config.bytes, config.ways,
+                                  config.line_bytes, true,
+                                  kDramMissPenalty});
+  spec.validate();
+  return spec;
+}
+
+HierarchySpec HierarchySpec::from_cli_spec(const std::string& text) {
+  HierarchySpec spec;
+  for (const util::CacheLevelSpec& l : util::parse_cache_spec(text))
+    spec.levels.push_back(LevelSpec{l.name, l.bytes, l.ways, 64, false, 0.0});
+  spec.levels.back().shared = true;
+  fill_default_penalties(spec.levels);
+  spec.validate();
+  return spec;
+}
+
+void HierarchySpec::validate() const {
+  if (levels.empty())
+    throw std::invalid_argument("HierarchySpec: needs at least one level");
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const LevelSpec& l = levels[i];
+    if (l.bytes == 0 || l.ways <= 0 || l.line_bytes <= 0)
+      throw std::invalid_argument("HierarchySpec: level '" + l.name +
+                                  "' has a zero/negative dimension");
+    if (i > 0 && l.bytes <= levels[i - 1].bytes)
+      throw std::invalid_argument(
+          "HierarchySpec: capacities must strictly increase outermost-in ('" +
+          levels[i - 1].name + "' >= '" + l.name + "')");
+  }
+}
+
+std::string HierarchySpec::to_string() const {
+  std::vector<util::CacheLevelSpec> out;
+  out.reserve(levels.size());
+  for (const LevelSpec& l : levels)
+    out.push_back(util::CacheLevelSpec{l.name, l.bytes, l.ways});
+  return util::format_cache_spec(out);
+}
+
+CacheHierarchy::CacheHierarchy(const HierarchySpec& spec) : spec_(spec) {
+  spec_.validate();
+  levels_.reserve(spec_.levels.size());
+  for (const LevelSpec& l : spec_.levels) {
+    CacheConfig cfg;
+    cfg.bytes = l.bytes;
+    cfg.ways = l.ways;
+    cfg.line_bytes = l.line_bytes;
+    levels_.emplace_back(cfg);
+  }
+}
+
+bool CacheHierarchy::access(std::uint64_t addr) {
+  // First hit stops the walk; CacheModel::access fills on miss, so every
+  // traversed level ends up holding the line (inclusive fill).
+  for (CacheModel& level : levels_)
+    if (level.access(addr)) return true;
+  return false;
+}
+
+void CacheHierarchy::access_range(std::uint64_t addr, std::uint64_t size) {
+  if (size == 0) return;
+  const std::uint64_t line =
+      static_cast<std::uint64_t>(spec_.levels.front().line_bytes);
+  const std::uint64_t first = addr & ~(line - 1);
+  const std::uint64_t last = (addr + size - 1) & ~(line - 1);
+  for (std::uint64_t a = first; a <= last; a += line) access(a);
+}
+
+std::vector<CacheStats> CacheHierarchy::stats() const {
+  std::vector<CacheStats> out;
+  out.reserve(levels_.size());
+  for (const CacheModel& level : levels_) out.push_back(level.stats());
+  return out;
+}
+
+void CacheHierarchy::reset_stats() {
+  for (CacheModel& level : levels_) level.reset_stats();
+}
+
+double CacheHierarchy::weighted_miss_cost() const {
+  double cost = 0.0;
+  for (std::size_t i = 0; i < levels_.size(); ++i)
+    cost += static_cast<double>(levels_[i].stats().misses) *
+            spec_.levels[i].miss_penalty;
+  return cost;
+}
+
+}  // namespace spkadd::cachesim

@@ -36,6 +36,7 @@ bool CacheModel::access(std::uint64_t addr) {
     if (base[w].lru < victim->lru) victim = &base[w];
   }
   ++stats_.misses;
+  if (victim->tag != ~0ull) ++stats_.evictions;
   victim->tag = block;
   victim->lru = tick_;
   return false;

@@ -24,10 +24,18 @@ struct CacheConfig {
 struct CacheStats {
   std::uint64_t accesses = 0;
   std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;  ///< valid lines replaced by a fill
+  [[nodiscard]] std::uint64_t hits() const { return accesses - misses; }
   [[nodiscard]] double miss_rate() const {
     return accesses == 0 ? 0.0
                          : static_cast<double>(misses) /
                                static_cast<double>(accesses);
+  }
+  CacheStats& operator+=(const CacheStats& o) {
+    accesses += o.accesses;
+    misses += o.misses;
+    evictions += o.evictions;
+    return *this;
   }
 };
 

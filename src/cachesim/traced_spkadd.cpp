@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <vector>
 
-#include "core/column_kernels.hpp"
 #include "core/workspace.hpp"
 #include "util/bit_ops.hpp"
 
@@ -17,36 +16,69 @@ using View = ColumnView<std::int32_t, double>;
 constexpr std::uint64_t kInputBase = 0x1000'0000ull;
 constexpr std::uint64_t kInputStride = 0x4000'0000ull;  // per input matrix
 constexpr std::uint64_t kTableBase = 0x8000'0000'0000ull;
+constexpr std::uint64_t kHeapBase = 0xA000'0000'0000ull;
+constexpr std::uint64_t kSpaBase = 0xB000'0000'0000ull;
+constexpr std::uint64_t kTouchedBase = 0xC000'0000'0000ull;
+constexpr std::uint64_t kSortBase = 0xD000'0000'0000ull;  // radix pair scratch
 constexpr std::uint64_t kOutputBase = 0xF000'0000'0000ull;
 
 constexpr std::uint64_t kSymEntryBytes = sizeof(std::int32_t);          // 4
 constexpr std::uint64_t kAddEntryBytes =
     sizeof(std::int32_t) + sizeof(double);                              // 12
+constexpr std::uint64_t kHeapNodeBytes = 16;  // (row, source) node
+constexpr std::uint64_t kSpaCellBytes =
+    sizeof(double) + sizeof(std::uint32_t);                             // 12
 
-/// One simulated thread's table-entry budget (Alg. 7/8 line 3 rearranged).
-std::size_t entry_cap(const TraceConfig& cfg, std::uint64_t entry_bytes) {
-  if (cfg.max_table_entries != 0)
-    return std::max<std::size_t>(cfg.max_table_entries, 8);
+/// Per-thread view of the hierarchy: private levels keep their capacity,
+/// shared levels (the LLC) are divided by the simulated thread count.
+HierarchySpec per_thread_share(const HierarchySpec& spec, int threads) {
+  HierarchySpec share = spec;
+  const auto T = static_cast<std::uint64_t>(std::max(1, threads));
+  for (LevelSpec& level : share.levels) {
+    if (!level.shared) continue;
+    level.bytes = std::max<std::uint64_t>(
+        level.bytes / T,
+        static_cast<std::uint64_t>(level.line_bytes) *
+            static_cast<std::uint64_t>(level.ways));
+  }
+  // Division can break strict capacity growth (e.g. 48 threads sharing a
+  // 32MB LLC behind a 1MB private L2). Keep the outermost level of any
+  // non-increasing run: it carries the larger miss penalty, so dropping the
+  // swallowed inner level keeps the cost model conservative.
+  std::vector<LevelSpec> kept;
+  for (auto it = share.levels.rbegin(); it != share.levels.rend(); ++it)
+    if (kept.empty() || it->bytes < kept.back().bytes) kept.push_back(*it);
+  share.levels.assign(kept.rbegin(), kept.rend());
+  return share;
+}
+
+/// One simulated thread's table-entry budget (Alg. 7/8 line 3 rearranged)
+/// from the *shared* capacity of the outermost level.
+std::size_t entry_cap(std::uint64_t shared_bytes, int threads,
+                      std::size_t max_table_entries,
+                      std::uint64_t entry_bytes) {
+  if (max_table_entries != 0)
+    return std::max<std::size_t>(max_table_entries, 8);
   // Factor 2 mirrors core::detail::table_entry_cap: tables allocate 2x the
   // key count for the <= 0.5 load factor.
   const std::size_t cap = static_cast<std::size_t>(
-      cfg.cache.bytes /
-      (2 * entry_bytes *
-       static_cast<std::uint64_t>(std::max(1, cfg.threads))));
+      shared_bytes /
+      (2 * entry_bytes * static_cast<std::uint64_t>(std::max(1, threads))));
   return std::max<std::size_t>(cap, 8);
 }
 
 /// Streaming read of `count` input entries of one matrix's column starting
 /// at in-matrix entry offset `first`.
-void stream_input(CacheModel& cache, std::size_t matrix_id, std::size_t first,
-                  std::size_t count, std::uint64_t entry_bytes) {
+void stream_input(CacheHierarchy& cache, std::size_t matrix_id,
+                  std::size_t first, std::size_t count,
+                  std::uint64_t entry_bytes) {
   const std::uint64_t base = kInputBase + kInputStride * matrix_id;
   cache.access_range(base + entry_bytes * first, entry_bytes * count);
 }
 
 /// Trace Alg. 6 on one set of (sub)columns; returns distinct-row count.
 /// `table` provides real collision behaviour; slot touches go to the cache.
-std::size_t trace_symbolic_part(CacheModel& cache,
+std::size_t trace_symbolic_part(CacheHierarchy& cache,
                                 std::span<const View> views,
                                 std::span<const std::size_t> matrix_ids,
                                 std::span<const std::size_t> entry_offsets,
@@ -85,7 +117,7 @@ std::size_t trace_symbolic_part(CacheModel& cache,
 }
 
 /// Trace Alg. 5 on one set of (sub)columns; returns entries emitted.
-std::size_t trace_add_part(CacheModel& cache, std::span<const View> views,
+std::size_t trace_add_part(CacheHierarchy& cache, std::span<const View> views,
                            std::span<const std::size_t> matrix_ids,
                            std::span<const std::size_t> entry_offsets,
                            std::size_t expected, std::size_t out_cursor,
@@ -118,9 +150,161 @@ std::size_t trace_add_part(CacheModel& cache, std::span<const View> views,
   }
   // Output sweep: read the table once more, write the emitted run.
   cache.access_range(kTableBase, entries * kAddEntryBytes);
-  cache.access_range(kOutputBase + out_cursor * kAddEntryBytes,
-                     emitted * kAddEntryBytes);
+  const std::uint64_t out_base = kOutputBase + out_cursor * kAddEntryBytes;
+  cache.access_range(out_base, emitted * kAddEntryBytes);
+  // The real kernel then radix-sorts the emitted (row, value) pairs
+  // (util::radix_sort_pairs — the hybrid contract emits canonical sorted
+  // columns): below the insertion-sort threshold the run is touched once
+  // more in place; above it, one key-histogram sweep plus one
+  // read + scatter-write pass of the 12-byte pairs per key byte that
+  // actually varies across the run, ping-ponging with a pair scratch
+  // buffer, with a copy-back when the last pass lands in scratch.
+  if (emitted >= 2) {
+    if (emitted < 96) {
+      cache.access_range(out_base, emitted * kAddEntryBytes);
+    } else {
+      std::uint32_t vary = 0;
+      std::int32_t first = core::SymbolicHashWorkspace<std::int32_t>::kEmpty;
+      for (std::size_t h = 0; h < entries; ++h) {
+        const std::int32_t key = table.keys[h];
+        if (key == core::SymbolicHashWorkspace<std::int32_t>::kEmpty) continue;
+        if (first == core::SymbolicHashWorkspace<std::int32_t>::kEmpty)
+          first = key;
+        vary |= static_cast<std::uint32_t>(key ^ first);
+      }
+      cache.access_range(out_base, emitted * kAddEntryBytes);  // histogram
+      std::uint64_t src = out_base;
+      std::uint64_t dst = kSortBase;
+      for (std::size_t b = 0; b < sizeof(std::int32_t); ++b) {
+        if (((vary >> (8 * b)) & 0xffu) == 0) continue;
+        cache.access_range(src, emitted * kAddEntryBytes);
+        cache.access_range(dst, emitted * kAddEntryBytes);
+        std::swap(src, dst);
+      }
+      if (src != out_base) {
+        cache.access_range(src, emitted * kAddEntryBytes);
+        cache.access_range(out_base, emitted * kAddEntryBytes);
+      }
+    }
+  }
   return emitted;
+}
+
+/// Trace Alg. 3 (k-way heap merge) on one column; returns entries emitted.
+/// The heap array lives at kHeapBase; every replace/pop walks one
+/// root-to-leaf path, the locality that makes the heap nearly cache-free at
+/// small k. Inputs are consumed in true merge order (real row values drive
+/// the interleaving), one entry read per element.
+std::size_t trace_heap_column(CacheHierarchy& cache,
+                              std::span<const View> views,
+                              std::span<const std::size_t> matrix_ids,
+                              std::span<const std::size_t> entry_offsets,
+                              std::size_t out_cursor) {
+  struct Node {
+    std::int32_t row;
+    std::size_t src;
+  };
+  std::vector<Node> heap;
+  std::vector<std::size_t> cursor(views.size(), 0);
+  auto before = [](const Node& x, const Node& y) {
+    return x.row < y.row || (x.row == y.row && x.src < y.src);
+  };
+  auto less = [&before](const Node& x, const Node& y) { return before(y, x); };
+
+  auto touch_path = [&cache](std::size_t live) {
+    for (std::size_t idx = 0; idx < live; idx = 2 * idx + 1)
+      cache.access_range(kHeapBase + idx * kHeapNodeBytes, kHeapNodeBytes);
+  };
+  auto read_input = [&](std::size_t s, std::size_t i) {
+    const std::uint64_t base = kInputBase + kInputStride * matrix_ids[s];
+    cache.access_range(base + kAddEntryBytes * (entry_offsets[s] + i),
+                       kAddEntryBytes);
+  };
+
+  for (std::size_t s = 0; s < views.size(); ++s) {
+    if (views[s].empty()) continue;
+    read_input(s, 0);
+    heap.push_back(Node{views[s].rows[0], s});
+    touch_path(heap.size());
+  }
+  std::make_heap(heap.begin(), heap.end(), less);
+
+  std::size_t emitted = 0;
+  std::int32_t last_row = -1;
+  while (!heap.empty()) {
+    const Node top = heap.front();
+    // Extend or accumulate into the sorted output tail: either way the
+    // current tail entry is touched.
+    if (emitted == 0 || last_row != top.row) {
+      ++emitted;
+      last_row = top.row;
+    }
+    cache.access_range(
+        kOutputBase + (out_cursor + emitted - 1) * kAddEntryBytes,
+        kAddEntryBytes);
+    const std::size_t next = ++cursor[top.src];
+    if (next < views[top.src].nnz()) {
+      read_input(top.src, next);
+      std::pop_heap(heap.begin(), heap.end(), less);
+      heap.back().row = views[top.src].rows[next];
+      std::push_heap(heap.begin(), heap.end(), less);
+    } else {
+      std::pop_heap(heap.begin(), heap.end(), less);
+      heap.pop_back();
+    }
+    touch_path(heap.size());
+  }
+  return emitted;
+}
+
+/// Trace Alg. 4 (SPA) on one column; returns entries emitted. The dense
+/// accumulator cells live at kSpaBase + row * cell (value + generation
+/// stamp), the touched-row list streams at kTouchedBase, and sorted output
+/// adds the radix passes over the touched list before the emission sweep
+/// re-reads the accumulator at the touched rows.
+std::size_t trace_spa_column(CacheHierarchy& cache,
+                             std::span<const View> views,
+                             std::span<const std::size_t> matrix_ids,
+                             std::span<const std::size_t> entry_offsets,
+                             std::size_t out_cursor,
+                             std::vector<std::int32_t>& touched_scratch) {
+  touched_scratch.clear();
+  // Accumulation: one streamed input read + one SPA cell touch per entry;
+  // first touches also append to the touched list.
+  thread_local std::vector<bool> seen;  // structural dedup only
+  for (std::size_t s = 0; s < views.size(); ++s) {
+    const View& v = views[s];
+    stream_input(cache, matrix_ids[s], entry_offsets[s], v.nnz(),
+                 kAddEntryBytes);
+    for (std::size_t i = 0; i < v.nnz(); ++i) {
+      const auto r = static_cast<std::size_t>(v.rows[i]);
+      cache.access_range(kSpaBase + r * kSpaCellBytes, kSpaCellBytes);
+      if (seen.size() <= r) seen.resize(r + 1, false);
+      if (!seen[r]) {
+        seen[r] = true;
+        touched_scratch.push_back(v.rows[i]);
+        cache.access_range(
+            kTouchedBase + (touched_scratch.size() - 1) * kSymEntryBytes,
+            kSymEntryBytes);
+      }
+    }
+  }
+  for (const std::int32_t r : touched_scratch)
+    seen[static_cast<std::size_t>(r)] = false;
+  // Sorted emission (the default hybrid contract): radix passes read and
+  // rewrite the touched list...
+  cache.access_range(kTouchedBase, touched_scratch.size() * kSymEntryBytes);
+  cache.access_range(kTouchedBase, touched_scratch.size() * kSymEntryBytes);
+  std::sort(touched_scratch.begin(), touched_scratch.end());
+  // ...then the emission sweep gathers each accumulator cell in row order
+  // and streams the output run.
+  for (const std::int32_t r : touched_scratch)
+    cache.access_range(
+        kSpaBase + static_cast<std::size_t>(r) * kSpaCellBytes,
+        kSpaCellBytes);
+  cache.access_range(kOutputBase + out_cursor * kAddEntryBytes,
+                     touched_scratch.size() * kAddEntryBytes);
+  return touched_scratch.size();
 }
 
 struct ColumnViews {
@@ -162,28 +346,30 @@ struct ColumnViews {
   }
 };
 
-}  // namespace
-
-TraceResult trace_hash_spkadd(std::span<const Csc> inputs,
-                              const TraceConfig& config) {
-  TraceResult result;
+/// The shared two-phase replay: symbolic with the kernel's symbolic variant
+/// (sliding partition for sliding chunks, plain hash symbolic otherwise —
+/// mirroring core::kernel_symbolic_column), then the kernel's own numeric
+/// phase. Stats are snapshotted per phase from the hierarchy.
+KernelTraceResult trace_through(std::span<const Csc> inputs,
+                                const HierarchySpec& share,
+                                core::ColumnKernel kernel,
+                                std::size_t sym_cap, std::size_t add_cap) {
+  KernelTraceResult result;
+  CacheHierarchy cache(share);
+  for (const LevelSpec& l : share.levels)
+    result.level_names.push_back(l.name);
+  result.symbolic.resize(share.levels.size());
+  result.numeric.resize(share.levels.size());
   if (inputs.empty()) return result;
+
   const std::int32_t cols = inputs[0].cols();
   const std::int32_t rows = inputs[0].rows();
-
-  // One thread's fair share of the LLC.
-  CacheConfig share = config.cache;
-  share.bytes = std::max<std::uint64_t>(
-      share.bytes / static_cast<std::uint64_t>(std::max(1, config.threads)),
-      static_cast<std::uint64_t>(share.line_bytes * share.ways));
-  CacheModel cache(share);
+  const bool sliding = kernel == core::ColumnKernel::SlidingHash;
 
   core::SymbolicHashWorkspace<std::int32_t> table;
   ColumnViews full, part;
+  std::vector<std::int32_t> spa_touched;
   std::vector<std::size_t> out_nnz(static_cast<std::size_t>(cols), 0);
-
-  const std::size_t sym_cap = entry_cap(config, kSymEntryBytes);
-  const std::size_t add_cap = entry_cap(config, kAddEntryBytes);
 
   // ---- Symbolic phase over all columns ----
   for (std::int32_t j = 0; j < cols; ++j) {
@@ -191,8 +377,7 @@ TraceResult trace_hash_spkadd(std::span<const Csc> inputs,
     std::size_t inz = 0;
     for (const auto& v : full.views) inz += v.nnz();
     if (inz == 0) continue;
-    const std::size_t parts =
-        config.sliding ? util::ceil_div(inz, sym_cap) : 1;
+    const std::size_t parts = sliding ? util::ceil_div(inz, sym_cap) : 1;
     std::size_t nz = 0;
     if (parts <= 1) {
       nz = trace_symbolic_part(cache, full.views, full.matrix_ids,
@@ -213,40 +398,103 @@ TraceResult trace_hash_spkadd(std::span<const Csc> inputs,
   result.symbolic = cache.stats();
   cache.reset_stats();
 
-  // ---- Addition phase over all columns ----
+  // ---- Numeric phase over all columns ----
   std::size_t out_cursor = 0;
   for (std::int32_t j = 0; j < cols; ++j) {
     const std::size_t onz = out_nnz[static_cast<std::size_t>(j)];
     if (onz == 0) continue;
     full.gather(inputs, j);
-    const std::size_t parts =
-        config.sliding ? util::ceil_div(onz, add_cap) : 1;
-    if (parts <= 1) {
-      out_cursor += trace_add_part(cache, full.views, full.matrix_ids,
-                                   full.entry_offsets, onz, out_cursor, table);
-    } else {
-      for (std::size_t p = 0; p < parts; ++p) {
-        const auto r1 = static_cast<std::int32_t>(
-            static_cast<std::size_t>(rows) * p / parts);
-        const auto r2 = static_cast<std::int32_t>(
-            static_cast<std::size_t>(rows) * (p + 1) / parts);
-        part.restrict_rows(full, r1, r2);
-        std::size_t part_in = 0;
-        for (const auto& v : part.views) part_in += v.nnz();
-        if (part_in == 0) continue;
-        // Mirror the driver: keys-only symbolic over the part, then an
-        // output-sized numeric table (see kway.hpp).
-        const std::size_t part_onz =
-            trace_symbolic_part(cache, part.views, part.matrix_ids,
-                                part.entry_offsets, table);
+    switch (kernel) {
+      case core::ColumnKernel::Heap:
+        out_cursor += trace_heap_column(cache, full.views, full.matrix_ids,
+                                        full.entry_offsets, out_cursor);
+        break;
+      case core::ColumnKernel::Spa:
+        out_cursor += trace_spa_column(cache, full.views, full.matrix_ids,
+                                       full.entry_offsets, out_cursor,
+                                       spa_touched);
+        break;
+      case core::ColumnKernel::Hash:
         out_cursor +=
-            trace_add_part(cache, part.views, part.matrix_ids,
-                           part.entry_offsets, part_onz, out_cursor, table);
+            trace_add_part(cache, full.views, full.matrix_ids,
+                           full.entry_offsets, onz, out_cursor, table);
+        break;
+      case core::ColumnKernel::SlidingHash: {
+        const std::size_t parts = util::ceil_div(onz, add_cap);
+        if (parts <= 1) {
+          out_cursor +=
+              trace_add_part(cache, full.views, full.matrix_ids,
+                             full.entry_offsets, onz, out_cursor, table);
+          break;
+        }
+        for (std::size_t p = 0; p < parts; ++p) {
+          const auto r1 = static_cast<std::int32_t>(
+              static_cast<std::size_t>(rows) * p / parts);
+          const auto r2 = static_cast<std::int32_t>(
+              static_cast<std::size_t>(rows) * (p + 1) / parts);
+          part.restrict_rows(full, r1, r2);
+          std::size_t part_in = 0;
+          for (const auto& v : part.views) part_in += v.nnz();
+          if (part_in == 0) continue;
+          // Mirror the driver: keys-only symbolic over the part, then an
+          // output-sized numeric table (see kway.hpp).
+          const std::size_t part_onz =
+              trace_symbolic_part(cache, part.views, part.matrix_ids,
+                                  part.entry_offsets, table);
+          out_cursor +=
+              trace_add_part(cache, part.views, part.matrix_ids,
+                             part.entry_offsets, part_onz, out_cursor, table);
+        }
+        break;
       }
     }
   }
   result.numeric = cache.stats();
+  result.weighted_miss_cost = 0.0;
+  for (std::size_t i = 0; i < share.levels.size(); ++i)
+    result.weighted_miss_cost +=
+        static_cast<double>(result.symbolic[i].misses +
+                            result.numeric[i].misses) *
+        share.levels[i].miss_penalty;
   return result;
+}
+
+/// Outermost shared capacity of the (undivided) hierarchy — the M of the
+/// Alg. 7/8 table-sizing rule.
+std::uint64_t shared_capacity(const HierarchySpec& spec) {
+  return spec.levels.back().bytes;
+}
+
+}  // namespace
+
+TraceResult trace_hash_spkadd(std::span<const Csc> inputs,
+                              const TraceConfig& config) {
+  KernelTraceConfig kcfg;
+  kcfg.hierarchy = HierarchySpec::single(config.cache);
+  kcfg.threads = config.threads;
+  kcfg.kernel = config.sliding ? core::ColumnKernel::SlidingHash
+                               : core::ColumnKernel::Hash;
+  kcfg.max_table_entries = config.max_table_entries;
+  const KernelTraceResult r = trace_kernel_spkadd(inputs, kcfg);
+  TraceResult out;
+  if (!r.symbolic.empty()) {
+    out.symbolic = r.symbolic.front();
+    out.numeric = r.numeric.front();
+  }
+  return out;
+}
+
+KernelTraceResult trace_kernel_spkadd(std::span<const Csc> inputs,
+                                      const KernelTraceConfig& config) {
+  const HierarchySpec share =
+      per_thread_share(config.hierarchy, config.threads);
+  const std::size_t sym_cap =
+      entry_cap(shared_capacity(config.hierarchy), config.threads,
+                config.max_table_entries, kSymEntryBytes);
+  const std::size_t add_cap =
+      entry_cap(shared_capacity(config.hierarchy), config.threads,
+                config.max_table_entries, kAddEntryBytes);
+  return trace_through(inputs, share, config.kernel, sym_cap, add_cap);
 }
 
 }  // namespace spkadd::cachesim

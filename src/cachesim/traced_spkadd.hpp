@@ -1,18 +1,34 @@
-// Address-trace instrumented (sliding-)hash SpKAdd.
+// Address-trace instrumented SpKAdd column kernels.
 //
-// Replays the memory behaviour of Alg. 5-8 through the CacheModel to count
-// last-level misses (the paper's Table V): input columns stream
-// sequentially, the hash table is hit at the probed slots, and the output
-// streams sequentially. One thread is simulated against its fair share of
-// the LLC (capacity / threads), which models T threads competing for a
-// shared LLC the same way the paper's table-size analysis does
-// (MemAdd = b*T*nnz > M <=> per-thread need > M/T).
+// Replays the memory behaviour of the paper's algorithms through the cache
+// simulator to count misses (the paper's Table V used Cachegrind): input
+// columns stream sequentially, kernel data structures (hash table, SPA
+// array, heap) are hit at the probed slots, and the output streams
+// sequentially. One thread is simulated against its fair share of each
+// *shared* hierarchy level (capacity / threads; private L1/L2 are not
+// divided), which models T threads competing for a shared LLC the same way
+// the paper's table-size analysis does (MemAdd = b*T*nnz > M <=> per-thread
+// need > M/T).
+//
+// Two entry points:
+//   trace_hash_spkadd    — the original Table V pair (hash vs sliding hash)
+//                          against a single modeled LLC; kept for
+//                          compatibility and the Table V reproduction.
+//   trace_kernel_spkadd  — any core::ColumnKernel (heap/SPA/hash/sliding)
+//                          against a full CacheHierarchy, returning
+//                          per-level per-phase stats plus the weighted miss
+//                          cost. This is the measurement behind the
+//                          calibration table the Hybrid planner consumes.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <string>
+#include <vector>
 
+#include "cachesim/cache_hierarchy.hpp"
 #include "cachesim/cache_model.hpp"
+#include "core/column_kernels.hpp"
 #include "matrix/csc.hpp"
 
 namespace spkadd::cachesim {
@@ -42,5 +58,54 @@ struct TraceResult {
 TraceResult trace_hash_spkadd(
     std::span<const CscMatrix<std::int32_t, double>> inputs,
     const TraceConfig& config);
+
+// ---------------------------------------------------------------------------
+// Hierarchy-wide kernel traces (the calibration measurement)
+// ---------------------------------------------------------------------------
+
+struct KernelTraceConfig {
+  /// The modeled machine; private levels are per-thread, shared levels are
+  /// divided by `threads`.
+  HierarchySpec hierarchy = HierarchySpec::detected();
+  int threads = 48;
+  core::ColumnKernel kernel = core::ColumnKernel::Hash;
+  /// Force the sliding table entry cap (0 = derive from the last shared
+  /// level / threads, as core::detail::table_entry_cap does).
+  std::size_t max_table_entries = 0;
+};
+
+/// Per-level, per-phase miss counts of one kernel's replay, plus the
+/// latency-weighted scalar the calibration table stores.
+struct KernelTraceResult {
+  std::vector<std::string> level_names;  ///< "L1", "L2", "LLC", ...
+  std::vector<CacheStats> symbolic;      ///< one per level
+  std::vector<CacheStats> numeric;       ///< one per level
+  double weighted_miss_cost = 0.0;       ///< both phases, all levels
+
+  [[nodiscard]] std::uint64_t level_misses(std::size_t i) const {
+    return symbolic[i].misses + numeric[i].misses;
+  }
+  [[nodiscard]] std::uint64_t total_misses() const {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < symbolic.size(); ++i)
+      total += level_misses(i);
+    return total;
+  }
+  /// Accesses reaching the innermost level (every probe starts at L1, so
+  /// this is the trace length; deeper levels only see upstream misses).
+  [[nodiscard]] std::uint64_t total_accesses() const {
+    if (symbolic.empty()) return 0;
+    return symbolic.front().accesses + numeric.front().accesses;
+  }
+};
+
+/// Replay any ColumnKernel's SpKAdd (symbolic: hash symbolic, sliding
+/// symbolic for sliding chunks — mirroring kernel_symbolic_column; numeric:
+/// the kernel itself) over `inputs` through the full hierarchy. Structural
+/// only: values never affect the trace. Deterministic for fixed inputs and
+/// config.
+KernelTraceResult trace_kernel_spkadd(
+    std::span<const CscMatrix<std::int32_t, double>> inputs,
+    const KernelTraceConfig& config);
 
 }  // namespace spkadd::cachesim

@@ -1,0 +1,352 @@
+#include "core/calibration.hpp"
+
+#include "core/symbolic.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace spkadd::core {
+
+namespace {
+
+bool ascending(const std::vector<std::uint64_t>& axis) {
+  for (std::size_t i = 1; i < axis.size(); ++i)
+    if (axis[i] <= axis[i - 1]) return false;
+  return true;
+}
+
+// --- Minimal JSON reader for the table's own schema --------------------
+// Hand-rolled (no new dependencies): objects, strings, numbers and flat
+// number arrays are all the format uses. Anything else is malformed.
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : s_(text) {}
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= s_.size() || s_[pos_] != c)
+      fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool try_consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("dangling escape");
+        c = s_[pos_++];
+        if (c == 'n') c = '\n';
+        else if (c == 't') c = '\t';
+        // \" \\ and \/ fall through as themselves; \uXXXX unsupported.
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= s_.size()) fail("unterminated string");
+    ++pos_;
+    return out;
+  }
+
+  double number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) fail("expected number");
+    double value = 0.0;
+    const auto [p, ec] =
+        std::from_chars(s_.data() + start, s_.data() + pos_, value);
+    if (ec != std::errc{} || p != s_.data() + pos_) fail("bad number");
+    return value;
+  }
+
+  std::vector<double> number_array() {
+    std::vector<double> out;
+    expect('[');
+    if (try_consume(']')) return out;
+    for (;;) {
+      out.push_back(number());
+      if (try_consume(']')) return out;
+      expect(',');
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0)
+      ++pos_;
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("MissCostTable JSON: " + what +
+                                " at offset " + std::to_string(pos_));
+  }
+
+ private:
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<std::uint64_t> to_u64_axis(const std::vector<double>& values,
+                                       const char* key) {
+  std::vector<std::uint64_t> out;
+  out.reserve(values.size());
+  for (const double v : values) {
+    if (v < 0.0 || v != std::floor(v))
+      throw std::invalid_argument(std::string("MissCostTable JSON: ") + key +
+                                  " entries must be non-negative integers");
+    out.push_back(static_cast<std::uint64_t>(v));
+  }
+  return out;
+}
+
+void append_u64_array(std::ostringstream& out,
+                      const std::vector<std::uint64_t>& axis) {
+  out << '[';
+  for (std::size_t i = 0; i < axis.size(); ++i) {
+    if (i != 0) out << ',';
+    out << axis[i];
+  }
+  out << ']';
+}
+
+void append_cost_array(std::ostringstream& out,
+                       const std::vector<double>& costs) {
+  out << '[';
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    if (i != 0) out << ',';
+    out << costs[i];
+  }
+  out << ']';
+}
+
+std::string json_escape(const std::string& in) {
+  std::string out;
+  for (const char c : in) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool MissCostTable::usable() const {
+  if (version != kMissCostTableVersion) return false;
+  if (k_axis.empty() || d_axis.empty() || width_axis.empty()) return false;
+  if (!ascending(k_axis) || !ascending(d_axis) || !ascending(width_axis))
+    return false;
+  const std::size_t n = cells();
+  bool any_measured = false;
+  for (const auto& kernel_costs : costs) {
+    if (kernel_costs.size() != n) return false;
+    for (const double c : kernel_costs)
+      if (c >= 0.0) any_measured = true;
+  }
+  return any_measured;
+}
+
+std::size_t nearest_log_index(const std::vector<std::uint64_t>& axis,
+                              std::uint64_t value) {
+  const double lv = std::log2(static_cast<double>(std::max<std::uint64_t>(
+      value, 1)));
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < axis.size(); ++i) {
+    const double la = std::log2(
+        static_cast<double>(std::max<std::uint64_t>(axis[i], 1)));
+    const double dist = std::abs(la - lv);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = i;
+    }
+  }
+  return best;
+}
+
+ColumnKernel MissCostTable::best_kernel(std::size_t k,
+                                        std::uint64_t chunk_max_col_nnz,
+                                        std::uint64_t chunk_width,
+                                        bool inputs_sorted) const {
+  if (chunk_max_col_nnz == 0) return ColumnKernel::Hash;
+  const std::size_t ik = nearest_log_index(k_axis, k);
+  // The table's density axis is *per-addend* column nnz; the planner sees
+  // the summed per-column input nnz of the chunk's heaviest column.
+  const std::uint64_t per_addend =
+      chunk_max_col_nnz / std::max<std::uint64_t>(k, 1);
+  const std::size_t id =
+      nearest_log_index(d_axis, std::max<std::uint64_t>(per_addend, 1));
+  const std::size_t iw = nearest_log_index(width_axis, chunk_width);
+
+  // Heap is the one compute-bound kernel in the set: on sorted streams it
+  // has the FEWEST misses of the four (the k input runs are read
+  // sequentially and the lg-k merge state stays cache-resident), so a pure
+  // miss-cost argmin would pick it everywhere — and then lose at runtime
+  // to its O(lg k) compares per element. Miss counts discriminate well
+  // inside the memory-bound family (SPA/hash/sliding, all O(1) work per
+  // element); for heap we keep the analytic compute corner (tiny sorted
+  // sparse chunks) as the eligibility gate and let the table rank it only
+  // there.
+  const bool heap_eligible = inputs_sorted && k <= kHybridHeapMaxK &&
+                             chunk_max_col_nnz <= kHybridHeapMaxColNnz;
+
+  ColumnKernel best = ColumnKernel::Hash;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (std::size_t ki = 0; ki < kNumColumnKernels; ++ki) {
+    const auto kernel = static_cast<ColumnKernel>(ki);
+    if (kernel == ColumnKernel::Heap && !heap_eligible) continue;
+    const double c = cost(kernel, ik, id, iw);
+    if (c < 0.0) continue;  // unmeasured cell
+    if (c < best_cost) {
+      best_cost = c;
+      best = kernel;
+    }
+  }
+  return best;
+}
+
+std::string MissCostTable::to_json() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << "{\n";
+  out << "  \"version\": " << version << ",\n";
+  out << "  \"hierarchy\": \"" << json_escape(hierarchy) << "\",\n";
+  out << "  \"rows\": " << rows << ",\n";
+  out << "  \"threads\": " << threads << ",\n";
+  out << "  \"k_axis\": ";
+  append_u64_array(out, k_axis);
+  out << ",\n  \"d_axis\": ";
+  append_u64_array(out, d_axis);
+  out << ",\n  \"width_axis\": ";
+  append_u64_array(out, width_axis);
+  out << ",\n  \"costs\": {\n";
+  for (std::size_t ki = 0; ki < kNumColumnKernels; ++ki) {
+    out << "    \"" << column_kernel_name(static_cast<ColumnKernel>(ki))
+        << "\": ";
+    append_cost_array(out, costs[ki]);
+    out << (ki + 1 < kNumColumnKernels ? ",\n" : "\n");
+  }
+  out << "  }\n}\n";
+  return out.str();
+}
+
+MissCostTable MissCostTable::from_json(const std::string& text) {
+  MissCostTable table;
+  JsonReader r(text);
+  bool have[7] = {};
+  std::array<bool, kNumColumnKernels> have_costs{};
+
+  r.expect('{');
+  if (!r.try_consume('}')) {
+    for (;;) {
+      const std::string key = r.string();
+      r.expect(':');
+      if (key == "version") {
+        table.version = static_cast<int>(r.number());
+        have[0] = true;
+      } else if (key == "hierarchy") {
+        table.hierarchy = r.string();
+        have[1] = true;
+      } else if (key == "rows") {
+        table.rows = static_cast<std::int64_t>(r.number());
+        have[2] = true;
+      } else if (key == "threads") {
+        table.threads = static_cast<int>(r.number());
+        have[3] = true;
+      } else if (key == "k_axis") {
+        table.k_axis = to_u64_axis(r.number_array(), "k_axis");
+        have[4] = true;
+      } else if (key == "d_axis") {
+        table.d_axis = to_u64_axis(r.number_array(), "d_axis");
+        have[5] = true;
+      } else if (key == "width_axis") {
+        table.width_axis = to_u64_axis(r.number_array(), "width_axis");
+        have[6] = true;
+      } else if (key == "costs") {
+        r.expect('{');
+        if (!r.try_consume('}')) {
+          for (;;) {
+            const std::string kernel = r.string();
+            r.expect(':');
+            bool known = false;
+            for (std::size_t ki = 0; ki < kNumColumnKernels; ++ki) {
+              if (kernel ==
+                  column_kernel_name(static_cast<ColumnKernel>(ki))) {
+                table.costs[ki] = r.number_array();
+                have_costs[ki] = true;
+                known = true;
+                break;
+              }
+            }
+            if (!known)
+              throw std::invalid_argument(
+                  "MissCostTable JSON: unknown kernel '" + kernel + "'");
+            if (r.try_consume('}')) break;
+            r.expect(',');
+          }
+        }
+      } else {
+        throw std::invalid_argument("MissCostTable JSON: unknown key '" +
+                                    key + "'");
+      }
+      if (r.try_consume('}')) break;
+      r.expect(',');
+    }
+  }
+
+  for (const bool h : have)
+    if (!h) throw std::invalid_argument("MissCostTable JSON: missing key");
+  for (const bool h : have_costs)
+    if (!h)
+      throw std::invalid_argument(
+          "MissCostTable JSON: missing a kernel cost vector");
+  if (table.version != kMissCostTableVersion)
+    throw std::invalid_argument(
+        "MissCostTable JSON: unsupported version " +
+        std::to_string(table.version) + " (expected " +
+        std::to_string(kMissCostTableVersion) + ")");
+  if (!table.usable())
+    throw std::invalid_argument(
+        "MissCostTable JSON: axes/cost shapes are inconsistent");
+  return table;
+}
+
+MissCostTable MissCostTable::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw std::runtime_error("MissCostTable: cannot read '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return from_json(buf.str());
+}
+
+void MissCostTable::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out)
+    throw std::runtime_error("MissCostTable: cannot write '" + path + "'");
+  out << to_json();
+  if (!out)
+    throw std::runtime_error("MissCostTable: write failed for '" + path +
+                             "'");
+}
+
+}  // namespace spkadd::core

@@ -1,0 +1,103 @@
+// Measured-miss calibration table for the Hybrid planner.
+//
+// The analytic per-chunk surface (hybrid_kernel_for) encodes the paper's
+// asymptotic arguments; this table replaces it with *measured* data: the
+// cachesim sweep (bench_calibration --emit, scripts/calibrate.sh) replays
+// every ColumnKernel over a (k x density x chunk-width) grid through a
+// modeled cache hierarchy and records the latency-weighted miss cost of
+// each cell. plan_hybrid, when Options::calibration points at a loaded
+// table, classifies each nnz-balanced chunk by nearest-grid-point argmin
+// instead of the analytic thresholds — and falls back to them whenever no
+// table is present or usable. Only the kernel *choice* changes: every
+// kernel accumulates equal-row values strictly left to right, so the
+// calibrated Hybrid stays bit-identical to any analytic or single-kernel
+// run.
+//
+// Tables are versioned JSON (kMissCostTableVersion); load() rejects any
+// file whose version or axis/cost-vector shapes disagree, so a stale
+// committed table fails loudly instead of silently misplanning.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/column_kernels.hpp"
+
+namespace spkadd::core {
+
+inline constexpr int kMissCostTableVersion = 1;
+inline constexpr std::size_t kNumColumnKernels = 4;
+
+/// Per-kernel weighted miss costs over a (k, per-addend column nnz,
+/// chunk width) grid. Axes are ascending; costs are indexed
+/// (ik * |d| + id) * |w| + iw in ColumnKernel enum order.
+struct MissCostTable {
+  int version = kMissCostTableVersion;
+  /// Provenance: the HierarchySpec the sweep modeled ("L1:32K:8,...").
+  std::string hierarchy;
+  /// Trace-matrix row count and simulated thread count of the sweep.
+  std::int64_t rows = 0;
+  int threads = 0;
+
+  std::vector<std::uint64_t> k_axis;      ///< number of addends
+  std::vector<std::uint64_t> d_axis;      ///< per-addend column nnz
+  std::vector<std::uint64_t> width_axis;  ///< chunk width (columns)
+
+  /// costs[kernel][cell]; kernel indexes ColumnKernel (heap/spa/hash/
+  /// sliding). A negative cost marks an unmeasured cell (e.g. heap grids
+  /// too large to merge); argmin skips it.
+  std::array<std::vector<double>, kNumColumnKernels> costs;
+
+  [[nodiscard]] std::size_t cells() const {
+    return k_axis.size() * d_axis.size() * width_axis.size();
+  }
+
+  /// All three axes non-empty, strictly ascending, and every cost vector
+  /// exactly cells() long with at least one measured (>= 0) entry.
+  [[nodiscard]] bool usable() const;
+
+  [[nodiscard]] double cost(ColumnKernel kernel, std::size_t ik,
+                            std::size_t id, std::size_t iw) const {
+    return costs[static_cast<std::size_t>(kernel)]
+                [(ik * d_axis.size() + id) * width_axis.size() + iw];
+  }
+
+  /// Classify one hybrid chunk: snap (k, chunk_max_col_nnz / k, width) to
+  /// the nearest grid point in log space, then take the cheapest measured
+  /// kernel there. Heap only competes inside the analytic compute corner
+  /// (sorted inputs, k <= kHybridHeapMaxK, chunk max col nnz <=
+  /// kHybridHeapMaxColNnz): it is compute-bound, so its low miss counts
+  /// say nothing about its O(lg k) per-element merge cost. Empty chunks
+  /// dispatch to Hash like hybrid_kernel_for. Ties break in enum order,
+  /// which prefers the simpler kernel.
+  [[nodiscard]] ColumnKernel best_kernel(std::size_t k,
+                                         std::uint64_t chunk_max_col_nnz,
+                                         std::uint64_t chunk_width,
+                                         bool inputs_sorted) const;
+
+  /// Versioned JSON rendering (stable key order; whole table on one
+  /// schema, calibration/misscost_schema.json).
+  [[nodiscard]] std::string to_json() const;
+
+  /// Inverse of to_json(). Throws std::invalid_argument on malformed
+  /// JSON, wrong version, or axis/cost shape mismatches.
+  [[nodiscard]] static MissCostTable from_json(const std::string& text);
+
+  /// from_json over a file. Throws std::runtime_error when unreadable.
+  [[nodiscard]] static MissCostTable load(const std::string& path);
+
+  /// to_json into a file (atomic enough for bench output: write + rename
+  /// is overkill here; plain truncate-write). Throws std::runtime_error
+  /// when unwritable.
+  void save(const std::string& path) const;
+};
+
+/// Nearest index into ascending `axis` for `value`, compared in log space
+/// (grid axes grow geometrically; linear distance would always snap up).
+[[nodiscard]] std::size_t nearest_log_index(
+    const std::vector<std::uint64_t>& axis, std::uint64_t value);
+
+}  // namespace spkadd::core

@@ -472,6 +472,11 @@ enum class ColumnKernel : std::uint8_t { Heap, Spa, Hash, SlidingHash };
   return "?";
 }
 
+/// Inverse of column_kernel_name(); same parsing/throwing contract as
+/// method_from_name() (case- and punctuation-insensitive; defined in
+/// method.cpp).
+[[nodiscard]] ColumnKernel column_kernel_from_name(const std::string& name);
+
 /// Record one chunk dispatched to kernel `k` (hybrid observability).
 inline void count_chunk(OpCounters& counters, ColumnKernel k) {
   switch (k) {

@@ -2,6 +2,7 @@
 #include <cctype>
 #include <stdexcept>
 
+#include "core/column_kernels.hpp"
 #include "core/options.hpp"
 
 namespace spkadd::core {
@@ -81,6 +82,18 @@ Method method_from_name(const std::string& name) {
       "unknown SpKAdd method '" + name +
       "' (expected one of: 2way-incremental, 2way-tree, heap, spa, hash, "
       "sliding-hash, ref-incremental, ref-tree, auto, hybrid)");
+}
+
+ColumnKernel column_kernel_from_name(const std::string& name) {
+  const std::string key = normalized(name);
+  if (key == "heap") return ColumnKernel::Heap;
+  if (key == "spa") return ColumnKernel::Spa;
+  if (key == "hash") return ColumnKernel::Hash;
+  if (key == "sliding" || key == "slidinghash")
+    return ColumnKernel::SlidingHash;
+  throw std::invalid_argument(
+      "unknown column kernel '" + name +
+      "' (expected one of: heap, spa, hash, sliding)");
 }
 
 Schedule schedule_from_name(const std::string& name) {

@@ -102,6 +102,11 @@ MachineInfo detect_machine() {
   return info;
 }
 
+const MachineInfo& cached_machine() {
+  static const MachineInfo info = detect_machine();
+  return info;
+}
+
 void set_llc_override(std::size_t bytes) { g_llc_override.store(bytes); }
 
 std::size_t llc_override() { return g_llc_override.load(); }
@@ -109,8 +114,7 @@ std::size_t llc_override() { return g_llc_override.load(); }
 std::size_t effective_llc_bytes() {
   const std::size_t o = llc_override();
   if (o != 0) return o;
-  static const std::size_t detected = detect_machine().llc.bytes;
-  return detected;
+  return cached_machine().llc.bytes;
 }
 
 }  // namespace spkadd::util

@@ -40,6 +40,12 @@ struct MachineInfo {
 /// to (32KB L1, 1MB L2, 32MB LLC, 64B lines) — the paper's Intel Skylake.
 [[nodiscard]] MachineInfo detect_machine();
 
+/// detect_machine() probed exactly once per process. The hot dispatch paths
+/// (auto_select, plan_hybrid, table_entry_cap) consult the machine topology
+/// on every fold; this accessor makes that a static read instead of a
+/// repeated sysfs walk.
+[[nodiscard]] const MachineInfo& cached_machine();
+
 /// Process-wide LLC-size override (0 = use detected). Benches use this to
 /// emulate the paper's EPYC (8MB) case; the sliding-hash sizing reads it
 /// through effective_llc_bytes().

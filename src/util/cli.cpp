@@ -47,7 +47,82 @@ std::string format_int_list(const std::vector<std::int64_t>& values) {
   return ss.str();
 }
 
+/// Parse one size token: strict integer with an optional single K/M/G
+/// suffix ("32K", "8M", "32768"). Returns false on anything else.
+bool parse_size_strict(const std::string& text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  const char* first = text.data();
+  const char* last = first + text.size();
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc()) return false;
+  if (ptr == last) {
+    out = value;
+    return true;
+  }
+  if (ptr + 1 != last) return false;  // at most one suffix character
+  switch (*ptr) {
+    case 'K': case 'k': out = value << 10; return true;
+    case 'M': case 'm': out = value << 20; return true;
+    case 'G': case 'g': out = value << 30; return true;
+    default: return false;
+  }
+}
+
 }  // namespace
+
+std::vector<CacheLevelSpec> parse_cache_spec(const std::string& text) {
+  std::vector<CacheLevelSpec> levels;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string element = text.substr(start, comma - start);
+    const std::size_t c1 = element.find(':');
+    const std::size_t c2 =
+        c1 == std::string::npos ? std::string::npos : element.find(':', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos ||
+        element.find(':', c2 + 1) != std::string::npos)
+      throw std::invalid_argument("parse_cache_spec: level '" + element +
+                                  "' is not NAME:SIZE:WAYS");
+    CacheLevelSpec level;
+    level.name = element.substr(0, c1);
+    std::int64_t ways = 0;
+    if (level.name.empty() ||
+        !parse_size_strict(element.substr(c1 + 1, c2 - c1 - 1), level.bytes) ||
+        level.bytes == 0 ||
+        !parse_int_strict(element.substr(c2 + 1), ways) || ways <= 0 ||
+        ways > (1 << 20))
+      throw std::invalid_argument("parse_cache_spec: bad level '" + element +
+                                  "' (want NAME:SIZE[K|M|G]:WAYS, size and "
+                                  "ways positive)");
+    level.ways = static_cast<int>(ways);
+    levels.push_back(std::move(level));
+    start = comma + 1;
+  }
+  if (levels.empty())
+    throw std::invalid_argument("parse_cache_spec: empty spec");
+  return levels;
+}
+
+std::string format_cache_spec(const std::vector<CacheLevelSpec>& levels) {
+  std::ostringstream ss;
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (i != 0) ss << ',';
+    ss << levels[i].name << ':';
+    const std::uint64_t b = levels[i].bytes;
+    if (b >= (1ull << 30) && b % (1ull << 30) == 0)
+      ss << (b >> 30) << 'G';
+    else if (b >= (1ull << 20) && b % (1ull << 20) == 0)
+      ss << (b >> 20) << 'M';
+    else if (b >= (1ull << 10) && b % (1ull << 10) == 0)
+      ss << (b >> 10) << 'K';
+    else
+      ss << b;
+    ss << ':' << levels[i].ways;
+  }
+  return ss.str();
+}
 
 CliParser::CliParser(std::string program, std::string description)
     : program_(std::move(program)), description_(std::move(description)) {}

@@ -13,6 +13,27 @@
 
 namespace spkadd::util {
 
+/// One level of a `--cache-spec` string: "LLC:8M:16" = name:capacity:ways.
+struct CacheLevelSpec {
+  std::string name;          ///< "L1", "L2", "LLC" (free-form, non-empty)
+  std::uint64_t bytes = 0;   ///< capacity; suffixes K/M/G accepted
+  int ways = 0;              ///< associativity
+  bool operator==(const CacheLevelSpec&) const = default;
+};
+
+/// Parse "L1:32K:8,L2:1M:16,LLC:8M:16" into ordered levels. Strict: every
+/// level needs all three fields, sizes are from_chars integers with an
+/// optional single K/M/G suffix, ways a positive integer, and malformed
+/// specs (empty names, zero sizes, trailing junk, empty elements) throw
+/// std::invalid_argument. Round-trip: parse(format(x)) == x.
+[[nodiscard]] std::vector<CacheLevelSpec> parse_cache_spec(
+    const std::string& text);
+
+/// Inverse of parse_cache_spec: canonical "NAME:SIZE:WAYS,..." rendering
+/// (sizes use the largest exact K/M/G suffix).
+[[nodiscard]] std::string format_cache_spec(
+    const std::vector<CacheLevelSpec>& levels);
+
 /// Declarative flag registry + parser.
 ///
 ///   CliParser cli("bench_table3");

@@ -1,7 +1,13 @@
 // Cache model unit tests + the Table V property: sliding hash suffers fewer
 // simulated LL misses than plain hash once tables outgrow the cache budget.
+// Plus the CacheHierarchy layer: inclusion (an inner hit never counts an
+// outer access), per-level stats accounting, and the single-level ==
+// CacheModel equivalence the Table V compatibility path relies on.
 #include <gtest/gtest.h>
 
+#include <random>
+
+#include "cachesim/cache_hierarchy.hpp"
 #include "cachesim/cache_model.hpp"
 #include "cachesim/traced_spkadd.hpp"
 #include "gen/workload.hpp"
@@ -76,6 +82,114 @@ TEST(CacheModel, ResetStatsKeepsContents) {
   cache.reset_stats();
   EXPECT_EQ(cache.stats().accesses, 0u);
   EXPECT_TRUE(cache.access(0));  // still cached
+}
+
+TEST(CacheModel, CountsEvictionsAndHits) {
+  // 1 set x 2 ways: the third distinct line evicts; cold fills do not count.
+  CacheModel cache(CacheConfig{128, 2, 64});
+  cache.access(0 * 64);
+  cache.access(1 * 64);
+  EXPECT_EQ(cache.stats().evictions, 0u);  // cold fills, no victim
+  cache.access(2 * 64);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  cache.access(2 * 64);  // hit
+  EXPECT_EQ(cache.stats().hits(), 1u);
+  EXPECT_EQ(cache.stats().accesses, cache.stats().hits() +
+                                        cache.stats().misses);
+}
+
+// ------------------------------------------------------------- hierarchy
+
+HierarchySpec two_level() {
+  HierarchySpec spec;
+  spec.levels.push_back(LevelSpec{"L1", 128, 2, 64, false, 12.0});
+  spec.levels.push_back(LevelSpec{"LLC", 1 << 12, 4, 64, true, 200.0});
+  return spec;
+}
+
+TEST(CacheHierarchy, InnerHitNeverCountsOuterAccess) {
+  CacheHierarchy cache(two_level());
+  EXPECT_FALSE(cache.access(0));  // cold: misses both, fills both
+  EXPECT_EQ(cache.level_stats(1).accesses, 1u);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(cache.access(0));
+  // All five were L1 hits; the LLC never saw them (inclusion property).
+  EXPECT_EQ(cache.level_stats(0).hits(), 5u);
+  EXPECT_EQ(cache.level_stats(1).accesses, 1u);
+}
+
+TEST(CacheHierarchy, OuterLevelSeesExactlyInnerMisses) {
+  CacheHierarchy cache(two_level());
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 2000; ++i)
+    cache.access((rng() % 64) * 64);  // 64-line working set >> 2-line L1
+  EXPECT_EQ(cache.level_stats(1).accesses, cache.level_stats(0).misses);
+  EXPECT_GT(cache.level_stats(0).hits(), 0u);
+  EXPECT_GT(cache.level_stats(1).hits(), 0u);  // L1-evicted lines re-hit LLC
+}
+
+TEST(CacheHierarchy, InclusiveFillRehitsOuterAfterInnerEviction) {
+  CacheHierarchy cache(two_level());
+  cache.access(0 * 64);
+  cache.access(1 * 64);
+  cache.access(2 * 64);  // evicts line 0 from the 2-way L1; LLC keeps it
+  EXPECT_TRUE(cache.access(0 * 64));  // L1 miss, LLC hit
+  EXPECT_EQ(cache.level_stats(1).hits(), 1u);
+}
+
+TEST(CacheHierarchy, SingleLevelReproducesCacheModelExactly) {
+  const CacheConfig cfg{1 << 14, 8, 64};
+  CacheModel flat(cfg);
+  CacheHierarchy single(HierarchySpec::single(cfg));
+  std::mt19937_64 rng(42);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t addr = rng() % (1 << 18);
+    EXPECT_EQ(flat.access(addr), single.access(addr));
+  }
+  EXPECT_EQ(flat.stats().accesses, single.level_stats(0).accesses);
+  EXPECT_EQ(flat.stats().misses, single.level_stats(0).misses);
+  EXPECT_EQ(flat.stats().evictions, single.level_stats(0).evictions);
+}
+
+TEST(CacheHierarchy, WeightedMissCostSumsLevels) {
+  CacheHierarchy cache(two_level());
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 500; ++i) cache.access((rng() % 256) * 64);
+  const double expect =
+      static_cast<double>(cache.level_stats(0).misses) * 12.0 +
+      static_cast<double>(cache.level_stats(1).misses) * 200.0;
+  EXPECT_DOUBLE_EQ(cache.weighted_miss_cost(), expect);
+}
+
+TEST(HierarchySpec, ValidatesShapeAndOrder) {
+  HierarchySpec empty;
+  EXPECT_THROW(empty.validate(), std::invalid_argument);
+  HierarchySpec shrinking = two_level();
+  shrinking.levels[1].bytes = 64;  // outer smaller than inner
+  EXPECT_THROW(shrinking.validate(), std::invalid_argument);
+  HierarchySpec zero = two_level();
+  zero.levels[0].ways = 0;
+  EXPECT_THROW(zero.validate(), std::invalid_argument);
+}
+
+TEST(HierarchySpec, FromCliSpecRoundTripsAndSharesLast) {
+  const auto spec =
+      HierarchySpec::from_cli_spec("L1:32K:8,L2:1M:16,LLC:8M:16");
+  ASSERT_EQ(spec.levels.size(), 3u);
+  EXPECT_FALSE(spec.levels[0].shared);
+  EXPECT_FALSE(spec.levels[1].shared);
+  EXPECT_TRUE(spec.levels[2].shared);
+  EXPECT_EQ(spec.levels[2].bytes, 8ull << 20);
+  EXPECT_GT(spec.levels[0].miss_penalty, 0.0);
+  EXPECT_EQ(spec.to_string(), "L1:32K:8,L2:1M:16,LLC:8M:16");
+  EXPECT_THROW(HierarchySpec::from_cli_spec("LLC:8M:16,L1:32K:8"),
+               std::invalid_argument);
+}
+
+TEST(HierarchySpec, DetectedHasSharedOutermostLevel) {
+  const auto spec = HierarchySpec::detected();
+  ASSERT_GE(spec.levels.size(), 1u);
+  EXPECT_TRUE(spec.levels.back().shared);
+  EXPECT_NO_THROW(spec.validate());
 }
 
 // ---------------------------------------------------------------- traces
@@ -159,6 +273,80 @@ TEST(TracedSpkadd, MaxTableEntriesOverrideControlsPartitioning) {
   cfg.max_table_entries = 1 << 20;  // one part
   const auto large = trace_hash_spkadd(std::span<const Csc>(inputs), cfg);
   EXPECT_NE(small.total_accesses(), large.total_accesses());
+}
+
+// ------------------------------------------------ hierarchy kernel traces
+
+TEST(TracedSpkadd, KernelTraceSingleLevelMatchesLegacyHashTrace) {
+  // The compatibility contract: trace_hash_spkadd is trace_kernel_spkadd
+  // over a single-level hierarchy, miss for miss.
+  const auto inputs = workload(Pattern::RMAT, 8, 64);
+  TraceConfig legacy;
+  legacy.cache = CacheConfig{1 << 18, 8, 64};
+  legacy.threads = 4;
+  KernelTraceConfig kcfg;
+  kcfg.hierarchy = HierarchySpec::single(legacy.cache);
+  kcfg.threads = 4;
+  for (const bool sliding : {false, true}) {
+    legacy.sliding = sliding;
+    kcfg.kernel = sliding ? spkadd::core::ColumnKernel::SlidingHash
+                          : spkadd::core::ColumnKernel::Hash;
+    const auto old_r = trace_hash_spkadd(std::span<const Csc>(inputs), legacy);
+    const auto new_r = trace_kernel_spkadd(std::span<const Csc>(inputs), kcfg);
+    ASSERT_EQ(new_r.symbolic.size(), 1u);
+    EXPECT_EQ(new_r.symbolic[0].misses, old_r.symbolic.misses);
+    EXPECT_EQ(new_r.symbolic[0].accesses, old_r.symbolic.accesses);
+    EXPECT_EQ(new_r.numeric[0].misses, old_r.numeric.misses);
+    EXPECT_EQ(new_r.numeric[0].accesses, old_r.numeric.accesses);
+  }
+}
+
+TEST(TracedSpkadd, AllFourKernelsTraceThroughHierarchy) {
+  const auto inputs = workload(Pattern::ER, 8, 32);
+  KernelTraceConfig cfg;
+  cfg.hierarchy = HierarchySpec::from_cli_spec("L1:4K:4,L2:64K:8,LLC:1M:16");
+  cfg.threads = 4;
+  for (const auto kernel :
+       {spkadd::core::ColumnKernel::Heap, spkadd::core::ColumnKernel::Spa,
+        spkadd::core::ColumnKernel::Hash,
+        spkadd::core::ColumnKernel::SlidingHash}) {
+    cfg.kernel = kernel;
+    const auto r = trace_kernel_spkadd(std::span<const Csc>(inputs), cfg);
+    ASSERT_EQ(r.level_names.size(), 3u)
+        << spkadd::core::column_kernel_name(kernel);
+    EXPECT_EQ(r.level_names[0], "L1");
+    EXPECT_GT(r.total_accesses(), 0u)
+        << spkadd::core::column_kernel_name(kernel);
+    EXPECT_GT(r.total_misses(), 0u) << spkadd::core::column_kernel_name(kernel);
+    EXPECT_GT(r.weighted_miss_cost, 0.0)
+        << spkadd::core::column_kernel_name(kernel);
+    // Inclusion holds inside the trace too: deeper levels only see the
+    // upstream misses.
+    for (std::size_t phase = 0; phase < 2; ++phase) {
+      const auto& stats = phase == 0 ? r.symbolic : r.numeric;
+      for (std::size_t i = 1; i < stats.size(); ++i)
+        EXPECT_EQ(stats[i].accesses, stats[i - 1].misses)
+            << spkadd::core::column_kernel_name(kernel);
+    }
+    // Deterministic replay.
+    const auto again = trace_kernel_spkadd(std::span<const Csc>(inputs), cfg);
+    EXPECT_EQ(r.total_misses(), again.total_misses());
+    EXPECT_DOUBLE_EQ(r.weighted_miss_cost, again.weighted_miss_cost);
+  }
+}
+
+TEST(TracedSpkadd, HeapBeatsHashOnTinySortedColumns) {
+  // The Fig. 2 heap corner, now measurable: k=4, d=2 columns have no table
+  // to initialize, so the heap trace touches far less memory.
+  const auto inputs = workload(Pattern::ER, 4, 2);
+  KernelTraceConfig cfg;
+  cfg.hierarchy = HierarchySpec::from_cli_spec("L1:32K:8,LLC:1M:16");
+  cfg.threads = 4;
+  cfg.kernel = spkadd::core::ColumnKernel::Heap;
+  const auto heap = trace_kernel_spkadd(std::span<const Csc>(inputs), cfg);
+  cfg.kernel = spkadd::core::ColumnKernel::Hash;
+  const auto hash = trace_kernel_spkadd(std::span<const Csc>(inputs), cfg);
+  EXPECT_LT(heap.weighted_miss_cost, hash.weighted_miss_cost);
 }
 
 }  // namespace

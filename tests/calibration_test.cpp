@@ -1,0 +1,147 @@
+// MissCostTable unit tests: JSON round-trip, strict loader rejection, and
+// the nearest-grid-point argmin lookup the calibrated Hybrid planner uses.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "core/calibration.hpp"
+
+namespace {
+
+using spkadd::core::ColumnKernel;
+using spkadd::core::MissCostTable;
+using spkadd::core::nearest_log_index;
+
+/// A tiny 2x2x2 table whose argmin is easy to read off: heap cheapest at
+/// (k=4, d=2), sliding cheapest at (k=64, d=1024), hash elsewhere, SPA
+/// never.
+MissCostTable tiny_table() {
+  MissCostTable t;
+  t.hierarchy = "L1:32K:8,LLC:8M:16";
+  t.rows = 1 << 14;
+  t.threads = 48;
+  t.k_axis = {4, 64};
+  t.d_axis = {2, 1024};
+  t.width_axis = {4, 64};
+  for (auto& c : t.costs) c.assign(t.cells(), 100.0);
+  auto cell = [&](std::size_t ik, std::size_t id, std::size_t iw) {
+    return (ik * t.d_axis.size() + id) * t.width_axis.size() + iw;
+  };
+  const auto kHeap = static_cast<std::size_t>(ColumnKernel::Heap);
+  const auto kSliding = static_cast<std::size_t>(ColumnKernel::SlidingHash);
+  const auto kHash = static_cast<std::size_t>(ColumnKernel::Hash);
+  t.costs[kHeap][cell(0, 0, 0)] = 1.0;
+  t.costs[kHeap][cell(0, 0, 1)] = 1.0;
+  t.costs[kSliding][cell(1, 1, 0)] = 1.0;
+  t.costs[kSliding][cell(1, 1, 1)] = 1.0;
+  for (std::size_t c = 0; c < t.cells(); ++c) t.costs[kHash][c] = 50.0;
+  return t;
+}
+
+TEST(MissCostTable, UsableChecksShapes) {
+  MissCostTable t = tiny_table();
+  EXPECT_TRUE(t.usable());
+  MissCostTable empty;
+  EXPECT_FALSE(empty.usable());
+  MissCostTable short_costs = tiny_table();
+  short_costs.costs[0].pop_back();
+  EXPECT_FALSE(short_costs.usable());
+  MissCostTable bad_axis = tiny_table();
+  bad_axis.k_axis = {64, 4};  // not ascending
+  EXPECT_FALSE(bad_axis.usable());
+  MissCostTable wrong_version = tiny_table();
+  wrong_version.version = 99;
+  EXPECT_FALSE(wrong_version.usable());
+}
+
+TEST(MissCostTable, JsonRoundTrip) {
+  const MissCostTable t = tiny_table();
+  const MissCostTable back = MissCostTable::from_json(t.to_json());
+  EXPECT_EQ(back.version, t.version);
+  EXPECT_EQ(back.hierarchy, t.hierarchy);
+  EXPECT_EQ(back.rows, t.rows);
+  EXPECT_EQ(back.threads, t.threads);
+  EXPECT_EQ(back.k_axis, t.k_axis);
+  EXPECT_EQ(back.d_axis, t.d_axis);
+  EXPECT_EQ(back.width_axis, t.width_axis);
+  for (std::size_t ki = 0; ki < spkadd::core::kNumColumnKernels; ++ki)
+    EXPECT_EQ(back.costs[ki], t.costs[ki]) << ki;
+}
+
+TEST(MissCostTable, SaveLoadRoundTrip) {
+  const std::string path =
+      ::testing::TempDir() + "/misscost_roundtrip.json";
+  const MissCostTable t = tiny_table();
+  t.save(path);
+  const MissCostTable back = MissCostTable::load(path);
+  EXPECT_EQ(back.costs, t.costs);
+  EXPECT_EQ(back.hierarchy, t.hierarchy);
+  std::remove(path.c_str());
+}
+
+TEST(MissCostTable, LoaderRejectsMalformed) {
+  EXPECT_THROW(MissCostTable::from_json(""), std::invalid_argument);
+  EXPECT_THROW(MissCostTable::from_json("{}"), std::invalid_argument);
+  EXPECT_THROW(MissCostTable::from_json("not json"), std::invalid_argument);
+  // Wrong version.
+  MissCostTable t = tiny_table();
+  std::string json = t.to_json();
+  const auto pos = json.find("\"version\": 1");
+  ASSERT_NE(pos, std::string::npos);
+  json.replace(pos, 12, "\"version\": 2");
+  EXPECT_THROW(MissCostTable::from_json(json), std::invalid_argument);
+  // Truncated cost vector.
+  MissCostTable cut = tiny_table();
+  cut.costs[2].pop_back();
+  EXPECT_THROW(MissCostTable::from_json(cut.to_json()),
+               std::invalid_argument);
+  // Unknown kernel key.
+  std::string bad_kernel = tiny_table().to_json();
+  const auto hpos = bad_kernel.find("\"heap\"");
+  ASSERT_NE(hpos, std::string::npos);
+  bad_kernel.replace(hpos, 6, "\"hexp\"");
+  EXPECT_THROW(MissCostTable::from_json(bad_kernel), std::invalid_argument);
+  // Missing file.
+  EXPECT_THROW(MissCostTable::load("/nonexistent/misscost.json"),
+               std::runtime_error);
+}
+
+TEST(MissCostTable, NearestLogIndexSnapsGeometrically) {
+  const std::vector<std::uint64_t> axis = {2, 16, 128, 1024};
+  EXPECT_EQ(nearest_log_index(axis, 1), 0u);
+  EXPECT_EQ(nearest_log_index(axis, 2), 0u);
+  EXPECT_EQ(nearest_log_index(axis, 5), 0u);     // log2(5)=2.3, nearer 2
+  EXPECT_EQ(nearest_log_index(axis, 7), 1u);     // log2(7)=2.8, nearer 16
+  EXPECT_EQ(nearest_log_index(axis, 128), 2u);
+  EXPECT_EQ(nearest_log_index(axis, 1u << 20), 3u);  // clamps to the end
+}
+
+TEST(MissCostTable, BestKernelArgminAndSortedContract) {
+  const MissCostTable t = tiny_table();
+  // Heap corner: k=4, summed chunk nnz 4*2=8 -> per-addend d=2.
+  EXPECT_EQ(t.best_kernel(4, 8, 4, true), ColumnKernel::Heap);
+  // ...but heap is excluded when the inputs are unsorted.
+  EXPECT_EQ(t.best_kernel(4, 8, 4, false), ColumnKernel::Hash);
+  // Sliding corner: k=64, per-addend d=1024.
+  EXPECT_EQ(t.best_kernel(64, 64 * 1024, 64, true),
+            ColumnKernel::SlidingHash);
+  // Middle of the grid: hash wins (50 < 100 everywhere else).
+  EXPECT_EQ(t.best_kernel(64, 64 * 2, 4, true), ColumnKernel::Hash);
+  // Empty chunks always dispatch to Hash.
+  EXPECT_EQ(t.best_kernel(64, 0, 4, true), ColumnKernel::Hash);
+}
+
+TEST(MissCostTable, UnmeasuredCellsAreSkipped) {
+  MissCostTable t = tiny_table();
+  // Mark every kernel but SPA unmeasured at cell (0,0,0): argmin must
+  // fall through to SPA even though its cost is the nominal 100.
+  for (const auto k :
+       {ColumnKernel::Heap, ColumnKernel::Hash, ColumnKernel::SlidingHash})
+    t.costs[static_cast<std::size_t>(k)][0] = -1.0;
+  EXPECT_EQ(t.best_kernel(4, 8, 4, true), ColumnKernel::Spa);
+}
+
+}  // namespace

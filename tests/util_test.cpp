@@ -322,6 +322,47 @@ TEST(Cli, IntListBadDefaultThrowsAtRegistration) {
                std::invalid_argument);
 }
 
+// ------------------------------------------------------------ cache-spec
+TEST(CacheSpec, ParsesLevelsWithSuffixes) {
+  const auto levels = parse_cache_spec("L1:32K:8,L2:1M:16,LLC:8M:16");
+  ASSERT_EQ(levels.size(), 3u);
+  EXPECT_EQ(levels[0], (CacheLevelSpec{"L1", 32u << 10, 8}));
+  EXPECT_EQ(levels[1], (CacheLevelSpec{"L2", 1u << 20, 16}));
+  EXPECT_EQ(levels[2], (CacheLevelSpec{"LLC", 8u << 20, 16}));
+  const auto raw = parse_cache_spec("LLC:12345:4");
+  EXPECT_EQ(raw[0].bytes, 12345u);
+  const auto giga = parse_cache_spec("HBM:2G:32");
+  EXPECT_EQ(giga[0].bytes, 2ull << 30);
+}
+
+TEST(CacheSpec, FormatRoundTrips) {
+  for (const char* spec :
+       {"L1:32K:8,L2:1M:16,LLC:8M:16", "LLC:8M:16", "L1:1000:2,L2:2G:8"}) {
+    EXPECT_EQ(format_cache_spec(parse_cache_spec(spec)), spec) << spec;
+  }
+  // Non-suffix-exact sizes render as raw bytes and still round-trip.
+  const std::vector<CacheLevelSpec> odd{{"LLC", (8u << 20) + 1, 16}};
+  EXPECT_EQ(parse_cache_spec(format_cache_spec(odd)), odd);
+}
+
+TEST(CacheSpec, RejectsMalformedSpecs) {
+  for (const char* bad :
+       {"", "LLC", "LLC:8M", "LLC:8M:16:9", ":8M:16", "LLC::16", "LLC:8M:",
+        "LLC:0:16", "LLC:8M:0", "LLC:8X:16", "LLC:8M:16,", ",LLC:8M:16",
+        "LLC:8M:16,,L1:1K:2", "LLC:-8:16", "LLC:8M:16 ", "LLC:8 M:16",
+        "LLC:8MM:16", "LLC:8M:1048577"}) {
+    EXPECT_THROW(parse_cache_spec(bad), std::invalid_argument)
+        << "accepted '" << bad << "'";
+  }
+}
+
+TEST(CacheInfo, CachedMachineIsStableAcrossCalls) {
+  const MachineInfo& a = cached_machine();
+  const MachineInfo& b = cached_machine();
+  EXPECT_EQ(&a, &b);  // one sysfs probe per process, same object back
+  EXPECT_GT(a.llc.bytes, 0u);
+}
+
 TEST(Cli, UsageMentionsEveryFlag) {
   CliParser cli("prog", "test program");
   cli.add_int("alpha", 1, "first");
