@@ -12,8 +12,12 @@
 # the committed calibration/misscost_default.json) lands in
 # BENCH_calibration.json on the same schema.
 #
+# The network-daemon loadgen (bench_daemon: >= 8 pipelined connections,
+# every windowed snapshot verified bit-identical to a single-threaded
+# reference fold) lands in BENCH_daemon.json on the same schema.
+#
 # Usage: scripts/bench_smoke.sh [summa.json] [service.json] [hybrid.json] \
-#                               [calibration.json]
+#                               [calibration.json] [daemon.json]
 #   BUILD_DIR=build   build tree holding the bench binaries (configured and
 #                     built here when the binaries are missing)
 #   SERVICE_THREADS=N run ONLY the service sweep, sized for a multi-core
@@ -31,6 +35,7 @@ OUT="${1:-BENCH_summa.json}"
 SERVICE_OUT="${2:-BENCH_service.json}"
 HYBRID_OUT="${3:-BENCH_hybrid.json}"
 CALIBRATION_OUT="${4:-BENCH_calibration.json}"
+DAEMON_OUT="${5:-BENCH_daemon.json}"
 JOBS="${JOBS:-$(nproc)}"
 SERVICE_THREADS="${SERVICE_THREADS:-}"
 
@@ -38,12 +43,13 @@ if [ ! -x "$BUILD_DIR/bench/bench_streaming" ] ||
    [ ! -x "$BUILD_DIR/bench/bench_fig6_summa" ] ||
    [ ! -x "$BUILD_DIR/bench/bench_service" ] ||
    [ ! -x "$BUILD_DIR/bench/bench_hybrid" ] ||
-   [ ! -x "$BUILD_DIR/bench/bench_calibration" ]; then
+   [ ! -x "$BUILD_DIR/bench/bench_calibration" ] ||
+   [ ! -x "$BUILD_DIR/bench/bench_daemon" ]; then
   echo "=== bench binaries missing; building $BUILD_DIR ==="
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build "$BUILD_DIR" -j "$JOBS" \
     --target bench_streaming bench_fig6_summa bench_service bench_hybrid \
-             bench_calibration
+             bench_calibration bench_daemon
 fi
 
 tmp="$(mktemp -d)"
@@ -136,11 +142,21 @@ echo "=== bench_calibration (local sweep + analytic vs calibrated) ==="
   --table "$tmp/misscost_local.json" \
   --bench-rows 65536 --bench-cols 512 --repeats 9 \
   --json "$tmp/calibration.json" > "$tmp/calibration.txt"
+# Network daemon loadgen, in-process transport (CI's daemon-smoke job
+# runs the real socket-pair form): 8 pipelined connections, 2 tenants,
+# and the run fails on any snapshot mismatch, dropped ack or protocol
+# error — correctness gates this leg like the others.
+echo "=== bench_daemon (8-connection windowed loadgen) ==="
+"$BUILD_DIR/bench/bench_daemon" \
+  --rows 2048 --cols 16 --d 4 --connections 8 --updates 6 --rounds 6 \
+  --tenants 2 --json "$tmp/daemon.json" > "$tmp/daemon.txt"
+cat "$tmp/daemon.txt"
 
 merge_benches "$OUT" "$tmp/streaming.json" "$tmp/fig6.json"
 merge_benches "$SERVICE_OUT" "$tmp/service.json"
 merge_benches "$HYBRID_OUT" "$tmp/hybrid.json"
 merge_benches "$CALIBRATION_OUT" "$tmp/calibration.json"
+merge_benches "$DAEMON_OUT" "$tmp/daemon.json"
 
 # The merge is string concatenation; make sure the results actually parse.
 if command -v jq > /dev/null 2>&1; then
@@ -148,10 +164,13 @@ if command -v jq > /dev/null 2>&1; then
   jq -e '.benches | length == 1' "$SERVICE_OUT" > /dev/null
   jq -e '.benches | length == 1' "$HYBRID_OUT" > /dev/null
   jq -e '.benches | length == 1' "$CALIBRATION_OUT" > /dev/null
+  jq -e '.benches | length == 1' "$DAEMON_OUT" > /dev/null
 elif command -v python3 > /dev/null 2>&1; then
-  for doc in "$OUT" "$SERVICE_OUT" "$HYBRID_OUT" "$CALIBRATION_OUT"; do
+  for doc in "$OUT" "$SERVICE_OUT" "$HYBRID_OUT" "$CALIBRATION_OUT" \
+             "$DAEMON_OUT"; do
     python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$doc"
   done
 fi
 
-echo "=== wrote $OUT, $SERVICE_OUT, $HYBRID_OUT and $CALIBRATION_OUT ==="
+echo "=== wrote $OUT, $SERVICE_OUT, $HYBRID_OUT, $CALIBRATION_OUT" \
+     "and $DAEMON_OUT ==="

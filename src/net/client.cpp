@@ -1,0 +1,174 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace spkadd::net {
+
+Client::Client(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0)
+    throw std::runtime_error("Client: socket: " +
+                             std::string(std::strerror(errno)));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("Client: bad host address '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("Client: connect " + host + ":" +
+                             std::to_string(port) + ": " + err);
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      inbuf_(std::move(other.inbuf_)),
+      outbuf_(std::move(other.outbuf_)) {}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::send_all(const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::send(fd_, data, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("Client: send: " +
+                               std::string(std::strerror(errno)));
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+void Client::send_request(const Request& req) {
+  std::string frame;
+  encode_request(req, frame);
+  send_all(frame.data(), frame.size());
+}
+
+void Client::send_raw(const std::string& bytes) {
+  send_all(bytes.data(), bytes.size());
+}
+
+Response Client::recv_response() {
+  Response resp;
+  for (;;) {
+    const std::size_t n = try_decode_response(inbuf_, resp);
+    if (n != 0) {
+      inbuf_.erase(0, n);
+      return resp;
+    }
+    char buf[64 * 1024];
+    const ssize_t got = ::recv(fd_, buf, sizeof(buf), 0);
+    if (got > 0) {
+      inbuf_.append(buf, static_cast<std::size_t>(got));
+      continue;
+    }
+    if (got < 0 && errno == EINTR) continue;
+    throw std::runtime_error(
+        got == 0 ? "Client: connection closed by server"
+                 : "Client: recv: " + std::string(std::strerror(errno)));
+  }
+}
+
+Status Client::submit(const std::string& tenant, std::uint64_t ts,
+                      const Matrix& update) {
+  Request req;
+  req.verb = Verb::kSubmit;
+  req.tenant = tenant;
+  req.arg = ts;
+  req.payload = encode_matrix(update);
+  send_request(req);
+  return recv_response().status;
+}
+
+void Client::submit_async(const std::string& tenant, std::uint64_t ts,
+                          const Matrix& update) {
+  Request req;
+  req.verb = Verb::kSubmit;
+  req.tenant = tenant;
+  req.arg = ts;
+  req.payload = encode_matrix(update);
+  encode_request(req, outbuf_);
+}
+
+void Client::flush() {
+  if (outbuf_.empty()) return;
+  send_all(outbuf_.data(), outbuf_.size());
+  outbuf_.clear();
+}
+
+std::size_t Client::collect_acks(std::size_t n) {
+  flush();
+  std::size_t ok = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (recv_response().status == Status::kOk) ++ok;
+  }
+  return ok;
+}
+
+Client::SnapshotResult Client::snapshot(const std::string& tenant,
+                                        std::uint64_t window_buckets) {
+  flush();
+  Request req;
+  req.verb = Verb::kSnapshot;
+  req.tenant = tenant;
+  req.arg = window_buckets;
+  send_request(req);
+  Response resp = recv_response();
+  SnapshotResult out;
+  out.status = resp.status;
+  if (resp.status == Status::kOk) {
+    out.sum = decode_matrix(resp.payload);
+    out.epoch = resp.arg;
+  }
+  return out;
+}
+
+Status Client::drain(std::uint64_t* applied_out) {
+  flush();
+  Request req;
+  req.verb = Verb::kDrain;
+  send_request(req);
+  Response resp = recv_response();
+  if (applied_out != nullptr) *applied_out = resp.arg;
+  return resp.status;
+}
+
+std::string Client::stats_json(Status* status_out) {
+  flush();
+  Request req;
+  req.verb = Verb::kStats;
+  send_request(req);
+  Response resp = recv_response();
+  if (status_out != nullptr) *status_out = resp.status;
+  return resp.status == Status::kOk ? std::move(resp.payload)
+                                    : std::string();
+}
+
+}  // namespace spkadd::net

@@ -1,0 +1,91 @@
+// Client — a small blocking SPKN client for the aggregation daemon:
+// the counterpart of net/server.hpp used by the loadgen bench
+// (bench/bench_daemon.cpp), the daemon tests and example programs.
+//
+// One Client owns one TCP connection. Requests are answered in order
+// (the server serializes per connection), so the client supports both
+// strict request/response calls (submit/snapshot/drain/stats) and a
+// pipelined mode — submit_async() queues encoded frames locally,
+// flush() writes them in one burst, collect_acks() reads the
+// responses — which is what keeps ≥8 loadgen connections busy enough
+// to exercise the server's per-poll-cycle burst batching.
+//
+// Thread-safety contract: a Client is NOT thread-safe; use one Client
+// per thread (each loadgen connection owns its own). Distinct Clients
+// share nothing.
+// Bit-identity guarantee: snapshot() returns the server's matrix
+// decoded from the SPKB payload bit-exactly (net/protocol.hpp), so
+// client-side verification against a local reference fold is exact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/protocol.hpp"
+
+namespace spkadd::net {
+
+class Client {
+ public:
+  using Matrix = CscMatrix<std::int32_t, double>;
+
+  /// A snapshot response decoded client-side.
+  struct SnapshotResult {
+    Status status = Status::kOk;
+    Matrix sum;
+    std::uint64_t epoch = 0;
+  };
+
+  /// Connects (blocking). Throws std::runtime_error on failure.
+  Client(const std::string& host, std::uint16_t port);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+
+  /// Submit one timestamped update and wait for the ack.
+  Status submit(const std::string& tenant, std::uint64_t ts,
+                const Matrix& update);
+
+  /// Pipelined submit: queue the frame locally (no I/O). Pair with
+  /// flush() + collect_acks().
+  void submit_async(const std::string& tenant, std::uint64_t ts,
+                    const Matrix& update);
+
+  /// Write every queued frame to the socket in one blocking burst.
+  void flush();
+
+  /// Read `n` pending responses; returns how many carried kOk.
+  std::size_t collect_acks(std::size_t n);
+
+  /// Windowed snapshot of `tenant` (0 = the whole live ring).
+  SnapshotResult snapshot(const std::string& tenant,
+                          std::uint64_t window_buckets = 0);
+
+  /// Barrier: every update accepted so far is folded. Returns the ack
+  /// status; `applied_out` (optional) receives the folded count.
+  Status drain(std::uint64_t* applied_out = nullptr);
+
+  /// Server + service counters as JSON text (empty on a non-Ok ack).
+  std::string stats_json(Status* status_out = nullptr);
+
+  /// Write raw bytes to the socket (tests: inject malformed frames).
+  void send_raw(const std::string& bytes);
+
+  /// Read one response frame (blocking). Throws std::runtime_error on
+  /// EOF / socket error, ProtocolError on an undecodable frame.
+  Response recv_response();
+
+  void close();
+
+ private:
+  void send_request(const Request& req);
+  void send_all(const char* data, std::size_t size);
+
+  int fd_ = -1;
+  std::string inbuf_;   ///< bytes read but not yet decoded
+  std::string outbuf_;  ///< frames queued by submit_async
+};
+
+}  // namespace spkadd::net

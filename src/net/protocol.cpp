@@ -1,0 +1,173 @@
+#include "net/protocol.hpp"
+
+#include <bit>
+#include <cstring>
+#include <sstream>
+
+#include "io/binary_io.hpp"
+
+namespace spkadd::net {
+
+namespace {
+
+// Header layout, little-endian (docs/PROTOCOL.md is normative):
+//   offset 0  u32 magic
+//   offset 4  u16 version
+//   offset 6  u8  verb (request) / status (response)
+//   offset 7  u8  reserved (must be 0 on the wire, ignored on read)
+//   offset 8  u32 tenant_len (responses: must be 0)
+//   offset 12 u64 arg
+//   offset 20 u32 payload_len
+// Fixed-width fields are memcpy'd (alignment-safe); the host is
+// little-endian on every supported target, asserted at build time.
+static_assert(kHeaderBytes == 24);
+static_assert(std::endian::native == std::endian::little,
+              "SPKN framing memcpy's little-endian fields");
+
+template <class T>
+void put(std::string& out, T v) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &v, sizeof(T));
+  out.append(bytes, sizeof(T));
+}
+
+template <class T>
+T get(std::string_view buf, std::size_t offset) {
+  T v{};
+  std::memcpy(&v, buf.data() + offset, sizeof(T));
+  return v;
+}
+
+void check_bounds(std::uint32_t tenant_len, std::uint32_t payload_len) {
+  if (tenant_len > kMaxTenantLen)
+    throw ProtocolError(Status::kBadTenant,
+                        "tenant name over " +
+                            std::to_string(kMaxTenantLen) + " bytes");
+  if (payload_len > kMaxPayloadLen)
+    throw ProtocolError(Status::kOversizedPayload,
+                        "payload over " + std::to_string(kMaxPayloadLen) +
+                            " bytes");
+}
+
+void encode_frame(std::string& out, std::uint32_t magic, std::uint8_t code,
+                  std::string_view tenant, std::uint64_t arg,
+                  std::string_view payload) {
+  put<std::uint32_t>(out, magic);
+  put<std::uint16_t>(out, kProtocolVersion);
+  put<std::uint8_t>(out, code);
+  put<std::uint8_t>(out, 0);  // reserved
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(tenant.size()));
+  put<std::uint64_t>(out, arg);
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(tenant);
+  out.append(payload);
+}
+
+/// Shared header validation + completeness check. Returns 0 when the
+/// buffer is too short for header + blobs (never throws for that).
+std::size_t decode_frame(std::string_view buf, std::uint32_t want_magic,
+                         std::uint8_t max_code, Status bad_code_status,
+                         std::uint8_t& code, std::string& tenant,
+                         std::uint64_t& arg, std::string& payload) {
+  if (buf.size() < kHeaderBytes) return 0;
+  // Validation order matters: magic and version identify the stream
+  // before any length field is trusted, and both length bounds are
+  // checked BEFORE sizing any allocation from the wire.
+  if (get<std::uint32_t>(buf, 0) != want_magic)
+    throw ProtocolError(Status::kBadMagic, "bad frame magic");
+  if (get<std::uint16_t>(buf, 4) != kProtocolVersion)
+    throw ProtocolError(Status::kBadVersion,
+                        "unsupported protocol version");
+  code = get<std::uint8_t>(buf, 6);
+  if (code > max_code)
+    throw ProtocolError(bad_code_status, "unknown verb/status code");
+  const auto tenant_len = get<std::uint32_t>(buf, 8);
+  arg = get<std::uint64_t>(buf, 12);
+  const auto payload_len = get<std::uint32_t>(buf, 20);
+  check_bounds(tenant_len, payload_len);
+  const std::size_t total = kHeaderBytes +
+                            static_cast<std::size_t>(tenant_len) +
+                            static_cast<std::size_t>(payload_len);
+  if (buf.size() < total) return 0;  // need more bytes
+  tenant.assign(buf.substr(kHeaderBytes, tenant_len));
+  payload.assign(buf.substr(kHeaderBytes + tenant_len, payload_len));
+  return total;
+}
+
+}  // namespace
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kBadMagic: return "bad-magic";
+    case Status::kBadVersion: return "bad-version";
+    case Status::kBadVerb: return "bad-verb";
+    case Status::kBadTenant: return "bad-tenant";
+    case Status::kOversizedPayload: return "oversized-payload";
+    case Status::kBadPayload: return "bad-payload";
+    case Status::kUnknownTenant: return "unknown-tenant";
+    case Status::kBadWindow: return "bad-window";
+    case Status::kShapeMismatch: return "shape-mismatch";
+    case Status::kStopped: return "stopped";
+    case Status::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+void encode_request(const Request& req, std::string& out) {
+  const auto code = static_cast<std::uint8_t>(req.verb);
+  if (code < 1 || code > static_cast<std::uint8_t>(Verb::kStats))
+    throw ProtocolError(Status::kBadVerb, "invalid verb");
+  check_bounds(static_cast<std::uint32_t>(req.tenant.size()),
+               static_cast<std::uint32_t>(req.payload.size()));
+  encode_frame(out, kRequestMagic, code, req.tenant, req.arg,
+               req.payload);
+}
+
+void encode_response(const Response& resp, std::string& out) {
+  encode_frame(out, kResponseMagic,
+               static_cast<std::uint8_t>(resp.status), {}, resp.arg,
+               resp.payload);
+}
+
+std::size_t try_decode_request(std::string_view buf, Request& out) {
+  std::uint8_t code = 0;
+  const std::size_t n = decode_frame(
+      buf, kRequestMagic, static_cast<std::uint8_t>(Verb::kStats),
+      Status::kBadVerb, code, out.tenant, out.arg, out.payload);
+  if (n == 0) return 0;
+  if (code == 0)
+    throw ProtocolError(Status::kBadVerb, "unknown verb/status code");
+  out.verb = static_cast<Verb>(code);
+  return n;
+}
+
+std::size_t try_decode_response(std::string_view buf, Response& out) {
+  std::uint8_t code = 0;
+  std::string tenant;  // responses carry no tenant; tolerated if empty
+  const std::size_t n = decode_frame(
+      buf, kResponseMagic, static_cast<std::uint8_t>(Status::kInternal),
+      Status::kBadVerb, code, tenant, out.arg, out.payload);
+  if (n == 0) return 0;
+  out.status = static_cast<Status>(code);
+  return n;
+}
+
+std::string encode_matrix(const CscMatrix<std::int32_t, double>& m) {
+  std::ostringstream out(std::ios::binary);
+  io::write_binary(out, m);
+  return std::move(out).str();
+}
+
+CscMatrix<std::int32_t, double> decode_matrix(
+    const std::string& payload) {
+  std::istringstream in(payload, std::ios::binary);
+  try {
+    return io::read_binary(in);
+  } catch (const std::exception& e) {
+    throw ProtocolError(Status::kBadPayload,
+                        std::string("matrix payload: ") + e.what());
+  }
+}
+
+}  // namespace spkadd::net

@@ -1,0 +1,114 @@
+// SPKN — the length-prefixed binary wire protocol of the aggregation
+// daemon (see docs/PROTOCOL.md for the normative spec).
+//
+// Every frame is a fixed 24-byte little-endian header followed by a
+// tenant-name blob and a payload blob, both length-prefixed in the
+// header. Requests carry a verb (submit / snapshot / drain / stats) and
+// one u64 argument (submit: timestamp; snapshot: window in buckets);
+// submit payloads are matrices in the io::binary_io "SPKB" container,
+// reused verbatim as the matrix framing. Responses mirror the layout
+// with a status byte instead of a verb. Header validation is strict:
+// magic, version, verb/status range and bounded tenant/payload sizes
+// are checked before any allocation sized from the wire, and a frame
+// that fails validation throws ProtocolError with the status code the
+// server answers (then closes the connection — a corrupt length prefix
+// leaves no resynchronization point).
+//
+// Thread-safety contract: everything here is a pure function over
+// caller-owned buffers — no shared state, safe from any thread.
+// Bit-identity guarantee: matrix payloads round-trip bit-exactly
+// through encode_matrix/decode_matrix (the SPKB container stores raw
+// little-endian doubles), so a snapshot received over the wire is
+// byte-for-byte the snapshot the service assembled.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "matrix/csc.hpp"
+
+namespace spkadd::net {
+
+/// Request verbs (wire values are stable API — see docs/PROTOCOL.md).
+enum class Verb : std::uint8_t {
+  kSubmit = 1,    ///< fold `payload` matrix at time `arg` into `tenant`
+  kSnapshot = 2,  ///< windowed sum of `tenant`; `arg` = window buckets
+  kDrain = 3,     ///< barrier: every accepted submit is folded
+  kStats = 4,     ///< service + server counters as a JSON payload
+};
+
+/// Response status / protocol error codes (wire values are stable API).
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kBadMagic = 1,         ///< header magic mismatch
+  kBadVersion = 2,       ///< protocol version mismatch
+  kBadVerb = 3,          ///< unknown verb byte
+  kBadTenant = 4,        ///< tenant name missing or over kMaxTenantLen
+  kOversizedPayload = 5, ///< payload_len over kMaxPayloadLen
+  kBadPayload = 6,       ///< payload present but undecodable
+  kUnknownTenant = 7,    ///< snapshot of a tenant never submitted to
+  kBadWindow = 8,        ///< snapshot window exceeds live_buckets
+  kShapeMismatch = 9,    ///< update shape differs from the tenant's
+  kStopped = 10,         ///< service is shutting down
+  kInternal = 11,        ///< unexpected server-side failure
+};
+
+/// Human-readable name of a status code (error accounting and logs).
+[[nodiscard]] const char* status_name(Status s);
+
+constexpr std::uint32_t kRequestMagic = 0x4E4B5053;   // "SPKN"
+constexpr std::uint32_t kResponseMagic = 0x524B5053;  // "SPKR"
+constexpr std::uint16_t kProtocolVersion = 1;
+constexpr std::size_t kHeaderBytes = 24;
+constexpr std::uint32_t kMaxTenantLen = 256;
+constexpr std::uint32_t kMaxPayloadLen = 64u << 20;  // 64 MiB
+
+/// One decoded request frame.
+struct Request {
+  Verb verb = Verb::kSubmit;
+  std::string tenant;      ///< empty for drain/stats
+  std::uint64_t arg = 0;   ///< submit: timestamp; snapshot: window
+  std::string payload;     ///< submit: SPKB matrix bytes
+};
+
+/// One decoded response frame.
+struct Response {
+  Status status = Status::kOk;
+  std::uint64_t arg = 0;  ///< snapshot: epoch; drain/submit: applied
+  std::string payload;    ///< snapshot: SPKB matrix; stats: JSON text
+};
+
+/// Thrown by the decoders on an invalid frame; `status` is the code the
+/// server answers before closing the connection.
+struct ProtocolError : std::runtime_error {
+  ProtocolError(Status s, const std::string& what)
+      : std::runtime_error(what), status(s) {}
+  Status status;
+};
+
+/// Serialize a frame, appending to `out` (amortizes the server's
+/// per-connection write buffer). encode_request validates the tenant
+/// and payload bounds (throws ProtocolError — a client bug, caught
+/// before it reaches the wire).
+void encode_request(const Request& req, std::string& out);
+void encode_response(const Response& resp, std::string& out);
+
+/// Decode one frame from the front of `buf`. Returns the bytes
+/// consumed, or 0 when `buf` does not yet hold a complete frame (read
+/// more and retry — never throws for a short buffer). Throws
+/// ProtocolError on a frame that can never become valid (bad magic /
+/// version / verb / oversized lengths).
+std::size_t try_decode_request(std::string_view buf, Request& out);
+std::size_t try_decode_response(std::string_view buf, Response& out);
+
+/// Matrix <-> payload helpers over the io::binary_io SPKB container.
+/// decode_matrix throws ProtocolError{kBadPayload} on undecodable
+/// bytes (truncated, bad magic, structural validation failure).
+[[nodiscard]] std::string encode_matrix(
+    const CscMatrix<std::int32_t, double>& m);
+[[nodiscard]] CscMatrix<std::int32_t, double> decode_matrix(
+    const std::string& payload);
+
+}  // namespace spkadd::net

@@ -1,0 +1,181 @@
+// DaemonServer — the network front-end of the windowed aggregation
+// service: a poll(2)-based TCP server speaking the SPKN protocol
+// (net/protocol.hpp) over many concurrent client connections.
+//
+//   accept ──> per-connection read buffer ──> frame decode
+//                 |                             |
+//                 |   submit frames of one      v
+//                 |   poll cycle staged as  [burst vector]
+//                 |   ONE MPMC enqueue ───> WindowedAggService
+//                 |                             ^
+//                 v                             |
+//           response frames <── snapshot/drain/stats served inline
+//
+// One poll thread owns every socket: it accepts, reads, decodes,
+// stages decoded submits into a per-cycle burst (flushed into the
+// service's MPMC queue as ONE push_burst — the wire front of the
+// burst-batched ingest path), serves snapshot/drain/stats inline (the
+// staged burst is flushed first, so one connection's submit -> drain
+// -> snapshot sequence observes its own writes), and appends responses
+// to per-connection write buffers drained under POLLOUT. Worker
+// threads inside WindowedAggService do every fold; the poll thread
+// never computes a sum except via snapshot().
+//
+// Strict header validation with per-connection error accounting: a
+// frame that fails validation (bad magic/version/verb, oversized
+// lengths, undecodable matrix payload) is answered with its status
+// code, counted against the connection and globally, and — for
+// framing-level errors, where the stream has no resynchronization
+// point — the connection is closed after the error response drains.
+//
+// Clean shutdown: stop() stops accepting, serves every complete frame
+// already buffered, flushes the staged burst, drains the service (all
+// in-flight requests fold), flushes pending response bytes with a
+// bounded grace period, then closes every socket and joins.
+//
+// Thread-safety contract: construction, stop(), port() and stats() are
+// safe from any thread; everything else runs on the internal poll
+// thread. The wrapped service() is itself fully thread-safe.
+// Bit-identity guarantee: the server moves decoded matrices into the
+// service and encoded snapshots out byte-for-byte (net/protocol.hpp),
+// so wire snapshots inherit WindowedAggService's strict-left-fold
+// bit-identity.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "service/windowed_service.hpp"
+
+namespace spkadd::net {
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; see DaemonServer::port()
+  std::size_t max_connections = 64;
+  /// Grace period for flushing pending responses during stop().
+  std::size_t shutdown_grace_ms = 2000;
+  service::WindowedAggService::Config service;
+};
+
+/// Per-connection accounting surfaced by DaemonServer::stats().
+struct ConnectionStats {
+  std::uint64_t id = 0;        ///< accept order, 1-based
+  std::uint64_t requests = 0;  ///< frames decoded and dispatched
+  std::uint64_t errors = 0;    ///< protocol errors on this connection
+  bool open = false;
+};
+
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_open = 0;
+  std::uint64_t connections_rejected = 0;  ///< over max_connections
+  std::uint64_t requests_submit = 0;
+  std::uint64_t requests_snapshot = 0;
+  std::uint64_t requests_drain = 0;
+  std::uint64_t requests_stats = 0;
+  std::uint64_t protocol_errors = 0;  ///< across all connections ever
+  std::vector<ConnectionStats> connections;  ///< open + closed
+};
+
+class DaemonServer {
+ public:
+  /// Binds, listens and starts the poll thread. Throws
+  /// std::runtime_error when the socket cannot be bound.
+  explicit DaemonServer(ServerConfig config);
+  ~DaemonServer();
+
+  DaemonServer(const DaemonServer&) = delete;
+  DaemonServer& operator=(const DaemonServer&) = delete;
+
+  /// The actually-bound port (resolves port 0 to the ephemeral one).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Clean shutdown (see the file header). Idempotent; stats() stays
+  /// usable afterwards.
+  void stop();
+
+  [[nodiscard]] ServerStats stats() const;
+
+  /// The wrapped service (fully thread-safe; tests and in-process
+  /// embedders may bypass the wire with it).
+  [[nodiscard]] service::WindowedAggService& service() { return service_; }
+
+  /// Render stats() + service().stats() as the JSON document the
+  /// stats verb answers (documented in docs/PROTOCOL.md).
+  [[nodiscard]] std::string stats_json();
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::uint64_t id = 0;
+    std::string in;       ///< unparsed request bytes
+    std::string out;      ///< undrained response bytes
+    bool closing = false; ///< close once `out` drains
+  };
+
+  void poll_loop();
+  void accept_ready();
+  /// Read + decode + dispatch everything ready on `conn`; stages
+  /// submits into `burst`. Returns false when the connection must be
+  /// dropped (EOF or read error).
+  bool service_conn(Conn& conn,
+                    std::vector<service::WindowedAggService::TimedUpdate>&
+                        burst);
+  /// Decode + dispatch every complete frame buffered in conn.in (also
+  /// the shutdown pass: serve what already arrived, read no more).
+  void process_frames(
+      Conn& conn,
+      std::vector<service::WindowedAggService::TimedUpdate>& burst);
+  /// Dispatch one decoded frame; appends the response to conn.out.
+  void handle(Conn& conn, Request&& req,
+              std::vector<service::WindowedAggService::TimedUpdate>&
+                  burst);
+  /// Push the staged burst into the service as one enqueue.
+  void flush_burst(
+      std::vector<service::WindowedAggService::TimedUpdate>& burst);
+  void record_error(Conn& conn, Status status);
+  void close_conn(Conn& conn);
+  /// Best-effort drain of pending response bytes during shutdown.
+  void flush_pending_writes();
+
+  ServerConfig config_;
+  service::WindowedAggService service_;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  ///< self-pipe: stop() wakes poll()
+  std::uint16_t port_ = 0;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::uint64_t next_conn_id_ = 1;
+  /// Tenant shapes observed on the wire (poll thread only): lets the
+  /// server answer kShapeMismatch per offending frame instead of
+  /// letting submit_burst reject a whole staged burst.
+  std::map<std::string, std::pair<std::int32_t, std::int32_t>> shapes_;
+
+  std::thread poll_thread_;
+  std::atomic<bool> stop_requested_{false};
+  std::once_flag stop_once_;
+
+  // Counters shared with stats() readers. Scalars are atomics; the
+  // per-connection map is guarded by stats_mutex_ (the poll thread
+  // updates it on accept/request/error/close).
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> open_{0};
+  std::atomic<std::uint64_t> conn_rejected_{0};
+  std::atomic<std::uint64_t> req_submit_{0};
+  std::atomic<std::uint64_t> req_snapshot_{0};
+  std::atomic<std::uint64_t> req_drain_{0};
+  std::atomic<std::uint64_t> req_stats_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  mutable std::mutex stats_mutex_;
+  std::map<std::uint64_t, ConnectionStats> conn_stats_;
+};
+
+}  // namespace spkadd::net

@@ -60,6 +60,12 @@
 // The shape mirrors long-lived counter services (cf. the hlld-style
 // set-manager architecture): sharded state behind short locks, bounded
 // ingest, snapshot reads, explicit drain/stop shutdown.
+//
+// Thread-safety contract: every public AggService method is safe to
+// call from any thread, concurrently with every other (submit from any
+// number of producers, snapshot/stats/drain from readers, stop once
+// from anywhere — stop is idempotent). The "Deterministic totals"
+// bullet above is the bit-identity guarantee snapshot() honors.
 #pragma once
 
 #include <atomic>

@@ -1,6 +1,12 @@
 // Tuning knobs for the sharded aggregation service (see agg_service.hpp
 // for the architecture). Every knob maps to one axis of the
 // bench_service loadgen sweep.
+//
+// Thread-safety contract: ServiceConfig is a plain value type — fill it
+// on one thread, hand it to AggService by value; the service never
+// mutates it afterwards. Bit-identity: `options` selects the fold
+// method, and every method is a strict left fold, so any valid config
+// yields snapshots bit-identical to one-shot spkadd on exact values.
 #pragma once
 
 #include <algorithm>
@@ -10,6 +16,24 @@
 #include "core/options.hpp"
 
 namespace spkadd::service {
+
+/// Whether `method` refuses unsorted columns (merge-family kernels,
+/// paper Table I). Services use this to reject a fold-fatal
+/// configuration at construction and to validate updates BEFORE they
+/// are staged. Hybrid is safe either way: its per-chunk plan only
+/// picks the heap kernel when inputs_sorted is declared.
+[[nodiscard]] inline bool method_requires_sorted(core::Method method) {
+  switch (method) {
+    case core::Method::TwoWayIncremental:
+    case core::Method::TwoWayTree:
+    case core::Method::Heap:
+    case core::Method::ReferenceIncremental:
+    case core::Method::ReferenceTree:
+      return true;
+    default:
+      return false;
+  }
+}
 
 struct ServiceConfig {
   /// Row-range shards per tenant. Each incoming update is partitioned
@@ -78,23 +102,10 @@ struct ServiceConfig {
     return std::max<std::size_t>(1, high - high / 4);
   }
 
-  /// Whether the configured fold method refuses unsorted columns
-  /// (merge-family kernels, paper Table I). The service uses this to
-  /// reject a fold-fatal configuration at construction and to validate
-  /// updates BEFORE they are staged. Hybrid is safe either way: its
-  /// per-chunk plan only picks the heap kernel when inputs_sorted is
-  /// declared (and the service then validates updates against it).
+  /// Whether the configured fold method refuses unsorted columns (the
+  /// free method_requires_sorted() above, applied to options.method).
   [[nodiscard]] bool method_requires_sorted() const {
-    switch (options.method) {
-      case core::Method::TwoWayIncremental:
-      case core::Method::TwoWayTree:
-      case core::Method::Heap:
-      case core::Method::ReferenceIncremental:
-      case core::Method::ReferenceTree:
-        return true;
-      default:
-        return false;
-    }
+    return service::method_requires_sorted(options.method);
   }
 
   /// Throws std::invalid_argument on an unusable configuration.

@@ -1,6 +1,12 @@
 // Observability for the aggregation service: a lock-free latency
 // histogram (submit -> applied) and the plain snapshot structs
 // AggService::stats() hands to benches and operators.
+//
+// Thread-safety contract: LatencyHistogram::record is lock-free and
+// safe from any thread concurrently with summary(); the snapshot
+// structs are plain values with no synchronization of their own.
+// Counters here are observability only — they never feed the fold
+// paths, so they cannot affect the service's bit-identity guarantee.
 #pragma once
 
 #include <array>

@@ -7,7 +7,12 @@
 // a k-way SpKAdd over the shard partials — every nonzero of the
 // assembled sum comes from exactly one shard, which is what makes the
 // sharded fold bit-identical to a one-shot spkadd whenever value
-// addition is exact.
+// addition is exact — the bit-identity guarantee AggService builds on.
+//
+// Thread-safety contract: partition_rows and RowPartition are pure
+// functions over caller-owned data, safe from any thread. A Shard is
+// externally synchronized — callers take Shard::mutex around fold and
+// partial access (AggService holds it once per (burst, shard)).
 #pragma once
 
 #include <cstdint>

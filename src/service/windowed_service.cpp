@@ -1,0 +1,244 @@
+#include "service/windowed_service.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <stdexcept>
+#include <utility>
+
+namespace spkadd::service {
+
+void WindowedAggService::Config::validate() const {
+  window.validate();
+  if (workers < 1)
+    throw std::invalid_argument(
+        "WindowedAggService: workers must be >= 1");
+  if (queue_capacity < 1)
+    throw std::invalid_argument(
+        "WindowedAggService: queue_capacity must be >= 1");
+  if (burst_size < 1)
+    throw std::invalid_argument(
+        "WindowedAggService: burst_size must be >= 1");
+  if (effective_high_watermark() > queue_capacity)
+    throw std::invalid_argument(
+        "WindowedAggService: high watermark exceeds queue_capacity");
+  if (effective_low_watermark() > effective_high_watermark())
+    throw std::invalid_argument(
+        "WindowedAggService: low watermark exceeds the high watermark");
+}
+
+namespace {
+
+WindowedAggService::Config validated(WindowedAggService::Config cfg) {
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace
+
+WindowedAggService::WindowedAggService(Config config)
+    : config_(validated(std::move(config))),
+      queue_(config_.queue_capacity, config_.effective_high_watermark(),
+             config_.effective_low_watermark()) {
+  workers_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+WindowedAggService::~WindowedAggService() { stop(); }
+
+WindowedAggService::Tenant* WindowedAggService::find_tenant(
+    const std::string& name) const {
+  std::shared_lock lock(tenants_mutex_);
+  auto it = tenants_.find(name);
+  return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+WindowedAggService::Tenant& WindowedAggService::tenant_for(
+    const std::string& name, std::int32_t rows, std::int32_t cols) {
+  const auto check = [&](Tenant& t) -> Tenant& {
+    if (t.window.rows() != rows || t.window.cols() != cols)
+      throw std::invalid_argument(
+          "WindowedAggService: update shape does not match tenant '" +
+          name + "'");
+    return t;
+  };
+  {
+    std::shared_lock lock(tenants_mutex_);
+    auto it = tenants_.find(name);
+    if (it != tenants_.end()) return check(*it->second);
+  }
+  std::unique_lock lock(tenants_mutex_);
+  auto it = tenants_.find(name);
+  if (it != tenants_.end()) return check(*it->second);
+  auto t = std::make_unique<Tenant>(rows, cols, config_.window);
+  return *tenants_.emplace(name, std::move(t)).first->second;
+}
+
+bool WindowedAggService::submit(const std::string& tenant,
+                                std::uint64_t ts, Matrix&& update) {
+  std::vector<TimedUpdate> one;
+  one.push_back(TimedUpdate{tenant, ts, std::move(update)});
+  return submit_burst(one) == 1;
+}
+
+std::size_t WindowedAggService::submit_burst(
+    std::vector<TimedUpdate>& burst) {
+  if (burst.empty()) return 0;
+  if (stopped_.load(std::memory_order_seq_cst)) {
+    rejected_.fetch_add(burst.size(), std::memory_order_relaxed);
+    return 0;
+  }
+  // Create/validate every tenant BEFORE anything is ticketed or
+  // enqueued: a shape mismatch throws here with the burst untouched.
+  for (const auto& u : burst)
+    tenant_for(u.tenant, u.update.rows(), u.update.cols());
+
+  std::vector<Task> tasks;
+  tasks.reserve(burst.size());
+  for (auto& u : burst) tasks.push_back(Task{std::move(u), 0});
+  burst.clear();
+  const std::size_t n = tasks.size();
+  {
+    std::lock_guard<std::mutex> lock(progress_mutex_);
+    for (auto& task : tasks) {
+      task.ticket = next_ticket_++;
+      pending_tickets_.insert(task.ticket);
+    }
+    submitted_ += n;
+  }
+  const std::size_t pushed = queue_.push_burst(tasks);
+  if (!tasks.empty()) {
+    // Queue closed mid-burst; retire the handed-back tail as rejected.
+    {
+      std::lock_guard<std::mutex> lock(progress_mutex_);
+      for (const auto& task : tasks) pending_tickets_.erase(task.ticket);
+      submitted_ -= tasks.size();
+    }
+    progress_cv_.notify_all();
+    rejected_.fetch_add(tasks.size(), std::memory_order_relaxed);
+  }
+  if (pushed != 0) {
+    bursts_.fetch_add(1, std::memory_order_relaxed);
+    burst_updates_.fetch_add(pushed, std::memory_order_relaxed);
+  }
+  return pushed;
+}
+
+void WindowedAggService::worker_loop() {
+  std::vector<Task> burst;
+  burst.reserve(config_.burst_size);
+  // pop_burst returns 0 only once the queue is closed AND drained, so
+  // shutdown folds the whole backlog before the workers exit.
+  while (queue_.pop_burst(burst, config_.burst_size) != 0) {
+    apply_burst(burst);
+    burst.clear();
+  }
+}
+
+void WindowedAggService::apply_burst(std::vector<Task>& burst) {
+  // Group task indices per tenant, preserving burst order, then take
+  // each tenant's lock once for the whole group.
+  std::vector<std::pair<const std::string*, std::vector<std::size_t>>>
+      groups;
+  for (std::size_t i = 0; i < burst.size(); ++i) {
+    auto it = std::find_if(groups.begin(), groups.end(), [&](const auto& g) {
+      return *g.first == burst[i].item.tenant;
+    });
+    if (it == groups.end())
+      groups.emplace_back(&burst[i].item.tenant,
+                          std::vector<std::size_t>{i});
+    else
+      it->second.push_back(i);
+  }
+  std::uint64_t n_applied = 0;
+  std::uint64_t n_expired = 0;
+  std::uint64_t n_errors = 0;
+  for (auto& g : groups) {
+    Tenant* t = find_tenant(*g.first);
+    if (t == nullptr) {  // unreachable: submit_burst creates tenants
+      n_errors += g.second.size();
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(t->mutex);
+    for (auto i : g.second) {
+      try {
+        if (t->window.submit(burst[i].item.timestamp,
+                             std::move(burst[i].item.update)))
+          ++n_applied;
+        else
+          ++n_expired;  // counted in the window too, never folded
+      } catch (const std::exception& e) {
+        ++n_errors;
+        std::cerr << "WindowedAggService: dropped update for tenant '"
+                  << *g.first << "': " << e.what() << "\n";
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(progress_mutex_);
+    for (const auto& task : burst) pending_tickets_.erase(task.ticket);
+    applied_ += n_applied;
+    expired_ += n_expired;
+    apply_errors_ += n_errors;
+  }
+  progress_cv_.notify_all();
+}
+
+WindowedAggService::Snapshot WindowedAggService::snapshot(
+    const std::string& tenant, std::size_t window_buckets) {
+  Tenant* t = find_tenant(tenant);
+  if (t == nullptr)
+    throw std::invalid_argument("WindowedAggService: unknown tenant '" +
+                                tenant + "'");
+  std::lock_guard<std::mutex> lock(t->mutex);
+  Snapshot snap;
+  snap.sum = t->window.snapshot(window_buckets);
+  snap.epoch = ++t->epoch;
+  snap.updates_applied = t->window.stats().accepted;
+  ++t->snapshots;
+  snapshots_.fetch_add(1, std::memory_order_relaxed);
+  return snap;
+}
+
+void WindowedAggService::drain() {
+  std::unique_lock<std::mutex> lock(progress_mutex_);
+  // Wait for exactly the tickets issued before this call: completions
+  // of later-submitted tasks can never satisfy an earlier drain.
+  const std::uint64_t cutoff = next_ticket_;
+  progress_cv_.wait(lock, [&] {
+    return pending_tickets_.empty() || *pending_tickets_.begin() >= cutoff;
+  });
+}
+
+void WindowedAggService::stop() {
+  std::call_once(stop_once_, [this] {
+    stopped_.store(true, std::memory_order_seq_cst);
+    queue_.close();  // workers fold the backlog, then see 0
+    for (auto& w : workers_) w.join();
+  });
+}
+
+WindowedServiceStats WindowedAggService::stats() const {
+  WindowedServiceStats out;
+  {
+    std::lock_guard<std::mutex> lock(progress_mutex_);
+    out.submitted = submitted_;
+    out.applied = applied_;
+    out.expired = expired_;
+    out.apply_errors = apply_errors_;
+  }
+  out.rejected = rejected_.load(std::memory_order_relaxed);
+  out.snapshots = snapshots_.load(std::memory_order_relaxed);
+  out.queue_depth = queue_.size();
+  out.queue_high_water = queue_.high_water();
+  out.bursts = bursts_.load(std::memory_order_relaxed);
+  out.burst_updates = burst_updates_.load(std::memory_order_relaxed);
+  std::shared_lock tenants_lock(tenants_mutex_);
+  for (const auto& [name, t] : tenants_) {
+    std::lock_guard<std::mutex> g(t->mutex);
+    out.tenants.emplace_back(name, t->window.stats());
+  }
+  return out;
+}
+
+}  // namespace spkadd::service

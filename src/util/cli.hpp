@@ -1,6 +1,7 @@
 // Minimal command-line flag parsing for the bench/example binaries.
 //
-// All benches share flags like --rows, --scale, --threads, --llc-bytes; this
+// All benches share flags like --rows, --scale, --threads, --cache-spec;
+// this
 // parser supports "--name value", "--name=value" and boolean "--name" forms
 // and prints a generated --help.
 #pragma once

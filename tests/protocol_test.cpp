@@ -1,0 +1,199 @@
+// SPKN wire protocol: frame round-trips, strict header validation
+// (magic / version / verb / bounded lengths), partial-read behaviour,
+// and bit-exact matrix payload round-trips over the SPKB container.
+#include "net/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace spkadd::net;
+using spkadd::testing::Csc;
+
+Request sample_request() {
+  Request req;
+  req.verb = Verb::kSubmit;
+  req.tenant = "tenant-a";
+  req.arg = 123456789;
+  req.payload = "opaque-bytes";
+  return req;
+}
+
+/// Corrupt one little-endian field inside an encoded frame.
+template <class T>
+void poke(std::string& frame, std::size_t offset, T value) {
+  std::memcpy(frame.data() + offset, &value, sizeof(T));
+}
+
+// -------------------------------------------------------- round-trips
+TEST(Protocol, RequestRoundTrip) {
+  const Request req = sample_request();
+  std::string wire;
+  encode_request(req, wire);
+  EXPECT_EQ(wire.size(),
+            kHeaderBytes + req.tenant.size() + req.payload.size());
+  Request out;
+  EXPECT_EQ(try_decode_request(wire, out), wire.size());
+  EXPECT_EQ(out.verb, req.verb);
+  EXPECT_EQ(out.tenant, req.tenant);
+  EXPECT_EQ(out.arg, req.arg);
+  EXPECT_EQ(out.payload, req.payload);
+}
+
+TEST(Protocol, ResponseRoundTrip) {
+  Response resp;
+  resp.status = Status::kBadWindow;
+  resp.arg = 42;
+  resp.payload = "details";
+  std::string wire;
+  encode_response(resp, wire);
+  Response out;
+  EXPECT_EQ(try_decode_response(wire, out), wire.size());
+  EXPECT_EQ(out.status, resp.status);
+  EXPECT_EQ(out.arg, resp.arg);
+  EXPECT_EQ(out.payload, resp.payload);
+}
+
+TEST(Protocol, BackToBackFramesDecodeOneAtATime) {
+  std::string wire;
+  Request a = sample_request();
+  Request b = sample_request();
+  b.verb = Verb::kDrain;
+  b.tenant.clear();
+  b.payload.clear();
+  encode_request(a, wire);
+  const std::size_t first = wire.size();
+  encode_request(b, wire);
+  Request out;
+  EXPECT_EQ(try_decode_request(wire, out), first);
+  EXPECT_EQ(out.verb, Verb::kSubmit);
+  wire.erase(0, first);
+  EXPECT_EQ(try_decode_request(wire, out), wire.size());
+  EXPECT_EQ(out.verb, Verb::kDrain);
+}
+
+// ------------------------------------------------ partial-read safety
+TEST(Protocol, TruncatedFramesAskForMoreBytesNeverThrow) {
+  std::string wire;
+  encode_request(sample_request(), wire);
+  Request out;
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_EQ(try_decode_request(wire.substr(0, len), out), 0u)
+        << "prefix length " << len;
+  }
+}
+
+// ----------------------------------------------- validation strictness
+TEST(Protocol, BadMagicThrows) {
+  std::string wire;
+  encode_request(sample_request(), wire);
+  poke<std::uint32_t>(wire, 0, 0xDEADBEEF);
+  Request out;
+  try {
+    try_decode_request(wire, out);
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.status, Status::kBadMagic);
+  }
+}
+
+TEST(Protocol, ResponseMagicIsNotRequestMagic) {
+  // A response frame fed to the request decoder must be refused.
+  std::string wire;
+  encode_response(Response{}, wire);
+  Request out;
+  EXPECT_THROW(try_decode_request(wire, out), ProtocolError);
+}
+
+TEST(Protocol, BadVersionThrows) {
+  std::string wire;
+  encode_request(sample_request(), wire);
+  poke<std::uint16_t>(wire, 4, kProtocolVersion + 1);
+  Request out;
+  try {
+    try_decode_request(wire, out);
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.status, Status::kBadVersion);
+  }
+}
+
+TEST(Protocol, BadVerbThrows) {
+  std::string wire;
+  encode_request(sample_request(), wire);
+  for (const std::uint8_t code : {std::uint8_t{0}, std::uint8_t{9}}) {
+    std::string bad = wire;
+    poke<std::uint8_t>(bad, 6, code);
+    Request out;
+    try {
+      try_decode_request(bad, out);
+      FAIL() << "expected ProtocolError for verb " << int(code);
+    } catch (const ProtocolError& e) {
+      EXPECT_EQ(e.status, Status::kBadVerb);
+    }
+  }
+}
+
+TEST(Protocol, OversizedLengthsThrowBeforeBuffering) {
+  // Lengths over the bounds must throw even though the buffer holds
+  // nothing but the header — the check runs before any allocation.
+  std::string wire;
+  encode_request(sample_request(), wire);
+  std::string oversized_tenant = wire.substr(0, kHeaderBytes);
+  poke<std::uint32_t>(oversized_tenant, 8, kMaxTenantLen + 1);
+  Request out;
+  try {
+    try_decode_request(oversized_tenant, out);
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.status, Status::kBadTenant);
+  }
+  std::string oversized_payload = wire.substr(0, kHeaderBytes);
+  poke<std::uint32_t>(oversized_payload, 20, kMaxPayloadLen + 1);
+  try {
+    try_decode_request(oversized_payload, out);
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.status, Status::kOversizedPayload);
+  }
+}
+
+TEST(Protocol, EncodeRejectsOversizedTenant) {
+  Request req = sample_request();
+  req.tenant.assign(kMaxTenantLen + 1, 'x');
+  std::string wire;
+  EXPECT_THROW(encode_request(req, wire), ProtocolError);
+}
+
+// --------------------------------------------------- matrix payloads
+TEST(Protocol, MatrixPayloadRoundTripsBitExactly) {
+  const Csc m = spkadd::testing::random_matrix(211, 17, 900, 5);
+  const std::string payload = encode_matrix(m);
+  EXPECT_EQ(decode_matrix(payload), m);
+}
+
+TEST(Protocol, UndecodableMatrixPayloadThrowsBadPayload) {
+  const std::string junk = "definitely not an SPKB container";
+  try {
+    (void)decode_matrix(junk);
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.status, Status::kBadPayload);
+  }
+  // Truncating a valid container must fail the same way.
+  const Csc m = spkadd::testing::random_matrix(50, 5, 100, 6);
+  const std::string good = encode_matrix(m);
+  try {
+    (void)decode_matrix(good.substr(0, good.size() / 2));
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.status, Status::kBadPayload);
+  }
+}
+
+}  // namespace
