@@ -9,6 +9,7 @@
 #include "gen/workload.hpp"
 #include "matrix/coo.hpp"
 #include "util/cache_info.hpp"
+#include "util/json.hpp"
 #include "util/timer.hpp"
 #include "version.hpp"
 
@@ -127,32 +128,6 @@ double time_median(int repeats, const std::function<void()>& fn) {
   return n % 2 == 1 ? laps[n / 2] : 0.5 * (laps[n / 2 - 1] + laps[n / 2]);
 }
 
-namespace {
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
-
 SampleLog::SampleLog(std::string bench) : bench_(std::move(bench)) {}
 
 void SampleLog::add(const std::string& name, const std::string& config,
@@ -167,10 +142,11 @@ bool SampleLog::write(const std::string& path) const {
     return false;
   }
   out << "{\n"
-      << "  \"bench\": \"" << json_escape(bench_) << "\",\n"
-      << "  \"version\": \"" << json_escape(std::string(kVersion)) << "\",\n"
-      << "  \"machine\": \"" << json_escape(util::cached_machine().summary())
+      << "  \"bench\": \"" << util::json_escape(bench_) << "\",\n"
+      << "  \"version\": \"" << util::json_escape(std::string(kVersion))
       << "\",\n"
+      << "  \"machine\": \""
+      << util::json_escape(util::cached_machine().summary()) << "\",\n"
       << "  \"samples\": [";
   for (std::size_t i = 0; i < samples_.size(); ++i) {
     const Sample& s = samples_[i];
@@ -178,8 +154,8 @@ bool SampleLog::write(const std::string& path) const {
     secs.precision(9);
     secs << s.seconds;
     out << (i == 0 ? "\n" : ",\n")
-        << "    {\"name\": \"" << json_escape(s.name) << "\", "
-        << "\"config\": \"" << json_escape(s.config) << "\", "
+        << "    {\"name\": \"" << util::json_escape(s.name) << "\", "
+        << "\"config\": \"" << util::json_escape(s.config) << "\", "
         << "\"median_seconds\": " << secs.str() << ", "
         << "\"peak_intermediate_nnz\": " << s.peak_intermediate_nnz << "}";
   }

@@ -113,6 +113,10 @@ int main(int argc, char** argv) {
       "port-file", "", "--serve: write the bound port here (CI handshake)");
   const auto* connect_flag = cli.add_string(
       "connect", "", "loadgen only, against host:port (no local daemon)");
+  const auto* scrape_flag = cli.add_string(
+      "scrape", "",
+      "print the daemon's Prometheus exposition via the SPKN metrics "
+      "verb (host:port) and exit");
   const auto* json = cli.add_string("json", "", "write JSON samples here");
   if (!cli.parse(argc, argv)) return 1;
 
@@ -169,10 +173,31 @@ int main(int argc, char** argv) {
     std::cout << "bench_daemon: served " << stats.connections_accepted
               << " connections, "
               << stats.requests_submit + stats.requests_snapshot +
-                     stats.requests_drain + stats.requests_stats
+                     stats.requests_drain + stats.requests_stats +
+                     stats.requests_metrics
               << " requests, " << stats.protocol_errors
               << " protocol errors\n";
     return stats.protocol_errors == 0 ? 0 : 1;
+  }
+
+  // ----------------------------------------------------- scrape mode
+  if (!scrape_flag->empty()) {
+    Endpoint ep;
+    if (!parse_endpoint(*scrape_flag, ep)) {
+      std::cerr << "bench_daemon: --scrape wants host:port, got '"
+                << *scrape_flag << "'\n";
+      return 1;
+    }
+    net::Client client(ep.host, ep.port);
+    net::Status status = net::Status::kInternal;
+    const std::string text = client.metrics_text(&status);
+    if (status != net::Status::kOk) {
+      std::cerr << "bench_daemon: metrics verb answered "
+                << net::status_name(status) << "\n";
+      return 1;
+    }
+    std::cout << text;
+    return text.empty() ? 1 : 0;
   }
 
   // --------------------------------------------------- loadgen setup

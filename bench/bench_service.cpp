@@ -24,6 +24,7 @@
 
 #include "bench_common.hpp"
 #include "gen/workload.hpp"
+#include "obs/metrics.hpp"
 #include "service/agg_service.hpp"
 #include "util/cli.hpp"
 #include "util/thread_control.hpp"
@@ -90,8 +91,18 @@ int main(int argc, char** argv) {
       "under test, so per-fold column parallelism defaults off)");
   const auto* method_flag = cli.add_string(
       "method", "auto", "shard fold method (auto, hash, hybrid, ...)");
+  const auto* metrics_flag = cli.add_string(
+      "metrics", "on",
+      "attach a metrics registry: on|off (the overhead-gate axis — "
+      "scripts/bench_smoke.sh compares matched-load runs of both)");
   const auto* json = cli.add_string("json", "", "write JSON samples here");
   if (!cli.parse(argc, argv)) return 1;
+
+  if (*metrics_flag != "on" && *metrics_flag != "off") {
+    std::cerr << "bench_service: --metrics must be on or off\n";
+    return 1;
+  }
+  const bool metrics_on = *metrics_flag == "on";
 
   core::Method fold_method;
   try {
@@ -189,6 +200,11 @@ int main(int argc, char** argv) {
           cfg.pin_threads = *pin;
           cfg.options.threads = static_cast<int>(*fold_threads);
           cfg.options.method = fold_method;
+          // Fresh registry per configuration so sequential sweeps never
+          // pollute each other's samples; off = nullptr disables every
+          // collector registration.
+          obs::MetricsRegistry registry;
+          cfg.metrics = metrics_on ? &registry : nullptr;
 
           // --- correctness pass: concurrent ingest == one-shot spkadd.
           bool exact = false;
@@ -275,7 +291,8 @@ int main(int argc, char** argv) {
               " window=" + std::to_string(W) + " burst=" +
               std::to_string(B) + " rate=" + std::to_string(*rate) +
               " pin=" + (*pin ? "1" : "0") +
-              " method=" + core::method_name(fold_method);
+              " method=" + core::method_name(fold_method) +
+              " metrics=" + *metrics_flag;
           table.add_row({pname, std::to_string(S), std::to_string(P),
                          std::to_string(W), std::to_string(B),
                          rate_str(upd_s), rate_str(nnz_s / 1e6),

@@ -16,8 +16,15 @@
 # every windowed snapshot verified bit-identical to a single-threaded
 # reference fold) lands in BENCH_daemon.json on the same schema.
 #
+# The metrics-overhead leg re-runs a matched bench_service config with
+# the obs registry attached (--metrics on) and detached (--metrics off),
+# 3 reps each, and FAILS when the best metrics-on rep is more than 3%
+# slower than the best metrics-off rep (the scrape-time-collector design
+# promises hot paths never touch the registry). Samples land in
+# BENCH_obs.json.
+#
 # Usage: scripts/bench_smoke.sh [summa.json] [service.json] [hybrid.json] \
-#                               [calibration.json] [daemon.json]
+#                               [calibration.json] [daemon.json] [obs.json]
 #   BUILD_DIR=build   build tree holding the bench binaries (configured and
 #                     built here when the binaries are missing)
 #   SERVICE_THREADS=N run ONLY the service sweep, sized for a multi-core
@@ -36,6 +43,7 @@ SERVICE_OUT="${2:-BENCH_service.json}"
 HYBRID_OUT="${3:-BENCH_hybrid.json}"
 CALIBRATION_OUT="${4:-BENCH_calibration.json}"
 DAEMON_OUT="${5:-BENCH_daemon.json}"
+OBS_OUT="${6:-BENCH_obs.json}"
 JOBS="${JOBS:-$(nproc)}"
 SERVICE_THREADS="${SERVICE_THREADS:-}"
 
@@ -152,11 +160,50 @@ echo "=== bench_daemon (8-connection windowed loadgen) ==="
   --tenants 2 --json "$tmp/daemon.json" > "$tmp/daemon.txt"
 cat "$tmp/daemon.txt"
 
+# Metrics-overhead gate: the identical saturation config with the obs
+# registry attached vs detached, 3 reps each. Min-of-reps ingest
+# seconds-per-update (averaged over the run's patterns) is the score —
+# best-of filters scheduler noise, and the 3% budget is the promise the
+# collector design makes (ISSUE: metrics-enabled within 3% of off).
+echo "=== bench_service metrics-overhead gate (on vs off, 3 reps) ==="
+for mode in on off; do
+  for rep in 1 2 3; do
+    "$BUILD_DIR/bench/bench_service" \
+      --rows 4096 --cols 16 --d 4 --updates 8 --duration-ms 300 \
+      --shards 2 --producers 2 --burst 8 --metrics "$mode" \
+      --json "$tmp/obs_${mode}_${rep}.json" > "$tmp/obs_${mode}_${rep}.txt"
+  done
+done
+python3 - "$tmp" <<'PY'
+import json, sys
+tmp = sys.argv[1]
+
+def rep_score(path):
+    doc = json.load(open(path))
+    secs = [s["median_seconds"] for s in doc["samples"]
+            if s["name"].endswith("/ingest") and s["median_seconds"] > 0]
+    if not secs:
+        raise SystemExit(f"metrics-overhead gate: no ingest samples in {path}")
+    return sum(secs) / len(secs)
+
+best = {m: min(rep_score(f"{tmp}/obs_{m}_{r}.json") for r in (1, 2, 3))
+        for m in ("on", "off")}
+overhead = best["on"] / best["off"] - 1.0
+print(f"metrics-overhead gate: on={best['on']:.3e}s/upd "
+      f"off={best['off']:.3e}s/upd overhead={overhead * 100:+.2f}%")
+if best["on"] > best["off"] * 1.03:
+    raise SystemExit("metrics-overhead gate FAILED: "
+                     "metrics-on more than 3% slower than metrics-off")
+PY
+
 merge_benches "$OUT" "$tmp/streaming.json" "$tmp/fig6.json"
 merge_benches "$SERVICE_OUT" "$tmp/service.json"
 merge_benches "$HYBRID_OUT" "$tmp/hybrid.json"
 merge_benches "$CALIBRATION_OUT" "$tmp/calibration.json"
 merge_benches "$DAEMON_OUT" "$tmp/daemon.json"
+merge_benches "$OBS_OUT" \
+  "$tmp/obs_on_1.json" "$tmp/obs_on_2.json" "$tmp/obs_on_3.json" \
+  "$tmp/obs_off_1.json" "$tmp/obs_off_2.json" "$tmp/obs_off_3.json"
 
 # The merge is string concatenation; make sure the results actually parse.
 if command -v jq > /dev/null 2>&1; then
@@ -165,12 +212,13 @@ if command -v jq > /dev/null 2>&1; then
   jq -e '.benches | length == 1' "$HYBRID_OUT" > /dev/null
   jq -e '.benches | length == 1' "$CALIBRATION_OUT" > /dev/null
   jq -e '.benches | length == 1' "$DAEMON_OUT" > /dev/null
+  jq -e '.benches | length == 6' "$OBS_OUT" > /dev/null
 elif command -v python3 > /dev/null 2>&1; then
   for doc in "$OUT" "$SERVICE_OUT" "$HYBRID_OUT" "$CALIBRATION_OUT" \
-             "$DAEMON_OUT"; do
+             "$DAEMON_OUT" "$OBS_OUT"; do
     python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$doc"
   done
 fi
 
-echo "=== wrote $OUT, $SERVICE_OUT, $HYBRID_OUT, $CALIBRATION_OUT" \
-     "and $DAEMON_OUT ==="
+echo "=== wrote $OUT, $SERVICE_OUT, $HYBRID_OUT, $CALIBRATION_OUT," \
+     "$DAEMON_OUT and $OBS_OUT ==="

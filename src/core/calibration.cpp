@@ -10,6 +10,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/json.hpp"
+
 namespace spkadd::core {
 
 namespace {
@@ -139,15 +141,6 @@ void append_cost_array(std::ostringstream& out,
   out << ']';
 }
 
-std::string json_escape(const std::string& in) {
-  std::string out;
-  for (const char c : in) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
-
 }  // namespace
 
 bool MissCostTable::usable() const {
@@ -229,7 +222,7 @@ std::string MissCostTable::to_json() const {
   out.precision(17);
   out << "{\n";
   out << "  \"version\": " << version << ",\n";
-  out << "  \"hierarchy\": \"" << json_escape(hierarchy) << "\",\n";
+  out << "  \"hierarchy\": \"" << util::json_escape(hierarchy) << "\",\n";
   out << "  \"rows\": " << rows << ",\n";
   out << "  \"threads\": " << threads << ",\n";
   out << "  \"k_axis\": ";

@@ -171,4 +171,15 @@ std::string Client::stats_json(Status* status_out) {
                                     : std::string();
 }
 
+std::string Client::metrics_text(Status* status_out) {
+  flush();
+  Request req;
+  req.verb = Verb::kMetrics;
+  send_request(req);
+  Response resp = recv_response();
+  if (status_out != nullptr) *status_out = resp.status;
+  return resp.status == Status::kOk ? std::move(resp.payload)
+                                    : std::string();
+}
+
 }  // namespace spkadd::net

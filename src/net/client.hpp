@@ -70,6 +70,10 @@ class Client {
   /// Server + service counters as JSON text (empty on a non-Ok ack).
   std::string stats_json(Status* status_out = nullptr);
 
+  /// Prometheus text exposition via the SPKN metrics verb (empty on a
+  /// non-Ok ack).
+  std::string metrics_text(Status* status_out = nullptr);
+
   /// Write raw bytes to the socket (tests: inject malformed frames).
   void send_raw(const std::string& bytes);
 

@@ -116,7 +116,7 @@ const char* status_name(Status s) {
 
 void encode_request(const Request& req, std::string& out) {
   const auto code = static_cast<std::uint8_t>(req.verb);
-  if (code < 1 || code > static_cast<std::uint8_t>(Verb::kStats))
+  if (code < 1 || code > static_cast<std::uint8_t>(Verb::kMetrics))
     throw ProtocolError(Status::kBadVerb, "invalid verb");
   check_bounds(static_cast<std::uint32_t>(req.tenant.size()),
                static_cast<std::uint32_t>(req.payload.size()));
@@ -133,7 +133,7 @@ void encode_response(const Response& resp, std::string& out) {
 std::size_t try_decode_request(std::string_view buf, Request& out) {
   std::uint8_t code = 0;
   const std::size_t n = decode_frame(
-      buf, kRequestMagic, static_cast<std::uint8_t>(Verb::kStats),
+      buf, kRequestMagic, static_cast<std::uint8_t>(Verb::kMetrics),
       Status::kBadVerb, code, out.tenant, out.arg, out.payload);
   if (n == 0) return 0;
   if (code == 0)

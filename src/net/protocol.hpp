@@ -37,6 +37,7 @@ enum class Verb : std::uint8_t {
   kSnapshot = 2,  ///< windowed sum of `tenant`; `arg` = window buckets
   kDrain = 3,     ///< barrier: every accepted submit is folded
   kStats = 4,     ///< service + server counters as a JSON payload
+  kMetrics = 5,   ///< Prometheus text exposition as the payload
 };
 
 /// Response status / protocol error codes (wire values are stable API).

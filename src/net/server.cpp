@@ -15,6 +15,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+#include "util/json.hpp"
+
 namespace spkadd::net {
 
 namespace {
@@ -87,6 +90,10 @@ DaemonServer::DaemonServer(ServerConfig config)
   set_nonblocking(wake_fds_[0]);
   set_nonblocking(wake_fds_[1]);
   poll_thread_ = std::thread([this] { poll_loop(); });
+  if (config_.service.metrics != nullptr) {
+    collector_ = config_.service.metrics->add_collector(
+        [this](obs::CollectorSink& sink) { export_metrics(sink); });
+  }
 }
 
 DaemonServer::~DaemonServer() { stop(); }
@@ -235,6 +242,13 @@ bool DaemonServer::service_conn(Conn& conn,
 void DaemonServer::process_frames(Conn& conn,
                                   std::vector<TimedUpdate>& burst) {
   while (!conn.in.empty() && !conn.closing) {
+    // SPKN frames start with the magic's 'S'; a leading 'G' is a plain
+    // HTTP GET (the Prometheus scrape path — no sidecar needed). Any
+    // other first byte falls through to the bad-magic handling below.
+    if (conn.in.front() == 'G') {
+      handle_http(conn);
+      return;
+    }
     Request req;
     std::size_t n = 0;
     try {
@@ -259,6 +273,15 @@ void DaemonServer::handle(Conn& conn, Request&& req,
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++conn_stats_[conn.id].requests;
   }
+  // Per-verb service time: dispatch to response enqueued. The decoder
+  // bounded the verb code to kMetrics, so the index below is in range.
+  const std::uint64_t t0 = obs::Tracer::now_ns();
+  struct TimeVerb {
+    obs::LogHistogram& hist;
+    std::uint64_t start;
+    ~TimeVerb() { hist.record(obs::Tracer::now_ns() - start); }
+  } time_verb{
+      verb_latency_[static_cast<std::size_t>(req.verb) - 1], t0};
   switch (req.verb) {
     case Verb::kSubmit: {
       req_submit_.fetch_add(1, std::memory_order_relaxed);
@@ -266,6 +289,9 @@ void DaemonServer::handle(Conn& conn, Request&& req,
         record_error(conn, Status::kBadTenant);
         return;
       }
+      obs::Tracer* const tracer = config_.service.tracer;
+      obs::OpTrace trace;
+      if (tracer != nullptr) trace = tracer->begin_op();
       CscMatrix<std::int32_t, double> update;
       try {
         update = decode_matrix(req.payload);
@@ -281,8 +307,11 @@ void DaemonServer::handle(Conn& conn, Request&& req,
         record_error(conn, Status::kShapeMismatch);
         return;
       }
+      if (trace.active())
+        tracer->record(trace, obs::Stage::kWireDecode, t0,
+                       "tenant=" + req.tenant);
       burst.push_back(TimedUpdate{std::move(req.tenant), req.arg,
-                                  std::move(update)});
+                                  std::move(update), std::move(trace)});
       Response resp;
       resp.arg = 1;
       encode_response(resp, conn.out);
@@ -330,8 +359,59 @@ void DaemonServer::handle(Conn& conn, Request&& req,
       encode_response(resp, conn.out);
       return;
     }
+    case Verb::kMetrics: {
+      req_metrics_.fetch_add(1, std::memory_order_relaxed);
+      // Flush so a connection's own submits are at least enqueued (and
+      // counted) before it scrapes.
+      flush_burst(burst);
+      Response resp;
+      resp.payload = metrics_text();
+      encode_response(resp, conn.out);
+      return;
+    }
   }
   record_error(conn, Status::kBadVerb);  // unreachable after decode
+}
+
+void DaemonServer::handle_http(Conn& conn) {
+  const std::size_t head_end = conn.in.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    // Incomplete headers: wait, but never buffer an unbounded header
+    // block from something that will never finish one.
+    if (conn.in.size() > 8192) conn.closing = true;
+    return;
+  }
+  const std::string_view head(conn.in.data(), head_end);
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  // "GET <path> HTTP/1.x" — everything else 404s (GETs carry no body,
+  // so consuming through the blank line consumes the whole request).
+  std::string_view path;
+  if (line.size() > 4 && line.substr(0, 4) == "GET ") {
+    const std::string_view rest = line.substr(4);
+    path = rest.substr(0, rest.find(' '));
+  }
+  std::ostringstream resp;
+  if (path == "/metrics") {
+    req_metrics_.fetch_add(1, std::memory_order_relaxed);
+    const std::string body = metrics_text();
+    resp << "HTTP/1.0 200 OK\r\n"
+            "Content-Type: text/plain; version=0.0.4\r\n"
+            "Content-Length: "
+         << body.size() << "\r\nConnection: close\r\n\r\n"
+         << body;
+  } else {
+    const std::string body = "not found\n";
+    resp << "HTTP/1.0 404 Not Found\r\n"
+            "Content-Type: text/plain\r\n"
+            "Content-Length: "
+         << body.size() << "\r\nConnection: close\r\n\r\n"
+         << body;
+  }
+  conn.out += resp.str();
+  conn.in.clear();
+  conn.closing = true;  // one response per scrape connection
 }
 
 void DaemonServer::flush_burst(std::vector<TimedUpdate>& burst) {
@@ -407,6 +487,7 @@ ServerStats DaemonServer::stats() const {
   out.requests_snapshot = req_snapshot_.load(std::memory_order_relaxed);
   out.requests_drain = req_drain_.load(std::memory_order_relaxed);
   out.requests_stats = req_stats_.load(std::memory_order_relaxed);
+  out.requests_metrics = req_metrics_.load(std::memory_order_relaxed);
   out.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(stats_mutex_);
   out.connections.reserve(conn_stats_.size());
@@ -425,6 +506,7 @@ std::string DaemonServer::stats_json() {
       << ",\"requests_snapshot\":" << s.requests_snapshot
       << ",\"requests_drain\":" << s.requests_drain
       << ",\"requests_stats\":" << s.requests_stats
+      << ",\"requests_metrics\":" << s.requests_metrics
       << ",\"protocol_errors\":" << s.protocol_errors
       << ",\"service\":{\"submitted\":" << w.submitted
       << ",\"applied\":" << w.applied << ",\"expired\":" << w.expired
@@ -438,7 +520,8 @@ std::string DaemonServer::stats_json() {
   for (std::size_t i = 0; i < w.tenants.size(); ++i) {
     const auto& [name, ws] = w.tenants[i];
     if (i != 0) out << ",";
-    out << "{\"name\":\"" << name << "\",\"accepted\":" << ws.accepted
+    out << "{\"name\":\"" << util::json_escape(name)
+        << "\",\"accepted\":" << ws.accepted
         << ",\"expired_rejected\":" << ws.expired_rejected
         << ",\"buckets_opened\":" << ws.buckets_opened
         << ",\"buckets_retired\":" << ws.buckets_retired
@@ -449,6 +532,46 @@ std::string DaemonServer::stats_json() {
   }
   out << "]}}";
   return out.str();
+}
+
+std::string DaemonServer::metrics_text() const {
+  return config_.service.metrics != nullptr
+             ? config_.service.metrics->render_prometheus()
+             : std::string();
+}
+
+void DaemonServer::export_metrics(obs::CollectorSink& sink) const {
+  const auto d = [](std::uint64_t v) { return static_cast<double>(v); };
+  const auto verb = [&](const char* name, const std::atomic<
+                                              std::uint64_t>& count,
+                        Verb v) {
+    sink.counter("spkadd_daemon_requests_total",
+                 "Requests dispatched, by verb", {{"verb", name}},
+                 d(count.load(std::memory_order_relaxed)));
+    sink.histogram(
+        "spkadd_daemon_request_seconds",
+        "Request service time (dispatch to response enqueued), by verb",
+        {{"verb", name}},
+        verb_latency_[static_cast<std::size_t>(v) - 1],
+        obs::Unit::kSeconds);
+  };
+  verb("submit", req_submit_, Verb::kSubmit);
+  verb("snapshot", req_snapshot_, Verb::kSnapshot);
+  verb("drain", req_drain_, Verb::kDrain);
+  verb("stats", req_stats_, Verb::kStats);
+  verb("metrics", req_metrics_, Verb::kMetrics);
+  sink.gauge("spkadd_daemon_connections_open",
+             "Connections currently open", {},
+             d(open_.load(std::memory_order_relaxed)));
+  sink.counter("spkadd_daemon_connections_accepted_total",
+               "Connections ever accepted", {},
+               d(accepted_.load(std::memory_order_relaxed)));
+  sink.counter("spkadd_daemon_connections_rejected_total",
+               "Connections refused over max_connections", {},
+               d(conn_rejected_.load(std::memory_order_relaxed)));
+  sink.counter("spkadd_daemon_protocol_errors_total",
+               "Protocol errors across all connections", {},
+               d(protocol_errors_.load(std::memory_order_relaxed)));
 }
 
 }  // namespace spkadd::net

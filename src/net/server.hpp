@@ -42,6 +42,7 @@
 // bit-identity.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -53,6 +54,7 @@
 #include <vector>
 
 #include "net/protocol.hpp"
+#include "obs/metrics.hpp"
 #include "service/windowed_service.hpp"
 
 namespace spkadd::net {
@@ -82,6 +84,8 @@ struct ServerStats {
   std::uint64_t requests_snapshot = 0;
   std::uint64_t requests_drain = 0;
   std::uint64_t requests_stats = 0;
+  /// SPKN metrics-verb requests plus HTTP GET /metrics scrapes.
+  std::uint64_t requests_metrics = 0;
   std::uint64_t protocol_errors = 0;  ///< across all connections ever
   std::vector<ConnectionStats> connections;  ///< open + closed
 };
@@ -113,6 +117,10 @@ class DaemonServer {
   /// stats verb answers (documented in docs/PROTOCOL.md).
   [[nodiscard]] std::string stats_json();
 
+  /// Render the Prometheus text exposition the metrics verb and
+  /// GET /metrics answer (empty when config.service.metrics is null).
+  [[nodiscard]] std::string metrics_text() const;
+
  private:
   struct Conn {
     int fd = -1;
@@ -139,6 +147,11 @@ class DaemonServer {
   void handle(Conn& conn, Request&& req,
               std::vector<service::WindowedAggService::TimedUpdate>&
                   burst);
+  /// Serve a plain-HTTP connection (first byte was not the SPKN
+  /// magic's 'S'): answers GET /metrics with the Prometheus
+  /// exposition, 404 for other paths, then closes. Returns once the
+  /// buffered bytes are consumed or more are needed.
+  void handle_http(Conn& conn);
   /// Push the staged burst into the service as one enqueue.
   void flush_burst(
       std::vector<service::WindowedAggService::TimedUpdate>& burst);
@@ -173,9 +186,24 @@ class DaemonServer {
   std::atomic<std::uint64_t> req_snapshot_{0};
   std::atomic<std::uint64_t> req_drain_{0};
   std::atomic<std::uint64_t> req_stats_{0};
+  std::atomic<std::uint64_t> req_metrics_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
   mutable std::mutex stats_mutex_;
   std::map<std::uint64_t, ConnectionStats> conn_stats_;
+
+  /// Per-verb request service time (frame dispatch to response
+  /// enqueued), indexed by wire verb code - 1. Lock-free recording on
+  /// the poll thread; exported by the collector below.
+  std::array<obs::LogHistogram,
+             static_cast<std::size_t>(Verb::kMetrics)>
+      verb_latency_;
+
+  /// Exports connection/request counters + per-verb latency.
+  void export_metrics(obs::CollectorSink& sink) const;
+
+  // LAST member: destroyed first, and its dtor blocks until no render
+  // can still be invoking export_metrics on this instance.
+  obs::CollectorHandle collector_;
 };
 
 }  // namespace spkadd::net

@@ -1,30 +1,37 @@
-#include "service/service_stats.hpp"
+#include "obs/histogram.hpp"
 
 #include <algorithm>
 #include <bit>
 #include <cmath>
 
-namespace spkadd::service {
+namespace spkadd::obs {
 
-std::size_t LatencyHistogram::bucket_of(std::uint64_t nanos) {
-  if (nanos < kSub) return static_cast<std::size_t>(nanos);
+std::size_t LogHistogram::bucket_of(std::uint64_t ticks) {
+  if (ticks < kSub) return static_cast<std::size_t>(ticks);
   // Octave = position of the most significant bit; the next 3 bits pick
   // the sub-bucket, so bucket width is 1/8 of the octave everywhere.
-  const auto octave = static_cast<std::size_t>(std::bit_width(nanos)) - 1;
+  const auto octave = static_cast<std::size_t>(std::bit_width(ticks)) - 1;
   const std::size_t sub =
-      static_cast<std::size_t>(nanos >> (octave - 3)) & (kSub - 1);
+      static_cast<std::size_t>(ticks >> (octave - 3)) & (kSub - 1);
   const std::size_t idx = (octave - 2) * kSub + sub;
   return idx < kBuckets ? idx : kBuckets - 1;
 }
 
-std::uint64_t LatencyHistogram::bucket_upper(std::size_t idx) {
+std::uint64_t LogHistogram::bucket_upper(std::size_t idx) {
   if (idx < kSub) return idx;
   const std::size_t octave = idx / kSub + 2;
   const std::uint64_t sub = idx % kSub;
   return ((kSub + sub + 1) << (octave - 3)) - 1;
 }
 
-LatencySummary LatencyHistogram::summary() const {
+std::uint64_t LogHistogram::total_count() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i)
+    total += buckets_[i].load(std::memory_order_relaxed);
+  return total;
+}
+
+LatencySummary LogHistogram::summary() const {
   std::array<std::uint64_t, kBuckets> counts;
   std::uint64_t total = 0;
   for (std::size_t i = 0; i < kBuckets; ++i) {
@@ -34,7 +41,8 @@ LatencySummary LatencyHistogram::summary() const {
   LatencySummary out;
   out.count = total;
   out.max =
-      static_cast<double>(max_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+      static_cast<double>(max_ticks_.load(std::memory_order_relaxed)) *
+      1e-9;
   if (total == 0) return out;
 
   const auto quantile = [&](double q) {
@@ -58,4 +66,4 @@ LatencySummary LatencyHistogram::summary() const {
   return out;
 }
 
-}  // namespace spkadd::service
+}  // namespace spkadd::obs

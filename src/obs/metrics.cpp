@@ -1,0 +1,409 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "util/json.hpp"
+
+namespace spkadd::obs {
+
+namespace {
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  const auto tail = [&](char c) {
+    return head(c) || (c >= '0' && c <= '9');
+  };
+  if (!head(name.front())) return false;
+  return std::all_of(name.begin() + 1, name.end(), tail);
+}
+
+void sort_labels(Labels& labels) {
+  std::sort(labels.begin(), labels.end());
+}
+
+std::string instrument_key(std::string_view name, const Labels& labels) {
+  std::string key(name);
+  for (const auto& [k, v] : labels) {
+    key += '\x01';
+    key += k;
+    key += '\x02';
+    key += v;
+  }
+  return key;
+}
+
+/// `{a="x",b="y"}` — empty label set renders as nothing.
+std::string label_block(const Labels& labels) {
+  if (labels.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += prometheus_escape(v);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string format_value(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+const char* kind_name(int kind) {
+  switch (kind) {
+    case 0:
+      return "counter";
+    case 1:
+      return "gauge";
+    default:
+      return "histogram";
+  }
+}
+
+/// One rendered sample: family name + suffix + labels + value.
+struct Sample {
+  std::string suffix;  ///< "" or "_bucket"/"_sum"/"_count"/...
+  Labels labels;
+  double value = 0;
+};
+
+struct Family {
+  std::string help;
+  int kind = 0;  ///< mirrors MetricsRegistry::Kind numeric values
+  std::vector<Sample> samples;
+};
+
+/// Prometheus shape: sparse cumulative `_bucket{le=...}` over occupied
+/// buckets plus +Inf, then `_sum` and `_count` (valid exposition — `le`
+/// bounds need not be exhaustive).
+void emit_histogram_prometheus(Family& fam, const Labels& labels,
+                               const LogHistogram& hist, Unit unit) {
+  const double scale = unit == Unit::kSeconds ? 1e-9 : 1.0;
+  std::uint64_t cum = 0;
+  hist.for_each_nonzero_bucket(
+      [&](std::uint64_t upper, std::uint64_t count) {
+        cum += count;
+        Labels with_le = labels;
+        with_le.emplace_back(
+            "le", format_value(static_cast<double>(upper) * scale));
+        fam.samples.push_back(Sample{"_bucket", std::move(with_le),
+                                     static_cast<double>(cum)});
+      });
+  Labels inf = labels;
+  inf.emplace_back("le", "+Inf");
+  fam.samples.push_back(
+      Sample{"_bucket", std::move(inf), static_cast<double>(cum)});
+  fam.samples.push_back(
+      Sample{"_sum", labels,
+             static_cast<double>(hist.sum_ticks()) * scale});
+  fam.samples.push_back(
+      Sample{"_count", labels, static_cast<double>(cum)});
+}
+
+/// JSON shape: the digest, not the buckets — count + sum + quantiles is
+/// what the stats-style consumers read.
+void emit_histogram_json(Family& fam, const Labels& labels,
+                         const LogHistogram& hist, Unit unit) {
+  const double scale = unit == Unit::kSeconds ? 1e-9 : 1.0;
+  const LatencySummary sum = hist.summary();
+  // summary() reports quantiles in seconds (ticks * 1e-9); undo that
+  // for dimensionless histograms so JSON readers see tick units.
+  const double qscale = unit == Unit::kSeconds ? 1.0 : 1e9;
+  fam.samples.push_back(
+      Sample{"_count", labels, static_cast<double>(sum.count)});
+  fam.samples.push_back(
+      Sample{"_sum", labels,
+             static_cast<double>(hist.sum_ticks()) * scale});
+  fam.samples.push_back(Sample{"_p50", labels, sum.p50 * qscale});
+  fam.samples.push_back(Sample{"_p99", labels, sum.p99 * qscale});
+  fam.samples.push_back(Sample{"_max", labels, sum.max * qscale});
+}
+
+class SampleSink final : public CollectorSink {
+ public:
+  SampleSink(std::map<std::string, Family>& families, bool prometheus)
+      : families_(families), prometheus_(prometheus) {}
+
+  void counter(std::string_view name, std::string_view help, Labels labels,
+               double value) override {
+    sort_labels(labels);
+    family(name, help, 0).samples.push_back(
+        Sample{"", std::move(labels), value});
+  }
+
+  void gauge(std::string_view name, std::string_view help, Labels labels,
+             double value) override {
+    sort_labels(labels);
+    family(name, help, 1).samples.push_back(
+        Sample{"", std::move(labels), value});
+  }
+
+  void histogram(std::string_view name, std::string_view help,
+                 Labels labels, const LogHistogram& hist,
+                 Unit unit) override {
+    sort_labels(labels);
+    Family& fam = family(name, help, 2);
+    if (prometheus_)
+      emit_histogram_prometheus(fam, labels, hist, unit);
+    else
+      emit_histogram_json(fam, labels, hist, unit);
+  }
+
+ private:
+  Family& family(std::string_view name, std::string_view help, int kind) {
+    auto& fam = families_[std::string(name)];
+    if (fam.help.empty()) {
+      fam.help = std::string(help);
+      fam.kind = kind;
+    }
+    return fam;
+  }
+
+  std::map<std::string, Family>& families_;
+  const bool prometheus_;
+};
+
+}  // namespace
+
+std::size_t Counter::cell_index() {
+  // One cell per thread modulo kCells: distinct threads land on
+  // distinct cache lines with high probability, and a given thread is
+  // stable, so adds never ping-pong a shared line.
+  static thread_local const std::size_t idx =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kCells;
+  return idx;
+}
+
+CollectorHandle::CollectorHandle(CollectorHandle&& other) noexcept
+    : registry_(other.registry_), id_(other.id_) {
+  other.registry_ = nullptr;
+}
+
+CollectorHandle& CollectorHandle::operator=(
+    CollectorHandle&& other) noexcept {
+  if (this != &other) {
+    if (registry_ != nullptr) registry_->remove_collector(id_);
+    registry_ = other.registry_;
+    id_ = other.id_;
+    other.registry_ = nullptr;
+  }
+  return *this;
+}
+
+CollectorHandle::~CollectorHandle() {
+  if (registry_ != nullptr) registry_->remove_collector(id_);
+}
+
+MetricsRegistry::Instrument& MetricsRegistry::find_or_create(
+    Kind kind, std::string_view name, std::string_view help, Labels labels,
+    Unit unit) {
+  if (!valid_metric_name(name))
+    throw std::invalid_argument("MetricsRegistry: invalid metric name '" +
+                                std::string(name) + "'");
+  sort_labels(labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string key = instrument_key(name, labels);
+  auto it = instruments_.find(key);
+  if (it != instruments_.end()) {
+    if (it->second.kind != kind)
+      throw std::invalid_argument(
+          "MetricsRegistry: metric '" + std::string(name) +
+          "' re-registered as a different type");
+    return it->second;
+  }
+  // A metric family must have ONE type: reject a name already used
+  // under other labels as a different kind (Prometheus would refuse
+  // the exposition).
+  for (const auto& [k, inst] : instruments_) {
+    if (inst.name == name && inst.kind != kind)
+      throw std::invalid_argument(
+          "MetricsRegistry: metric '" + std::string(name) +
+          "' re-registered as a different type");
+  }
+  Instrument inst;
+  inst.kind = kind;
+  inst.name = std::string(name);
+  inst.help = std::string(help);
+  inst.labels = std::move(labels);
+  inst.unit = unit;
+  switch (kind) {
+    case Kind::kCounter:
+      inst.counter = &counters_.emplace_back();
+      break;
+    case Kind::kGauge:
+      inst.gauge = &gauges_.emplace_back();
+      break;
+    case Kind::kHistogram:
+      inst.histogram = &histograms_.emplace_back();
+      break;
+  }
+  return instruments_.emplace(key, std::move(inst)).first->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  std::string_view help, Labels labels) {
+  return *find_or_create(Kind::kCounter, name, help, std::move(labels),
+                         Unit::kCount)
+              .counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help,
+                              Labels labels) {
+  return *find_or_create(Kind::kGauge, name, help, std::move(labels),
+                         Unit::kCount)
+              .gauge;
+}
+
+LogHistogram& MetricsRegistry::histogram(std::string_view name,
+                                         std::string_view help,
+                                         Labels labels, Unit unit) {
+  auto& inst =
+      find_or_create(Kind::kHistogram, name, help, std::move(labels), unit);
+  if (inst.unit != unit)
+    throw std::invalid_argument("MetricsRegistry: histogram '" +
+                                std::string(name) +
+                                "' re-registered with a different unit");
+  return *inst.histogram;
+}
+
+CollectorHandle MetricsRegistry::add_collector(
+    std::function<void(CollectorSink&)> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t id = next_collector_id_++;
+  collectors_.push_back(Collector{id, std::move(fn)});
+  return CollectorHandle(this, id);
+}
+
+void MetricsRegistry::remove_collector(std::uint64_t id) {
+  // Taking the mutex doubles as the grace period: any render invoking
+  // this collector holds the mutex until it finishes.
+  std::lock_guard<std::mutex> lock(mutex_);
+  collectors_.remove_if([id](const Collector& c) { return c.id == id; });
+}
+
+std::string MetricsRegistry::render_prometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, Family> families;
+  for (const auto& [key, inst] : instruments_) {
+    auto& fam = families[inst.name];
+    fam.help = inst.help;
+    fam.kind = static_cast<int>(inst.kind);
+    switch (inst.kind) {
+      case Kind::kCounter:
+        fam.samples.push_back(Sample{
+            "", inst.labels, static_cast<double>(inst.counter->value())});
+        break;
+      case Kind::kGauge:
+        fam.samples.push_back(
+            Sample{"", inst.labels, inst.gauge->value()});
+        break;
+      case Kind::kHistogram:
+        emit_histogram_prometheus(fam, inst.labels, *inst.histogram,
+                                  inst.unit);
+        break;
+    }
+  }
+  SampleSink sink(families, /*prometheus=*/true);
+  for (const auto& collector : collectors_) collector.fn(sink);
+
+  std::ostringstream out;
+  for (const auto& [name, fam] : families) {
+    out << "# HELP " << name << ' ' << fam.help << '\n';
+    out << "# TYPE " << name << ' ' << kind_name(fam.kind) << '\n';
+    for (const auto& s : fam.samples) {
+      out << name << s.suffix << label_block(s.labels) << ' '
+          << format_value(s.value) << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::render_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, Family> families;
+  for (const auto& [key, inst] : instruments_) {
+    auto& fam = families[inst.name];
+    fam.help = inst.help;
+    fam.kind = static_cast<int>(inst.kind);
+    switch (inst.kind) {
+      case Kind::kCounter:
+        fam.samples.push_back(Sample{
+            "", inst.labels, static_cast<double>(inst.counter->value())});
+        break;
+      case Kind::kGauge:
+        fam.samples.push_back(
+            Sample{"", inst.labels, inst.gauge->value()});
+        break;
+      case Kind::kHistogram:
+        emit_histogram_json(fam, inst.labels, *inst.histogram, inst.unit);
+        break;
+    }
+  }
+  SampleSink sink(families, /*prometheus=*/false);
+  for (const auto& collector : collectors_) collector.fn(sink);
+
+  std::ostringstream out;
+  out << "{\"metrics\":[";
+  bool first = true;
+  for (const auto& [name, fam] : families) {
+    for (const auto& s : fam.samples) {
+      if (!first) out << ',';
+      first = false;
+      out << "{\"name\":\"" << util::json_escape(name) << s.suffix
+          << "\",\"type\":\"" << kind_name(fam.kind) << "\",\"labels\":{";
+      bool lfirst = true;
+      for (const auto& [k, v] : s.labels) {
+        if (!lfirst) out << ',';
+        lfirst = false;
+        out << '"' << util::json_escape(k) << "\":\""
+            << util::json_escape(v) << '"';
+      }
+      out << "},\"value\":" << format_value(s.value) << '}';
+    }
+  }
+  out << "]}";
+  return out.str();
+}
+
+MetricsRegistry& default_registry() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+std::string prometheus_escape(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  for (const char c : in) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace spkadd::obs

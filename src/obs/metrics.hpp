@@ -1,0 +1,212 @@
+// Process-wide metrics registry: counters, gauges, and log-scale
+// histograms with label support, rendered as Prometheus text exposition
+// or JSON on demand.
+//
+// Design: instruments are created (or looked up) once under the
+// registry mutex and returned as stable references — creation happens
+// on setup paths only. Hot paths then touch pre-resolved instruments:
+// Counter::add is a relaxed atomic add on one of a handful of
+// cache-line-padded cells picked by thread-id hash (no lock, no shared
+// cache line under multi-producer load), Gauge::set is one relaxed
+// store, Histogram::record is LogHistogram::record. Subsystems that
+// already keep their own internal atomics (services, the daemon) export
+// them at scrape time through collector callbacks instead of
+// double-counting: render_*() holds the registry mutex while invoking
+// collectors, so a collector may take its subsystem's locks (the
+// subsystem's hot paths never take the registry mutex — no lock cycle).
+//
+// Thread-safety contract: every public member is safe from any thread.
+// A CollectorHandle must be destroyed before the subsystem state its
+// callback reads; destruction blocks until any in-flight render that
+// may be invoking the callback has finished (declare the handle LAST
+// member of the owning class).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace spkadd::obs {
+
+/// One `name{label="value",...}` label set, sorted by label name at
+/// construction so equal sets compare equal regardless of call order.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotone counter backed by sharded cache-line-padded cells: add() is
+/// one relaxed fetch_add on the cell picked by the caller's thread id,
+/// value() sums the cells.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    cells_[cell_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const auto& cell : cells_)
+      total += cell.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  static constexpr std::size_t kCells = 8;
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  static std::size_t cell_index();
+
+  std::array<Cell, kCells> cells_{};
+};
+
+/// Last-write-wins gauge (doubles, one relaxed atomic).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
+/// What one histogram tick means, so render can emit base units
+/// (Prometheus wants seconds, not nanoseconds).
+enum class Unit : std::uint8_t {
+  kSeconds,  ///< ticks are nanoseconds; rendered scaled by 1e-9
+  kCount,    ///< ticks are dimensionless counts; rendered as-is
+};
+
+/// Sink passed to scrape-time collectors: each call emits one sample
+/// into the families being rendered. Counter samples take a double so
+/// collectors can export fractional cumulative totals (e.g. throttle
+/// seconds). histogram() exports a subsystem-owned LogHistogram as a
+/// full cumulative family — this is how per-instance histograms (the
+/// service latency digest) reach the exposition without the instance
+/// sharing registry storage with its siblings.
+class CollectorSink {
+ public:
+  virtual ~CollectorSink() = default;
+  virtual void counter(std::string_view name, std::string_view help,
+                       Labels labels, double value) = 0;
+  virtual void gauge(std::string_view name, std::string_view help,
+                     Labels labels, double value) = 0;
+  virtual void histogram(std::string_view name, std::string_view help,
+                         Labels labels, const LogHistogram& hist,
+                         Unit unit) = 0;
+};
+
+class MetricsRegistry;
+
+/// RAII registration of a scrape-time collector; removal in the dtor
+/// blocks until no render can still be invoking the callback.
+class CollectorHandle {
+ public:
+  CollectorHandle() = default;
+  CollectorHandle(CollectorHandle&& other) noexcept;
+  CollectorHandle& operator=(CollectorHandle&& other) noexcept;
+  CollectorHandle(const CollectorHandle&) = delete;
+  CollectorHandle& operator=(const CollectorHandle&) = delete;
+  ~CollectorHandle();
+
+ private:
+  friend class MetricsRegistry;
+  CollectorHandle(MetricsRegistry* registry, std::uint64_t id)
+      : registry_(registry), id_(id) {}
+
+  MetricsRegistry* registry_ = nullptr;
+  std::uint64_t id_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Look up or create the counter `name{labels}`. The same name +
+  /// label set always returns the same instrument; re-registering a
+  /// name as a different type throws std::invalid_argument, as does a
+  /// name not matching [a-zA-Z_:][a-zA-Z0-9_:]*.
+  Counter& counter(std::string_view name, std::string_view help,
+                   Labels labels = {});
+
+  /// Look up or create the gauge `name{labels}` (same contract).
+  Gauge& gauge(std::string_view name, std::string_view help,
+               Labels labels = {});
+
+  /// Look up or create the histogram `name{labels}` (same contract;
+  /// `unit` must match across calls for one name).
+  LogHistogram& histogram(std::string_view name, std::string_view help,
+                          Labels labels = {}, Unit unit = Unit::kSeconds);
+
+  /// Register a scrape-time collector invoked by every render_*() with
+  /// the registry mutex held. Keep the handle alive as long as the
+  /// state the callback reads.
+  [[nodiscard]] CollectorHandle add_collector(
+      std::function<void(CollectorSink&)> fn);
+
+  /// Prometheus text exposition (version 0.0.4): families sorted by
+  /// name, # HELP / # TYPE headers, escaped label values, histograms as
+  /// cumulative `_bucket{le=...}` + `_sum` + `_count`.
+  [[nodiscard]] std::string render_prometheus() const;
+
+  /// The same samples as a JSON document (for the stats-style verbs).
+  [[nodiscard]] std::string render_json() const;
+
+ private:
+  friend class CollectorHandle;
+
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  struct Instrument {
+    Kind kind;
+    std::string name;
+    std::string help;
+    Labels labels;
+    Unit unit = Unit::kCount;
+    // Exactly one is populated, per `kind`; deques keep the addresses
+    // stable for the references handed out.
+    Counter* counter = nullptr;
+    Gauge* gauge = nullptr;
+    LogHistogram* histogram = nullptr;
+  };
+
+  struct Collector {
+    std::uint64_t id;
+    std::function<void(CollectorSink&)> fn;
+  };
+
+  Instrument& find_or_create(Kind kind, std::string_view name,
+                             std::string_view help, Labels labels,
+                             Unit unit);
+  void remove_collector(std::uint64_t id);
+
+  mutable std::mutex mutex_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<LogHistogram> histograms_;
+  // Keyed by name + sorted labels; list keeps instrument metadata
+  // addresses stable too.
+  std::map<std::string, Instrument> instruments_;
+  std::list<Collector> collectors_;
+  std::uint64_t next_collector_id_ = 1;
+};
+
+/// The process-wide registry every subsystem defaults to (configs carry
+/// a MetricsRegistry* so tests can isolate, nullptr disables).
+MetricsRegistry& default_registry();
+
+/// Escape a Prometheus label value: `\` -> `\\`, `"` -> `\"`,
+/// newline -> `\n` (exposition format spec).
+[[nodiscard]] std::string prometheus_escape(std::string_view in);
+
+}  // namespace spkadd::obs

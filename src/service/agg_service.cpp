@@ -36,6 +36,10 @@ AggService::AggService(ServiceConfig config)
   for (std::size_t i = 0; i < n; ++i)
     workers_.emplace_back([this, i] { worker_loop(i); });
   flusher_ = std::thread([this] { flusher_loop(); });
+  if (config_.metrics != nullptr) {
+    collector_ = config_.metrics->add_collector(
+        [this](obs::CollectorSink& sink) { export_metrics(sink); });
+  }
 }
 
 AggService::~AggService() { stop(); }
@@ -141,6 +145,7 @@ bool AggService::flush_locked(BurstBuffer& buf, FlushReason reason,
   if (pushed != 0) {
     bursts_.fetch_add(1, std::memory_order_relaxed);
     burst_updates_.fetch_add(pushed, std::memory_order_relaxed);
+    burst_hist_.record(pushed);
     std::size_t prev = max_burst_.load(std::memory_order_relaxed);
     while (prev < pushed && !max_burst_.compare_exchange_weak(
                                 prev, pushed, std::memory_order_relaxed)) {
@@ -289,8 +294,13 @@ void AggService::apply_burst(std::vector<Task>& burst) {
       it->second.push_back(i);
   }
   std::vector<unsigned char> ok(burst.size(), 1);
+  const auto fold_start = std::chrono::steady_clock::now();
   for (auto& g : groups) apply_group(burst, g.second, ok);
   const auto now = std::chrono::steady_clock::now();
+  fold_hist_.record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now -
+                                                           fold_start)
+          .count()));
   std::uint64_t n_ok = 0;
   for (std::size_t i = 0; i < burst.size(); ++i) {
     if (!ok[i]) continue;
@@ -537,6 +547,84 @@ ServiceStats AggService::stats() const {
     out.tenants.push_back(std::move(ts));
   }
   return out;
+}
+
+void AggService::export_metrics(obs::CollectorSink& sink) const {
+  // Invoked by the registry at scrape time (registry mutex held), so
+  // taking the service locks inside stats() is safe: the hot paths
+  // never take the registry mutex, ruling out a cycle.
+  const ServiceStats st = stats();
+  const obs::Labels svc{{"service", "agg"}};
+  const auto d = [](std::uint64_t v) { return static_cast<double>(v); };
+  sink.counter("spkadd_service_submitted_total",
+               "Updates accepted by submit() and handed to the queue",
+               svc, d(st.submitted));
+  sink.counter("spkadd_service_applied_total",
+               "Updates fully folded into their shards", svc,
+               d(st.applied));
+  sink.counter("spkadd_service_rejected_total",
+               "Updates refused (service stopped or queue closed)", svc,
+               d(st.rejected));
+  sink.counter("spkadd_service_apply_errors_total",
+               "Updates dropped by a throwing fold", svc,
+               d(st.apply_errors));
+  sink.gauge("spkadd_queue_depth", "Current ingest queue backlog", svc,
+             d(st.queue_depth));
+  sink.gauge("spkadd_queue_high_water", "Deepest ingest backlog seen",
+             svc, d(st.queue_high_water));
+  sink.counter("spkadd_ingest_bursts_total",
+               "Burst flushes into the ingest queue", svc,
+               d(st.ingest.bursts));
+  sink.counter("spkadd_queue_throttle_events_total",
+               "Producer pushes blocked at the high watermark", svc,
+               d(st.ingest.throttle_events));
+  sink.counter("spkadd_queue_throttle_seconds_total",
+               "Total producer time spent throttled", svc,
+               st.ingest.throttle_seconds);
+  sink.histogram("spkadd_submit_latency_seconds",
+                 "Submit-to-applied latency", svc, latency_,
+                 obs::Unit::kSeconds);
+  sink.histogram("spkadd_fold_seconds",
+                 "Wall time folding one popped burst into shards", svc,
+                 fold_hist_, obs::Unit::kSeconds);
+  sink.histogram("spkadd_ingest_burst_updates",
+                 "Updates per flushed burst", svc, burst_hist_,
+                 obs::Unit::kCount);
+  ShardStats totals;
+  for (const auto& sh : st.shards) {
+    totals.flushes += sh.flushes;
+    totals.peak_staged_nnz =
+        std::max(totals.peak_staged_nnz, sh.peak_staged_nnz);
+    totals.chunks_heap += sh.chunks_heap;
+    totals.chunks_spa += sh.chunks_spa;
+    totals.chunks_hash += sh.chunks_hash;
+    totals.chunks_sliding += sh.chunks_sliding;
+  }
+  sink.counter("spkadd_shard_fold_flushes_total",
+               "Accumulator folds performed across shards", svc,
+               d(totals.flushes));
+  sink.gauge("spkadd_accumulator_staged_nnz_peak",
+             "Max nonzeros awaiting a fold in any one shard", svc,
+             d(totals.peak_staged_nnz));
+  const auto chunk = [&](const char* kernel, std::uint64_t v) {
+    sink.counter("spkadd_hybrid_chunks_total",
+                 "Hybrid column chunks dispatched per kernel",
+                 {{"service", "agg"}, {"kernel", kernel}}, d(v));
+  };
+  chunk("heap", totals.chunks_heap);
+  chunk("spa", totals.chunks_spa);
+  chunk("hash", totals.chunks_hash);
+  chunk("sliding", totals.chunks_sliding);
+  for (const auto& ts : st.tenants) {
+    sink.counter("spkadd_tenant_updates_applied_total",
+                 "Updates folded into this tenant's running sum",
+                 {{"service", "agg"}, {"tenant", ts.tenant}},
+                 d(ts.updates_applied));
+    sink.counter("spkadd_tenant_snapshots_total",
+                 "Snapshots assembled for this tenant",
+                 {{"service", "agg"}, {"tenant", ts.tenant}},
+                 d(ts.snapshots));
+  }
 }
 
 }  // namespace spkadd::service

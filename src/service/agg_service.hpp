@@ -268,7 +268,20 @@ class AggService {
   std::atomic<std::uint64_t> flushes_deadline_{0};
   std::atomic<std::uint64_t> flushes_drain_{0};
 
-  LatencyHistogram latency_;
+  // Per-instance histograms (lock-free recording). The registry sees
+  // them only through the scrape-time collector below, so sibling
+  // instances never mix samples and stats() stays exact per service.
+  LatencyHistogram latency_;        ///< submit -> applied, nanoseconds
+  LatencyHistogram fold_hist_;      ///< per-burst fold wall time, ns
+  LatencyHistogram burst_hist_;     ///< updates per flushed burst
+
+  /// Exports every counter above into a CollectorSink (shared by the
+  /// registry collector and any diagnostics caller).
+  void export_metrics(obs::CollectorSink& sink) const;
+
+  // LAST member: destroyed first, and its dtor blocks until no render
+  // can still be invoking export_metrics on this instance.
+  obs::CollectorHandle collector_;
 };
 
 }  // namespace spkadd::service

@@ -14,6 +14,7 @@
 #include <stdexcept>
 
 #include "core/options.hpp"
+#include "obs/metrics.hpp"
 
 namespace spkadd::service {
 
@@ -85,6 +86,11 @@ struct ServiceConfig {
   /// SpKAdd options used for shard folds and snapshot assembly. The
   /// default (Method::Auto, sorted output) yields canonical snapshots.
   core::Options options;
+
+  /// Registry this service exports its counters and latency histograms
+  /// into (a scrape-time collector — hot paths never touch it).
+  /// nullptr disables the export; stats() is unaffected either way.
+  obs::MetricsRegistry* metrics = &obs::default_registry();
 
   /// Effective worker count after defaulting.
   [[nodiscard]] std::size_t effective_workers() const {

@@ -1,64 +1,31 @@
-// Observability for the aggregation service: a lock-free latency
-// histogram (submit -> applied) and the plain snapshot structs
-// AggService::stats() hands to benches and operators.
+// Observability for the aggregation service: the plain snapshot structs
+// AggService::stats() hands to benches and operators. The latency
+// histogram itself lives in obs/histogram.hpp (LatencyHistogram below
+// is an alias), and every counter in these structs is also exported
+// through obs::MetricsRegistry at scrape time — stats() and the
+// registry read the same underlying atomics.
 //
-// Thread-safety contract: LatencyHistogram::record is lock-free and
-// safe from any thread concurrently with summary(); the snapshot
-// structs are plain values with no synchronization of their own.
-// Counters here are observability only — they never feed the fold
-// paths, so they cannot affect the service's bit-identity guarantee.
+// Thread-safety contract: the snapshot structs are plain values with no
+// synchronization of their own. Counters here are observability only —
+// they never feed the fold paths, so they cannot affect the service's
+// bit-identity guarantee.
 #pragma once
 
-#include <array>
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "obs/histogram.hpp"
+
 namespace spkadd::service {
 
 /// Percentile digest of a latency population, in seconds.
-struct LatencySummary {
-  std::uint64_t count = 0;
-  double p50 = 0;
-  double p95 = 0;
-  double p99 = 0;
-  double max = 0;
-};
+using LatencySummary = obs::LatencySummary;
 
-/// Fixed-footprint log-scale histogram: 8 sub-buckets per power of two
-/// of nanoseconds, giving <= 12.5% relative quantile error with no
-/// allocation and relaxed-atomic recording (workers never contend).
-class LatencyHistogram {
- public:
-  static constexpr std::size_t kSub = 8;  ///< sub-buckets per octave
-  static constexpr std::size_t kBuckets = 62 * kSub;
-
-  /// Record one latency observation.
-  void record(std::uint64_t nanos) {
-    const std::size_t idx = bucket_of(nanos);
-    buckets_[idx].fetch_add(1, std::memory_order_relaxed);
-    // Keep the true maximum exactly (quantiles are bucket-quantized).
-    std::uint64_t prev = max_nanos_.load(std::memory_order_relaxed);
-    while (prev < nanos && !max_nanos_.compare_exchange_weak(
-                               prev, nanos, std::memory_order_relaxed)) {
-    }
-  }
-
-  /// p50/p95/p99 digest of everything recorded so far. Safe to call
-  /// concurrently with record(); the result is a consistent-enough
-  /// sample (counts are monotone).
-  [[nodiscard]] LatencySummary summary() const;
-
- private:
-  [[nodiscard]] static std::size_t bucket_of(std::uint64_t nanos);
-  /// Inclusive upper bound of bucket `idx` in nanoseconds.
-  [[nodiscard]] static std::uint64_t bucket_upper(std::size_t idx);
-
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-  std::atomic<std::uint64_t> max_nanos_{0};
-};
+/// Fixed-footprint log-scale nanosecond histogram (see obs/histogram.hpp
+/// for the bucket layout and the Prometheus bucket-iteration API).
+using LatencyHistogram = obs::LogHistogram;
 
 /// Per-row-range-shard counters, aggregated over all tenants.
 struct ShardStats {

@@ -66,6 +66,8 @@ void TenantWindow::rotate_to(std::uint64_t id) {
   // of the surviving buckets.
   while (!buckets_.empty() && buckets_.front().id < oldest_live_id()) {
     retired_flushes_ += buckets_.front().acc.stats().flushes;
+    retired_peak_staged_ = std::max(
+        retired_peak_staged_, buckets_.front().acc.stats().peak_staged_nnz);
     buckets_.pop_front();
     ++buckets_retired_;
   }
@@ -122,9 +124,18 @@ WindowStats TenantWindow::stats() const {
   out.buckets_retired = buckets_retired_;
   out.snapshots = snapshots_;
   out.fold_flushes = retired_flushes_;
-  for (const auto& b : buckets_) out.fold_flushes += b.acc.stats().flushes;
+  out.peak_staged_nnz = retired_peak_staged_;
+  for (const auto& b : buckets_) {
+    out.fold_flushes += b.acc.stats().flushes;
+    out.peak_staged_nnz =
+        std::max(out.peak_staged_nnz, b.acc.stats().peak_staged_nnz);
+  }
   out.live_buckets = buckets_.size();
   out.newest_bucket = newest_id_;
+  out.chunks_heap = counters_.chunks_heap;
+  out.chunks_spa = counters_.chunks_spa;
+  out.chunks_hash = counters_.chunks_hash;
+  out.chunks_sliding = counters_.chunks_sliding;
   return out;
 }
 

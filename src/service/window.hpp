@@ -77,6 +77,16 @@ struct WindowStats {
   std::uint64_t fold_flushes = 0;
   std::size_t live_buckets = 0;     ///< buckets currently materialized
   std::uint64_t newest_bucket = 0;  ///< highest bucket id seen
+  /// Max nonzeros awaiting a fold in any one bucket, live or retired —
+  /// the window's staging-memory high-water mark.
+  std::size_t peak_staged_nnz = 0;
+  // Hybrid chunk-dispatch mix of this window's folds (how many
+  // nnz-balanced column chunks each kernel was chosen for). All zero
+  // unless WindowConfig::options.method == core::Method::Hybrid.
+  std::uint64_t chunks_heap = 0;
+  std::uint64_t chunks_spa = 0;
+  std::uint64_t chunks_hash = 0;
+  std::uint64_t chunks_sliding = 0;
 };
 
 /// One tenant's ring of window buckets. External synchronization
@@ -156,6 +166,7 @@ class TenantWindow {
   std::uint64_t buckets_retired_ = 0;
   std::uint64_t snapshots_ = 0;
   std::uint64_t retired_flushes_ = 0;  ///< fold count of dropped buckets
+  std::size_t retired_peak_staged_ = 0;  ///< staged peak of dropped buckets
 };
 
 }  // namespace spkadd::service

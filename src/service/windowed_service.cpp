@@ -42,6 +42,10 @@ WindowedAggService::WindowedAggService(Config config)
   workers_.reserve(config_.workers);
   for (std::size_t i = 0; i < config_.workers; ++i)
     workers_.emplace_back([this] { worker_loop(); });
+  if (config_.metrics != nullptr) {
+    collector_ = config_.metrics->add_collector(
+        [this](obs::CollectorSink& sink) { export_metrics(sink); });
+  }
 }
 
 WindowedAggService::~WindowedAggService() { stop(); }
@@ -77,7 +81,7 @@ WindowedAggService::Tenant& WindowedAggService::tenant_for(
 bool WindowedAggService::submit(const std::string& tenant,
                                 std::uint64_t ts, Matrix&& update) {
   std::vector<TimedUpdate> one;
-  one.push_back(TimedUpdate{tenant, ts, std::move(update)});
+  one.push_back(TimedUpdate{tenant, ts, std::move(update), {}});
   return submit_burst(one) == 1;
 }
 
@@ -93,10 +97,22 @@ std::size_t WindowedAggService::submit_burst(
   for (const auto& u : burst)
     tenant_for(u.tenant, u.update.rows(), u.update.cols());
 
+  obs::Tracer* const tracer = config_.tracer;
+  const std::uint64_t enqueue_start =
+      tracer != nullptr && tracer->enabled() ? obs::Tracer::now_ns() : 0;
   std::vector<Task> tasks;
   tasks.reserve(burst.size());
-  for (auto& u : burst) tasks.push_back(Task{std::move(u), 0});
+  for (auto& u : burst) tasks.push_back(Task{std::move(u), 0, 0});
   burst.clear();
+  if (enqueue_start != 0) {
+    // Close the burst-enqueue span before the tasks are moved into the
+    // queue; enqueue_ns marks where the queue-wait span begins.
+    for (auto& task : tasks) {
+      tracer->record(task.item.trace, obs::Stage::kBurstEnqueue,
+                     enqueue_start, "tenant=" + task.item.tenant);
+      task.enqueue_ns = obs::Tracer::now_ns();
+    }
+  }
   const std::size_t n = tasks.size();
   {
     std::lock_guard<std::mutex> lock(progress_mutex_);
@@ -120,6 +136,7 @@ std::size_t WindowedAggService::submit_burst(
   if (pushed != 0) {
     bursts_.fetch_add(1, std::memory_order_relaxed);
     burst_updates_.fetch_add(pushed, std::memory_order_relaxed);
+    burst_hist_.record(pushed);
   }
   return pushed;
 }
@@ -153,6 +170,8 @@ void WindowedAggService::apply_burst(std::vector<Task>& burst) {
   std::uint64_t n_applied = 0;
   std::uint64_t n_expired = 0;
   std::uint64_t n_errors = 0;
+  obs::Tracer* const tracer = config_.tracer;
+  const std::uint64_t fold_start = obs::Tracer::now_ns();
   for (auto& g : groups) {
     Tenant* t = find_tenant(*g.first);
     if (t == nullptr) {  // unreachable: submit_burst creates tenants
@@ -161,6 +180,12 @@ void WindowedAggService::apply_burst(std::vector<Task>& burst) {
     }
     std::lock_guard<std::mutex> lock(t->mutex);
     for (auto i : g.second) {
+      obs::OpTrace& trace = burst[i].item.trace;
+      if (tracer != nullptr && trace.active())
+        tracer->record(trace, obs::Stage::kQueueWait,
+                       burst[i].enqueue_ns);
+      const std::uint64_t submit_start =
+          trace.active() ? obs::Tracer::now_ns() : 0;
       try {
         if (t->window.submit(burst[i].item.timestamp,
                              std::move(burst[i].item.update)))
@@ -172,8 +197,14 @@ void WindowedAggService::apply_burst(std::vector<Task>& burst) {
         std::cerr << "WindowedAggService: dropped update for tenant '"
                   << *g.first << "': " << e.what() << "\n";
       }
+      if (tracer != nullptr && trace.active()) {
+        tracer->record(trace, obs::Stage::kShardFold, submit_start,
+                       "tenant=" + *g.first);
+        tracer->finish_op(trace);
+      }
     }
   }
+  fold_hist_.record(obs::Tracer::now_ns() - fold_start);
   {
     std::lock_guard<std::mutex> lock(progress_mutex_);
     for (const auto& task : burst) pending_tickets_.erase(task.ticket);
@@ -190,6 +221,7 @@ WindowedAggService::Snapshot WindowedAggService::snapshot(
   if (t == nullptr)
     throw std::invalid_argument("WindowedAggService: unknown tenant '" +
                                 tenant + "'");
+  const std::uint64_t start = obs::Tracer::now_ns();
   std::lock_guard<std::mutex> lock(t->mutex);
   Snapshot snap;
   snap.sum = t->window.snapshot(window_buckets);
@@ -197,6 +229,9 @@ WindowedAggService::Snapshot WindowedAggService::snapshot(
   snap.updates_applied = t->window.stats().accepted;
   ++t->snapshots;
   snapshots_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.tracer != nullptr)
+    config_.tracer->record_span(obs::Stage::kSnapshot, start,
+                                "tenant=" + tenant);
   return snap;
 }
 
@@ -239,6 +274,88 @@ WindowedServiceStats WindowedAggService::stats() const {
     out.tenants.emplace_back(name, t->window.stats());
   }
   return out;
+}
+
+void WindowedAggService::export_metrics(obs::CollectorSink& sink) const {
+  // Invoked by the registry at scrape time (registry mutex held); the
+  // hot paths never take the registry mutex, so taking the service
+  // locks inside stats() cannot cycle.
+  const WindowedServiceStats st = stats();
+  const obs::Labels svc{{"service", "windowed"}};
+  const auto d = [](std::uint64_t v) { return static_cast<double>(v); };
+  sink.counter("spkadd_service_submitted_total",
+               "Updates accepted by submit() and handed to the queue",
+               svc, d(st.submitted));
+  sink.counter("spkadd_service_applied_total",
+               "Updates fully folded into their shards", svc,
+               d(st.applied));
+  sink.counter("spkadd_service_expired_total",
+               "Updates rejected as expired at fold time", svc,
+               d(st.expired));
+  sink.counter("spkadd_service_rejected_total",
+               "Updates refused (service stopped or queue closed)", svc,
+               d(st.rejected));
+  sink.counter("spkadd_service_apply_errors_total",
+               "Updates dropped by a throwing fold", svc,
+               d(st.apply_errors));
+  sink.counter("spkadd_service_snapshots_total",
+               "Windowed snapshots assembled", svc, d(st.snapshots));
+  sink.gauge("spkadd_queue_depth", "Current ingest queue backlog", svc,
+             d(st.queue_depth));
+  sink.gauge("spkadd_queue_high_water", "Deepest ingest backlog seen",
+             svc, d(st.queue_high_water));
+  sink.counter("spkadd_ingest_bursts_total",
+               "Burst flushes into the ingest queue", svc, d(st.bursts));
+  sink.counter("spkadd_queue_throttle_events_total",
+               "Producer pushes blocked at the high watermark", svc,
+               d(queue_.throttle_events()));
+  sink.counter("spkadd_queue_throttle_seconds_total",
+               "Total producer time spent throttled", svc,
+               queue_.throttle_seconds());
+  sink.histogram("spkadd_fold_seconds",
+                 "Wall time folding one popped burst into windows", svc,
+                 fold_hist_, obs::Unit::kSeconds);
+  sink.histogram("spkadd_ingest_burst_updates",
+                 "Updates per accepted burst", svc, burst_hist_,
+                 obs::Unit::kCount);
+  WindowStats totals;
+  for (const auto& [name, ws] : st.tenants) {
+    const obs::Labels tl{{"service", "windowed"}, {"tenant", name}};
+    sink.gauge("spkadd_tenant_live_buckets",
+               "Window buckets currently materialized", tl,
+               d(ws.live_buckets));
+    sink.counter("spkadd_tenant_accepted_total",
+                 "Updates routed into this tenant's window", tl,
+                 d(ws.accepted));
+    sink.counter("spkadd_tenant_expired_total",
+                 "Updates rejected as older than the live ring", tl,
+                 d(ws.expired_rejected));
+    sink.counter("spkadd_tenant_buckets_retired_total",
+                 "Window buckets aged out of the live ring", tl,
+                 d(ws.buckets_retired));
+    totals.fold_flushes += ws.fold_flushes;
+    totals.peak_staged_nnz =
+        std::max(totals.peak_staged_nnz, ws.peak_staged_nnz);
+    totals.chunks_heap += ws.chunks_heap;
+    totals.chunks_spa += ws.chunks_spa;
+    totals.chunks_hash += ws.chunks_hash;
+    totals.chunks_sliding += ws.chunks_sliding;
+  }
+  sink.counter("spkadd_shard_fold_flushes_total",
+               "Accumulator folds performed across tenant windows", svc,
+               d(totals.fold_flushes));
+  sink.gauge("spkadd_accumulator_staged_nnz_peak",
+             "Max nonzeros awaiting a fold in any one bucket", svc,
+             d(totals.peak_staged_nnz));
+  const auto chunk = [&](const char* kernel, std::uint64_t v) {
+    sink.counter("spkadd_hybrid_chunks_total",
+                 "Hybrid column chunks dispatched per kernel",
+                 {{"service", "windowed"}, {"kernel", kernel}}, d(v));
+  };
+  chunk("heap", totals.chunks_heap);
+  chunk("spa", totals.chunks_spa);
+  chunk("hash", totals.chunks_hash);
+  chunk("sliding", totals.chunks_sliding);
 }
 
 }  // namespace spkadd::service

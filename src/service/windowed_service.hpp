@@ -50,6 +50,9 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "service/service_stats.hpp"
 #include "service/window.hpp"
 #include "util/mpmc_queue.hpp"
 
@@ -93,6 +96,17 @@ class WindowedAggService {
       const std::size_t high = effective_high_watermark();
       return high > 1 ? high - high / 4 : 1;
     }
+    /// Registry this service exports its counters and per-tenant
+    /// window gauges into (a scrape-time collector — hot paths never
+    /// touch it). nullptr disables the export; stats() is unaffected.
+    obs::MetricsRegistry* metrics = &obs::default_registry();
+
+    /// Tracer submit/snapshot spans are recorded into. Never nullptr
+    /// in practice (the global tracer is disabled by default, and a
+    /// disabled tracer's record calls are branch-only); nullptr is
+    /// honored as fully off.
+    obs::Tracer* tracer = &obs::Tracer::global();
+
     /// Throws std::invalid_argument on an unusable configuration.
     void validate() const;
   };
@@ -104,6 +118,10 @@ class WindowedAggService {
     std::string tenant;
     std::uint64_t timestamp = 0;
     Matrix update;
+    /// Trace context this update carries through the pipeline (inactive
+    /// by default — aggregate-initializing the three data fields keeps
+    /// it inactive, costing one branch per tracer call).
+    obs::OpTrace trace;
   };
 
   /// A consistent windowed view of one tenant's aggregate.
@@ -160,7 +178,8 @@ class WindowedAggService {
  private:
   struct Task {
     TimedUpdate item;
-    std::uint64_t ticket = 0;  ///< acceptance order; drives drain()
+    std::uint64_t ticket = 0;   ///< acceptance order; drives drain()
+    std::uint64_t enqueue_ns = 0;  ///< queue-wait span start (tracing)
   };
 
   struct Tenant {
@@ -203,6 +222,18 @@ class WindowedAggService {
   std::atomic<std::uint64_t> bursts_{0};
   std::atomic<std::uint64_t> burst_updates_{0};
   std::atomic<std::uint64_t> snapshots_{0};
+
+  // Per-instance histograms (lock-free recording), exported through the
+  // scrape-time collector below.
+  LatencyHistogram fold_hist_;   ///< per-burst fold wall time, ns
+  LatencyHistogram burst_hist_;  ///< updates per accepted burst
+
+  /// Exports every counter above plus per-tenant window stats.
+  void export_metrics(obs::CollectorSink& sink) const;
+
+  // LAST member: destroyed first, and its dtor blocks until no render
+  // can still be invoking export_metrics on this instance.
+  obs::CollectorHandle collector_;
 };
 
 }  // namespace spkadd::service

@@ -11,8 +11,14 @@
 #include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "core/spkadd.hpp"
 #include "net/client.hpp"
+#include "obs/metrics.hpp"
 #include "test_helpers.hpp"
 #include "util/rng.hpp"
 
@@ -48,6 +54,35 @@ ServerConfig test_config() {
   cfg.service.queue_capacity = 64;
   cfg.service.burst_size = 8;
   return cfg;
+}
+
+/// Raw HTTP GET against the daemon's port: connect, send the request
+/// line, read to EOF (the server answers Connection: close). The SPKN
+/// Client cannot do this — the point is exercising the plain-HTTP path
+/// the poll loop sniffs out by first byte.
+std::string http_get(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const std::string req =
+      "GET " + path + " HTTP/1.0\r\nHost: localhost\r\n\r\n";
+  EXPECT_EQ(::send(fd, req.data(), req.size(), 0),
+            static_cast<ssize_t>(req.size()));
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
 }
 
 /// Pull `"key":<number>` out of the stats JSON (flat integer fields).
@@ -226,6 +261,95 @@ TEST(Daemon, ConnectionsOverTheCapAreRejected) {
   EXPECT_THROW((void)second.recv_response(), std::runtime_error);
   server.stop();
   EXPECT_EQ(server.stats().connections_rejected, 1u);
+}
+
+// ------------------------------------------------------- observability
+TEST(Daemon, MetricsVerbServesPrometheusExposition) {
+  spkadd::obs::MetricsRegistry registry;  // isolated from other tests
+  auto cfg = test_config();
+  cfg.service.metrics = &registry;
+  DaemonServer server(cfg);
+  Client client("127.0.0.1", server.port());
+  EXPECT_EQ(client.submit("acme", 15, integer_matrix(1)), Status::kOk);
+  EXPECT_EQ(client.drain(), Status::kOk);
+  EXPECT_EQ(client.snapshot("acme").status, Status::kOk);
+
+  Status status = Status::kInternal;
+  const std::string text = client.metrics_text(&status);
+  EXPECT_EQ(status, Status::kOk);
+  // The core families the scrape must carry (docs/OBSERVABILITY.md).
+  EXPECT_NE(text.find("# TYPE spkadd_daemon_requests_total counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("spkadd_daemon_requests_total{verb=\"submit\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE spkadd_daemon_request_seconds histogram"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("spkadd_service_applied_total"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("spkadd_queue_depth"), std::string::npos) << text;
+  EXPECT_NE(text.find(
+                "spkadd_tenant_live_buckets{service=\"windowed\","
+                "tenant=\"acme\"}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("spkadd_daemon_connections_open 1"),
+            std::string::npos)
+      << text;
+
+  // The verb is accounted like any other request.
+  const std::string json = client.stats_json();
+  EXPECT_EQ(json_field(json, "requests_metrics"), 1u);
+}
+
+TEST(Daemon, HttpGetMetricsOnTheSamePort) {
+  spkadd::obs::MetricsRegistry registry;
+  auto cfg = test_config();
+  cfg.service.metrics = &registry;
+  DaemonServer server(cfg);
+  {
+    Client client("127.0.0.1", server.port());
+    EXPECT_EQ(client.submit("acme", 15, integer_matrix(2)), Status::kOk);
+    EXPECT_EQ(client.drain(), Status::kOk);
+  }
+
+  const std::string resp = http_get(server.port(), "/metrics");
+  EXPECT_EQ(resp.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << resp;
+  EXPECT_NE(resp.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos)
+      << resp;
+  EXPECT_NE(resp.find("spkadd_service_submitted_total"), std::string::npos)
+      << resp;
+  EXPECT_NE(resp.find("spkadd_ingest_bursts_total"), std::string::npos)
+      << resp;
+
+  // Counters are monotone across scrapes, and scrapes count themselves.
+  const std::string again = http_get(server.port(), "/metrics");
+  EXPECT_NE(again.find("spkadd_service_submitted_total"),
+            std::string::npos);
+
+  const std::string missing = http_get(server.port(), "/nope");
+  EXPECT_EQ(missing.rfind("HTTP/1.0 404 Not Found\r\n", 0), 0u) << missing;
+
+  server.stop();
+  EXPECT_EQ(server.stats().requests_metrics, 2u);
+}
+
+TEST(Daemon, StatsJsonEscapesTenantNames) {
+  auto cfg = test_config();
+  cfg.service.metrics = nullptr;  // metrics off: stats must still work
+  DaemonServer server(cfg);
+  Client client("127.0.0.1", server.port());
+  EXPECT_EQ(client.submit("we\"ird", 15, integer_matrix(3)), Status::kOk);
+  EXPECT_EQ(client.drain(), Status::kOk);
+  const std::string json = client.stats_json();
+  EXPECT_NE(json.find("\"we\\\"ird\""), std::string::npos) << json;
+  // Disabled registry: the metrics verb answers an empty exposition.
+  Status status = Status::kInternal;
+  EXPECT_EQ(client.metrics_text(&status), "");
+  EXPECT_EQ(status, Status::kOk);
 }
 
 }  // namespace

@@ -123,6 +123,17 @@ TEST(Protocol, BadVersionThrows) {
   }
 }
 
+TEST(Protocol, MetricsVerbRoundTrips) {
+  Request req;
+  req.verb = Verb::kMetrics;  // highest valid verb code
+  std::string wire;
+  encode_request(req, wire);
+  Request out;
+  EXPECT_EQ(try_decode_request(wire, out), wire.size());
+  EXPECT_EQ(out.verb, Verb::kMetrics);
+  EXPECT_TRUE(out.tenant.empty());
+}
+
 TEST(Protocol, BadVerbThrows) {
   std::string wire;
   encode_request(sample_request(), wire);
