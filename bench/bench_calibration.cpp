@@ -1,6 +1,6 @@
 // Measured-miss calibration of the Hybrid planner (three modes).
 //
-//   --emit <path>      Sweep all four ColumnKernels over a (k x density x
+//   --emit <path>      Sweep all five ColumnKernels over a (k x density x
 //                      chunk-width) ER grid through the modeled cache
 //                      hierarchy (cachesim::trace_kernel_spkadd) and write
 //                      the versioned MissCostTable JSON the planner
@@ -115,10 +115,12 @@ core::MissCostTable run_sweep(const cachesim::HierarchySpec& hier,
         sweep_cell(hier, threads, rows, k_axis[ik], d_axis[id], w_axis[iw],
                    table, cell);
         std::cout << "  cell k=" << k_axis[ik] << " d=" << d_axis[id]
-                  << " w=" << w_axis[iw] << "  heap/spa/hash/sliding = "
+                  << " w=" << w_axis[iw]
+                  << "  heap/spa/hash/sliding/dense = "
                   << table.costs[0][cell] << "/" << table.costs[1][cell]
                   << "/" << table.costs[2][cell] << "/"
-                  << table.costs[3][cell] << "\n";
+                  << table.costs[3][cell] << "/"
+                  << table.costs[4][cell] << "\n";
       }
   return table;
 }
@@ -259,7 +261,7 @@ int main(int argc, char** argv) {
         bench::make_skew_presets(*bench_rows, *bench_cols, 8, 64);
     const std::vector<core::Method> singles = {
         core::Method::Heap, core::Method::Spa, core::Method::Hash,
-        core::Method::SlidingHash};
+        core::Method::SlidingHash, core::Method::DenseAcc};
     const std::string shape = "rows=" + std::to_string(*bench_rows) +
                               " cols=" + std::to_string(*bench_cols) +
                               " table=" + table.hierarchy;
@@ -268,7 +270,7 @@ int main(int argc, char** argv) {
     bool within_budget = true;
     util::TablePrinter out(
         {"preset", "best single", "analytic hybrid", "calibrated hybrid",
-         "calib chunks h/s/H/W", "calib vs best"});
+         "calib chunks h/s/H/W/D", "calib vs best"});
 
     for (const auto& p : presets) {
       core::Options base;

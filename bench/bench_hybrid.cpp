@@ -91,10 +91,11 @@ int main(int argc, char** argv) {
 
   const std::vector<core::Method> singles = {
       core::Method::Heap, core::Method::Spa, core::Method::Hash,
-      core::Method::SlidingHash};
+      core::Method::SlidingHash, core::Method::DenseAcc};
 
   bool all_exact = true;
-  util::TablePrinter table({"preset", "method", "Gnnz/s", "chunks h/s/H/W"});
+  util::TablePrinter table(
+      {"preset", "method", "Gnnz/s", "chunks h/s/H/W/D"});
   util::TablePrinter verdict(
       {"preset", "best single", "hybrid vs best", "hybrid vs Auto"});
 

@@ -154,7 +154,8 @@ int main(int argc, char** argv) {
   bool all_verified = true;
   util::TablePrinter table({"pattern", "shards", "prod", "window", "burst",
                             "upd/s", "Mnnz/s", "p50 ms", "p99 ms", "avg bst",
-                            "thr ms", "drops", "queue hw", "chunks h/s/H/W",
+                            "thr ms", "drops", "queue hw",
+                            "chunks h/s/H/W/D",
                             "exact"});
 
   for (const gen::Pattern pattern : {gen::Pattern::ER, gen::Pattern::RMAT}) {
@@ -276,6 +277,7 @@ int main(int argc, char** argv) {
             chunk_totals.chunks_spa += sh.chunks_spa;
             chunk_totals.chunks_hash += sh.chunks_hash;
             chunk_totals.chunks_sliding += sh.chunks_sliding;
+            chunk_totals.chunks_dense += sh.chunks_dense;
           }
           const double nnz_s = static_cast<double>(folded) / elapsed;
           const std::string mix = fold_method == core::Method::Hybrid

@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
 
   util::TablePrinter table({"pattern", "k", "strategy", "Gnnz/s",
                             "peak intermediates", "result nnz",
-                            "chunks h/s/H/W"});
+                            "chunks h/s/H/W/D"});
   for (const gen::Pattern pattern : {gen::Pattern::ER, gen::Pattern::RMAT}) {
     for (const int k : ks) {
       gen::WorkloadSpec spec;
@@ -107,7 +107,7 @@ int main(int argc, char** argv) {
 
       // One-shot: all k inputs live at once, single reduction. One extra
       // counted run surfaces the hybrid per-chunk kernel mix
-      // (heap/spa/hash/sliding) without polluting the timed laps.
+      // (heap/spa/hash/sliding/dense) without polluting the timed laps.
       Csc one_shot;
       const double t_one = bench::time_median(static_cast<int>(*repeats), [&] {
         one_shot = core::spkadd(inputs, opts);

@@ -23,8 +23,14 @@
 # promises hot paths never touch the registry). Samples land in
 # BENCH_obs.json.
 #
+# The representation-adaptivity leg (bench_dense: SPA vs Hash vs DenseAcc
+# across a column-density axis plus the Accumulator promotion-threshold
+# sweep, every cell bit-identity gated) lands in BENCH_dense.json on the
+# same schema.
+#
 # Usage: scripts/bench_smoke.sh [summa.json] [service.json] [hybrid.json] \
-#                               [calibration.json] [daemon.json] [obs.json]
+#                               [calibration.json] [daemon.json] [obs.json] \
+#                               [dense.json]
 #   BUILD_DIR=build   build tree holding the bench binaries (configured and
 #                     built here when the binaries are missing)
 #   SERVICE_THREADS=N run ONLY the service sweep, sized for a multi-core
@@ -44,6 +50,7 @@ HYBRID_OUT="${3:-BENCH_hybrid.json}"
 CALIBRATION_OUT="${4:-BENCH_calibration.json}"
 DAEMON_OUT="${5:-BENCH_daemon.json}"
 OBS_OUT="${6:-BENCH_obs.json}"
+DENSE_OUT="${7:-BENCH_dense.json}"
 JOBS="${JOBS:-$(nproc)}"
 SERVICE_THREADS="${SERVICE_THREADS:-}"
 
@@ -52,12 +59,13 @@ if [ ! -x "$BUILD_DIR/bench/bench_streaming" ] ||
    [ ! -x "$BUILD_DIR/bench/bench_service" ] ||
    [ ! -x "$BUILD_DIR/bench/bench_hybrid" ] ||
    [ ! -x "$BUILD_DIR/bench/bench_calibration" ] ||
-   [ ! -x "$BUILD_DIR/bench/bench_daemon" ]; then
+   [ ! -x "$BUILD_DIR/bench/bench_daemon" ] ||
+   [ ! -x "$BUILD_DIR/bench/bench_dense" ]; then
   echo "=== bench binaries missing; building $BUILD_DIR ==="
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build "$BUILD_DIR" -j "$JOBS" \
     --target bench_streaming bench_fig6_summa bench_service bench_hybrid \
-             bench_calibration bench_daemon
+             bench_calibration bench_daemon bench_dense
 fi
 
 tmp="$(mktemp -d)"
@@ -160,6 +168,17 @@ echo "=== bench_daemon (8-connection windowed loadgen) ==="
   --tenants 2 --json "$tmp/daemon.json" > "$tmp/daemon.txt"
 cat "$tmp/daemon.txt"
 
+# Representation-adaptivity leg: the density face-off (SPA vs Hash vs
+# DenseAcc) and the promotion-threshold sweep. Bit-identity (one-shot to
+# Hash, promoted snapshots to DensePolicy-off) gates the run; the
+# DenseAcc-beats-SPA verdict is recorded in the samples, not enforced
+# (single-core CI timing).
+echo "=== bench_dense (density + promotion sweep) ==="
+"$BUILD_DIR/bench/bench_dense" \
+  --rows 8192 --cols 32 --k 16 --repeats 5 \
+  --json "$tmp/dense.json" > "$tmp/dense.txt"
+cat "$tmp/dense.txt"
+
 # Metrics-overhead gate: the identical saturation config with the obs
 # registry attached vs detached, 3 reps each. Min-of-reps ingest
 # seconds-per-update (averaged over the run's patterns) is the score —
@@ -204,6 +223,7 @@ merge_benches "$DAEMON_OUT" "$tmp/daemon.json"
 merge_benches "$OBS_OUT" \
   "$tmp/obs_on_1.json" "$tmp/obs_on_2.json" "$tmp/obs_on_3.json" \
   "$tmp/obs_off_1.json" "$tmp/obs_off_2.json" "$tmp/obs_off_3.json"
+merge_benches "$DENSE_OUT" "$tmp/dense.json"
 
 # The merge is string concatenation; make sure the results actually parse.
 if command -v jq > /dev/null 2>&1; then
@@ -213,12 +233,13 @@ if command -v jq > /dev/null 2>&1; then
   jq -e '.benches | length == 1' "$CALIBRATION_OUT" > /dev/null
   jq -e '.benches | length == 1' "$DAEMON_OUT" > /dev/null
   jq -e '.benches | length == 6' "$OBS_OUT" > /dev/null
+  jq -e '.benches | length == 1' "$DENSE_OUT" > /dev/null
 elif command -v python3 > /dev/null 2>&1; then
   for doc in "$OUT" "$SERVICE_OUT" "$HYBRID_OUT" "$CALIBRATION_OUT" \
-             "$DAEMON_OUT" "$OBS_OUT"; do
+             "$DAEMON_OUT" "$OBS_OUT" "$DENSE_OUT"; do
     python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$doc"
   done
 fi
 
 echo "=== wrote $OUT, $SERVICE_OUT, $HYBRID_OUT, $CALIBRATION_OUT," \
-     "$DAEMON_OUT and $OBS_OUT ==="
+     "$DAEMON_OUT, $OBS_OUT and $DENSE_OUT ==="

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Regenerate the committed Hybrid-planner calibration table
 # (calibration/misscost_default.json): build bench_calibration, sweep all
-# four column kernels over the (k x density x chunk-width) grid through the
+# five column kernels over the (k x density x chunk-width) grid through the
 # modeled paper hierarchy, and validate the emitted JSON by loading it
 # back plus (when python3 is around) checking it parses as plain JSON.
 #
@@ -54,7 +54,7 @@ echo "=== calibration sweep (spec $CACHE_SPEC, threads $THREADS) ==="
 if command -v python3 > /dev/null 2>&1; then
   python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$OUT"
 elif command -v jq > /dev/null 2>&1; then
-  jq -e '.version == 1' "$OUT" > /dev/null
+  jq -e '.version == 2' "$OUT" > /dev/null
 fi
 
 echo "=== wrote $OUT ==="

@@ -1,6 +1,7 @@
 #include "cachesim/traced_spkadd.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <vector>
 
 #include "core/workspace.hpp"
@@ -20,6 +21,8 @@ constexpr std::uint64_t kHeapBase = 0xA000'0000'0000ull;
 constexpr std::uint64_t kSpaBase = 0xB000'0000'0000ull;
 constexpr std::uint64_t kTouchedBase = 0xC000'0000'0000ull;
 constexpr std::uint64_t kSortBase = 0xD000'0000'0000ull;  // radix pair scratch
+constexpr std::uint64_t kDenseBase = 0xE000'0000'0000ull;  // dense value array
+constexpr std::uint64_t kDenseMaskBase = 0xE800'0000'0000ull;  // occupancy bits
 constexpr std::uint64_t kOutputBase = 0xF000'0000'0000ull;
 
 constexpr std::uint64_t kSymEntryBytes = sizeof(std::int32_t);          // 4
@@ -28,6 +31,8 @@ constexpr std::uint64_t kAddEntryBytes =
 constexpr std::uint64_t kHeapNodeBytes = 16;  // (row, source) node
 constexpr std::uint64_t kSpaCellBytes =
     sizeof(double) + sizeof(std::uint32_t);                             // 12
+constexpr std::uint64_t kDenseCellBytes = sizeof(double);               // 8
+constexpr std::uint64_t kMaskWordBytes = sizeof(std::uint64_t);         // 8
 
 /// Per-thread view of the hierarchy: private levels keep their capacity,
 /// shared levels (the LLC) are divided by the simulated thread count.
@@ -307,6 +312,117 @@ std::size_t trace_spa_column(CacheHierarchy& cache,
   return touched_scratch.size();
 }
 
+/// Trace the dense kernel's symbolic phase (dense_symbolic_column): one
+/// streamed input read + one occupancy-word touch per entry, then the
+/// O(input nnz) clear-by-replay re-reads the indices and re-touches the
+/// same words (typically cache-hot — exactly the locality the real kernel
+/// banks on). Returns distinct rows.
+std::size_t trace_dense_symbolic(CacheHierarchy& cache,
+                                 std::span<const View> views,
+                                 std::span<const std::size_t> matrix_ids,
+                                 std::span<const std::size_t> entry_offsets) {
+  thread_local std::vector<std::uint64_t> mask;
+  std::size_t need = 0;
+  for (const auto& v : views)
+    for (std::size_t i = 0; i < v.nnz(); ++i)
+      need = std::max(need, (static_cast<std::size_t>(v.rows[i]) >> 6) + 1);
+  if (mask.size() < need) mask.resize(need, 0);
+  std::size_t nz = 0;
+  for (std::size_t s = 0; s < views.size(); ++s) {
+    const View& v = views[s];
+    stream_input(cache, matrix_ids[s], entry_offsets[s], v.nnz(),
+                 kSymEntryBytes);
+    for (std::size_t i = 0; i < v.nnz(); ++i) {
+      const auto r = static_cast<std::size_t>(v.rows[i]);
+      cache.access_range(kDenseMaskBase + (r >> 6) * kMaskWordBytes,
+                         kMaskWordBytes);
+      const std::uint64_t bit = std::uint64_t{1} << (r & 63);
+      if (!(mask[r >> 6] & bit)) {
+        mask[r >> 6] |= bit;
+        ++nz;
+      }
+    }
+  }
+  for (std::size_t s = 0; s < views.size(); ++s) {
+    const View& v = views[s];
+    stream_input(cache, matrix_ids[s], entry_offsets[s], v.nnz(),
+                 kSymEntryBytes);
+    for (std::size_t i = 0; i < v.nnz(); ++i) {
+      const auto r = static_cast<std::size_t>(v.rows[i]);
+      cache.access_range(kDenseMaskBase + (r >> 6) * kMaskWordBytes,
+                         kMaskWordBytes);
+      mask[r >> 6] = 0;
+    }
+  }
+  return nz;
+}
+
+/// Trace the dense kernel's numeric phase (dense_add_column): scatter one
+/// streamed input read + one dense-cell touch + one occupancy-word touch
+/// per entry (fully dense addends stream the whole cell/mask arrays — the
+/// vectorized fast path touches the same lines sequentially), then the
+/// emission sweeps the touched word range reading each occupied cell in
+/// row order and streams the output run. No radix pass: sortedness is by
+/// construction. Returns entries emitted.
+std::size_t trace_dense_column(CacheHierarchy& cache,
+                               std::span<const View> views,
+                               std::span<const std::size_t> matrix_ids,
+                               std::span<const std::size_t> entry_offsets,
+                               std::int32_t rows, std::size_t out_cursor) {
+  thread_local std::vector<std::uint64_t> mask;
+  const auto m = static_cast<std::size_t>(rows);
+  const std::size_t words = (m + 63) / 64;
+  if (mask.size() < words) mask.resize(words, 0);
+  std::size_t w_lo = words, w_hi = 0;
+
+  for (std::size_t s = 0; s < views.size(); ++s) {
+    const View& v = views[s];
+    stream_input(cache, matrix_ids[s], entry_offsets[s], v.nnz(),
+                 kAddEntryBytes);
+    if (v.nnz() == m) {
+      // Identity-dense addend: whole-column vector copy/add plus one mask
+      // sweep — pure sequential streams.
+      cache.access_range(kDenseBase, m * kDenseCellBytes);
+      cache.access_range(kDenseMaskBase, words * kMaskWordBytes);
+      for (std::size_t w = 0; w + 1 < words; ++w) mask[w] = ~std::uint64_t{0};
+      mask[words - 1] =
+          (m % 64 == 0) ? ~std::uint64_t{0}
+                        : ((std::uint64_t{1} << (m % 64)) - 1);
+      w_lo = 0;
+      w_hi = words - 1;
+      continue;
+    }
+    for (std::size_t i = 0; i < v.nnz(); ++i) {
+      const auto r = static_cast<std::size_t>(v.rows[i]);
+      const std::size_t w = r >> 6;
+      cache.access_range(kDenseBase + r * kDenseCellBytes, kDenseCellBytes);
+      cache.access_range(kDenseMaskBase + w * kMaskWordBytes, kMaskWordBytes);
+      mask[w] |= std::uint64_t{1} << (r & 63);
+      w_lo = std::min(w_lo, w);
+      w_hi = std::max(w_hi, w);
+    }
+  }
+
+  std::size_t out = 0;
+  for (std::size_t w = w_lo; w <= w_hi && w < words; ++w) {
+    cache.access_range(kDenseMaskBase + w * kMaskWordBytes, kMaskWordBytes);
+    std::uint64_t bits = mask[w];
+    mask[w] = 0;
+    if (bits == 0) continue;
+    const std::size_t base = w << 6;
+    while (bits != 0) {
+      const auto b = static_cast<std::size_t>(std::countr_zero(bits));
+      cache.access_range(kDenseBase + (base + b) * kDenseCellBytes,
+                         kDenseCellBytes);
+      ++out;
+      bits &= bits - 1;
+    }
+  }
+  cache.access_range(kOutputBase + out_cursor * kAddEntryBytes,
+                     out * kAddEntryBytes);
+  return out;
+}
+
 struct ColumnViews {
   std::vector<View> views;
   std::vector<std::size_t> matrix_ids;
@@ -379,7 +495,10 @@ KernelTraceResult trace_through(std::span<const Csc> inputs,
     if (inz == 0) continue;
     const std::size_t parts = sliding ? util::ceil_div(inz, sym_cap) : 1;
     std::size_t nz = 0;
-    if (parts <= 1) {
+    if (kernel == core::ColumnKernel::DenseAcc) {
+      nz = trace_dense_symbolic(cache, full.views, full.matrix_ids,
+                                full.entry_offsets);
+    } else if (parts <= 1) {
       nz = trace_symbolic_part(cache, full.views, full.matrix_ids,
                                full.entry_offsets, table);
     } else {
@@ -418,6 +537,10 @@ KernelTraceResult trace_through(std::span<const Csc> inputs,
         out_cursor +=
             trace_add_part(cache, full.views, full.matrix_ids,
                            full.entry_offsets, onz, out_cursor, table);
+        break;
+      case core::ColumnKernel::DenseAcc:
+        out_cursor += trace_dense_column(cache, full.views, full.matrix_ids,
+                                         full.entry_offsets, rows, out_cursor);
         break;
       case core::ColumnKernel::SlidingHash: {
         const std::size_t parts = util::ceil_div(onz, add_cap);

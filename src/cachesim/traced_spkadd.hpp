@@ -14,8 +14,8 @@
 //   trace_hash_spkadd    — the original Table V pair (hash vs sliding hash)
 //                          against a single modeled LLC; kept for
 //                          compatibility and the Table V reproduction.
-//   trace_kernel_spkadd  — any core::ColumnKernel (heap/SPA/hash/sliding)
-//                          against a full CacheHierarchy, returning
+//   trace_kernel_spkadd  — any core::ColumnKernel (heap/SPA/hash/sliding/
+//                          dense) against a full CacheHierarchy, returning
 //                          per-level per-phase stats plus the weighted miss
 //                          cost. This is the measurement behind the
 //                          calibration table the Hybrid planner consumes.
@@ -100,8 +100,9 @@ struct KernelTraceResult {
 };
 
 /// Replay any ColumnKernel's SpKAdd (symbolic: hash symbolic, sliding
-/// symbolic for sliding chunks — mirroring kernel_symbolic_column; numeric:
-/// the kernel itself) over `inputs` through the full hierarchy. Structural
+/// symbolic for sliding chunks, occupancy-bitmap symbolic for dense —
+/// mirroring kernel_symbolic_column; numeric: the kernel itself) over
+/// `inputs` through the full hierarchy. Structural
 /// only: values never affect the trace. Deterministic for fixed inputs and
 /// config.
 KernelTraceResult trace_kernel_spkadd(

@@ -23,11 +23,22 @@
 //     unchanged: every fold is a strict left fold whatever kernel mix the
 //     plan picks, so streaming stays bit-identical to one-shot.
 //
+// Representation adaptivity (Options::dense): a running-sum column whose
+// fill fraction crosses DensePolicy::promote_fill is promoted to dense
+// column storage — a value array plus occupancy bitmap, exactly the
+// DenseAcc kernel's layout. Promoted columns leave the sparse fold
+// entirely (Options::skip_cols masks them) and subsequent addends scatter
+// straight into the dense slot in staged order, preserving the strict
+// left-fold addition order bit for bit. partial_sum()/finalize() demote
+// every resident column back to CSC (ascending-row bitmap scan, values
+// verbatim), so snapshots are byte-identical to a never-promoted run.
+//
 //   core::Accumulator<> acc(rows, cols, opts);
 //   for (auto& g : stream) acc.add(std::move(g));   // or acc.add(g) to borrow
 //   CscMatrix<> sum = acc.finalize();               // acc is reusable after
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <deque>
 #include <span>
@@ -35,6 +46,7 @@
 #include <vector>
 
 #include "core/spkadd.hpp"
+#include "util/prefix_sum.hpp"
 
 namespace spkadd::core {
 
@@ -58,6 +70,10 @@ class Accumulator {
     /// the "live intermediates" bound of the streaming SUMMA pipeline:
     /// never more than batch_capacity addends' worth.
     std::size_t peak_staged_nnz = 0;
+    /// Sparse→dense column promotions performed (DensePolicy).
+    std::uint64_t dense_promotions = 0;
+    /// Dense→CSC column demotions performed at snapshot boundaries.
+    std::uint64_t dense_demotions = 0;
   };
 
   explicit Accumulator(IndexT rows, IndexT cols, Options opts = {},
@@ -84,6 +100,11 @@ class Accumulator {
   /// Addends staged but not yet folded into the running sum.
   [[nodiscard]] std::size_t pending() const { return staged_.size(); }
   [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Columns currently held in dense (promoted) storage. Zero between
+  /// snapshots: partial_sum()/finalize() demote everything.
+  [[nodiscard]] std::size_t dense_resident_cols() const {
+    return resident_count_;
+  }
   /// Bytes of persistent per-thread scratch currently held (survives
   /// finalize(); the workspace-reuse guarantee tests pin this).
   [[nodiscard]] std::size_t workspace_bytes() const {
@@ -158,6 +179,12 @@ class Accumulator {
     detail::check_sentinel_shape(rows);
     rows_ = rows;
     cols_ = cols;
+    // Idle implies nothing resident, but the lazily-sized per-column
+    // vectors must not carry the previous shape into the next stream.
+    resident_.clear();
+    dense_slot_.clear();
+    dense_slots_ = 0;
+    resident_count_ = 0;
   }
 
   /// Drop every staged addend without folding it — the recovery path
@@ -186,6 +213,12 @@ class Accumulator {
     // An unsorted running sum (hash family with sorted_output=false) must
     // not be fed to a fold that assumes sorted inputs.
     fopts.inputs_sorted = opts_.inputs_sorted && (!have_acc_ || acc_sorted_);
+    // Dense-resident columns bypass the sparse fold entirely: the mask
+    // keeps their (stripped, empty) acc_ columns and their addend columns
+    // out of the kernels; the addends scatter into dense storage below,
+    // only after the fold has succeeded (exception safety: a throwing fold
+    // must leave the dense partials untouched, like it leaves acc_).
+    if (resident_count_ > 0) fopts.skip_cols = resident_.data();
 
     std::size_t owned_bytes = 0;
     for (const auto& m : owned_) owned_bytes += m.storage_bytes();
@@ -193,7 +226,7 @@ class Accumulator {
     // once; count both so the peak is not understated.
     const std::size_t acc_before = have_acc_ ? acc_.storage_bytes() : 0;
 
-    if (fold_.size() == 1) {
+    if (fold_.size() == 1 && resident_count_ == 0) {
       // Single addend, no running sum yet: materialize it directly (move
       // when we own it) instead of running a 1-way pipeline.
       Matrix* own = owned_.empty() ? nullptr : &owned_.front();
@@ -203,18 +236,21 @@ class Accumulator {
     } else {
       acc_ = spkadd(MatrixPtrs<IndexT, ValueT>(fold_), fopts, &rt_);
     }
+    scatter_staged_into_dense();
     have_acc_ = true;
     acc_sorted_ = method_emits_sorted(opts_.method, opts_.sorted_output);
 
     ++stats_.flushes;
     const std::size_t live = acc_before + acc_.storage_bytes() +
-                             owned_bytes + rt_.storage_bytes();
+                             owned_bytes + rt_.storage_bytes() +
+                             dense_storage_bytes();
     stats_.peak_intermediate_bytes =
         std::max(stats_.peak_intermediate_bytes, live);
 
     staged_.clear();
     owned_.clear();
     staged_nnz_ = 0;
+    maybe_promote();
   }
 
   /// Fold any pending addends and borrow the running sum WITHOUT
@@ -225,6 +261,7 @@ class Accumulator {
   /// reference is invalidated by any later add/flush/finalize.
   [[nodiscard]] const Matrix& partial_sum() {
     flush();
+    demote_all();
     if (!have_acc_) {
       acc_ = Matrix(rows_, cols_);
       have_acc_ = true;
@@ -246,6 +283,7 @@ class Accumulator {
   /// addend yields the all-zero rows x cols matrix.
   [[nodiscard]] Matrix finalize() {
     flush();
+    demote_all();
     Matrix out = have_acc_ ? std::move(acc_) : Matrix(rows_, cols_);
     acc_ = Matrix();
     have_acc_ = false;
@@ -255,18 +293,238 @@ class Accumulator {
 
  private:
   /// Methods whose output columns are sorted regardless of
-  /// Options::sorted_output (merge/heap families sort by construction).
+  /// Options::sorted_output (merge/heap families sort by construction;
+  /// DenseAcc's bitmap scan emits ascending by construction).
   [[nodiscard]] static bool method_emits_sorted(Method m, bool sorted_output) {
     switch (m) {
       case Method::TwoWayIncremental:
       case Method::TwoWayTree:
       case Method::Heap:
+      case Method::DenseAcc:
       case Method::ReferenceIncremental:
       case Method::ReferenceTree:
         return true;
       default:
         return sorted_output;
     }
+  }
+
+  /// Promotion is legal only when the stream can honor it: the policy is
+  /// on, snapshots want sorted columns (demotion emits ascending), the
+  /// matrix is tall enough to pay off, and folds run a column-kernel
+  /// method (the pairwise families cannot skip columns).
+  [[nodiscard]] bool promotion_allowed() const {
+    switch (opts_.method) {
+      case Method::TwoWayIncremental:
+      case Method::TwoWayTree:
+      case Method::ReferenceIncremental:
+      case Method::ReferenceTree:
+        return false;
+      default:
+        break;
+    }
+    return opts_.dense.enabled && opts_.sorted_output &&
+           static_cast<std::int64_t>(rows_) >= opts_.dense.min_rows;
+  }
+
+  [[nodiscard]] std::size_t mask_words() const {
+    return (static_cast<std::size_t>(rows_) + 63) / 64;
+  }
+
+  [[nodiscard]] std::size_t dense_storage_bytes() const {
+    return dense_vals_.capacity() * sizeof(ValueT) +
+           dense_mask_.capacity() * sizeof(std::uint64_t);
+  }
+
+  /// Fold the just-staged addends' resident columns into their dense
+  /// slots, in staged order — the same strict left fold the kernels run
+  /// (first touch assigns, later touches +=), so the value bytes stay
+  /// identical to a never-promoted stream. noexcept in effect: storage is
+  /// preallocated, so a fold that already succeeded cannot be undone by a
+  /// failure here.
+  void scatter_staged_into_dense() {
+    if (resident_count_ == 0) return;
+    const auto m = static_cast<std::size_t>(rows_);
+    const std::size_t words = mask_words();
+    for (const Matrix* a : staged_) {
+      const auto cp = a->col_ptr();
+      const auto ri = a->row_idx();
+      const auto vv = a->values();
+      for (IndexT j = 0; j < cols_; ++j) {
+        if (resident_[static_cast<std::size_t>(j)] == 0) continue;
+        const auto slot =
+            static_cast<std::size_t>(dense_slot_[static_cast<std::size_t>(j)]);
+        ValueT* vals = dense_vals_.data() + slot * m;
+        std::uint64_t* mask = dense_mask_.data() + slot * words;
+        const auto lo = static_cast<std::size_t>(cp[static_cast<std::size_t>(j)]);
+        const auto hi =
+            static_cast<std::size_t>(cp[static_cast<std::size_t>(j) + 1]);
+        for (std::size_t p = lo; p < hi; ++p) {
+          const auto r = static_cast<std::size_t>(ri[p]);
+          const std::uint64_t bit = std::uint64_t{1} << (r & 63);
+          if ((mask[r >> 6] & bit) != 0) {
+            vals[r] += vv[p];
+          } else {
+            mask[r >> 6] |= bit;
+            vals[r] = vv[p];
+          }
+        }
+      }
+    }
+  }
+
+  /// Promote every sufficiently full sparse column (under the byte
+  /// budget), then strip the promoted columns out of acc_ so the next
+  /// demotion cannot double-count them.
+  void maybe_promote() {
+    if (!have_acc_ || !promotion_allowed()) return;
+    const auto m = static_cast<std::size_t>(rows_);
+    const std::size_t words = mask_words();
+    const std::size_t slot_bytes =
+        m * sizeof(ValueT) + words * sizeof(std::uint64_t);
+    const double cut =
+        opts_.dense.promote_fill * static_cast<double>(rows_);
+    bool any = false;
+    for (IndexT j = 0; j < cols_; ++j) {
+      const auto js = static_cast<std::size_t>(j);
+      if (!resident_.empty() && resident_[js] != 0) continue;
+      const auto nz = static_cast<std::size_t>(acc_.col_nnz(j));
+      if (nz == 0 || static_cast<double>(nz) < cut) continue;
+      if ((resident_count_ + 1) * slot_bytes > opts_.dense.max_resident_bytes)
+        break;
+      promote_column(j, m, words);
+      any = true;
+    }
+    if (any) strip_resident_from_acc();
+  }
+
+  void promote_column(IndexT j, std::size_t m, std::size_t words) {
+    if (resident_.empty())
+      resident_.assign(static_cast<std::size_t>(cols_), 0);
+    if (dense_slot_.empty())
+      dense_slot_.assign(static_cast<std::size_t>(cols_), -1);
+    const std::size_t slot = dense_slots_++;
+    if (dense_vals_.size() < dense_slots_ * m)
+      dense_vals_.resize(dense_slots_ * m);
+    if (dense_mask_.size() < dense_slots_ * words)
+      dense_mask_.resize(dense_slots_ * words);
+    ValueT* vals = dense_vals_.data() + slot * m;
+    std::uint64_t* mask = dense_mask_.data() + slot * words;
+    std::fill(mask, mask + words, std::uint64_t{0});
+    // Copy the running sum's column verbatim (values untouched: promotion
+    // must not perturb a single bit). Unset value slots stay stale — they
+    // are never read, and a first touch assigns rather than adds.
+    const auto cp = acc_.col_ptr();
+    const auto ri = acc_.row_idx();
+    const auto vv = acc_.values();
+    const auto lo = static_cast<std::size_t>(cp[static_cast<std::size_t>(j)]);
+    const auto hi =
+        static_cast<std::size_t>(cp[static_cast<std::size_t>(j) + 1]);
+    for (std::size_t p = lo; p < hi; ++p) {
+      const auto r = static_cast<std::size_t>(ri[p]);
+      vals[r] = vv[p];
+      mask[r >> 6] |= std::uint64_t{1} << (r & 63);
+    }
+    resident_[static_cast<std::size_t>(j)] = 1;
+    dense_slot_[static_cast<std::size_t>(j)] =
+        static_cast<std::int64_t>(slot);
+    ++resident_count_;
+    ++stats_.dense_promotions;
+  }
+
+  /// Rebuild acc_ with every resident column empty. Promoted columns live
+  /// in dense storage only; leaving their CSC copy in place would add
+  /// them twice at demotion.
+  void strip_resident_from_acc() {
+    std::vector<IndexT> counts(static_cast<std::size_t>(cols_), IndexT{0});
+    for (IndexT j = 0; j < cols_; ++j)
+      if (resident_[static_cast<std::size_t>(j)] == 0)
+        counts[static_cast<std::size_t>(j)] = acc_.col_nnz(j);
+    Matrix stripped(rows_, cols_);
+    stripped.set_structure(util::counts_to_offsets(std::span<const IndexT>(counts)));
+    auto* orow = stripped.mutable_row_idx().data();
+    auto* oval = stripped.mutable_values().data();
+    const auto ocp = stripped.col_ptr();
+    const auto cp = acc_.col_ptr();
+    const auto ri = acc_.row_idx();
+    const auto vv = acc_.values();
+    for (IndexT j = 0; j < cols_; ++j) {
+      const auto js = static_cast<std::size_t>(j);
+      if (resident_[js] != 0) continue;
+      const auto lo = static_cast<std::size_t>(cp[js]);
+      const auto n = static_cast<std::size_t>(cp[js + 1]) - lo;
+      auto out = static_cast<std::size_t>(ocp[js]);
+      for (std::size_t p = 0; p < n; ++p) {
+        orow[out + p] = ri[lo + p];
+        oval[out + p] = vv[lo + p];
+      }
+    }
+    acc_ = std::move(stripped);
+  }
+
+  /// Merge every dense-resident column back into acc_ as CSC: ascending
+  /// bitmap scan, value bytes verbatim. Clears all residency state; the
+  /// dense backing stores keep their capacity for the next promotion.
+  void demote_all() {
+    if (resident_count_ == 0) return;
+    const auto m = static_cast<std::size_t>(rows_);
+    const std::size_t words = mask_words();
+    std::vector<IndexT> counts(static_cast<std::size_t>(cols_), IndexT{0});
+    for (IndexT j = 0; j < cols_; ++j) {
+      const auto js = static_cast<std::size_t>(j);
+      if (resident_[js] != 0) {
+        const std::uint64_t* mask =
+            dense_mask_.data() +
+            static_cast<std::size_t>(dense_slot_[js]) * words;
+        std::size_t nz = 0;
+        for (std::size_t w = 0; w < words; ++w)
+          nz += static_cast<std::size_t>(std::popcount(mask[w]));
+        counts[js] = static_cast<IndexT>(nz);
+      } else {
+        counts[js] = acc_.col_nnz(j);
+      }
+    }
+    Matrix merged(rows_, cols_);
+    merged.set_structure(util::counts_to_offsets(std::span<const IndexT>(counts)));
+    auto* orow = merged.mutable_row_idx().data();
+    auto* oval = merged.mutable_values().data();
+    const auto ocp = merged.col_ptr();
+    const auto cp = acc_.col_ptr();
+    const auto ri = acc_.row_idx();
+    const auto vv = acc_.values();
+    for (IndexT j = 0; j < cols_; ++j) {
+      const auto js = static_cast<std::size_t>(j);
+      auto out = static_cast<std::size_t>(ocp[js]);
+      if (resident_[js] != 0) {
+        const auto slot = static_cast<std::size_t>(dense_slot_[js]);
+        const ValueT* vals = dense_vals_.data() + slot * m;
+        const std::uint64_t* mask = dense_mask_.data() + slot * words;
+        for (std::size_t w = 0; w < words; ++w) {
+          std::uint64_t bits = mask[w];
+          while (bits != 0) {
+            const auto r =
+                w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+            orow[out] = static_cast<IndexT>(r);
+            oval[out] = vals[r];
+            ++out;
+            bits &= bits - 1;
+          }
+        }
+      } else {
+        const auto lo = static_cast<std::size_t>(cp[js]);
+        const auto n = static_cast<std::size_t>(cp[js + 1]) - lo;
+        for (std::size_t p = 0; p < n; ++p) {
+          orow[out + p] = ri[lo + p];
+          oval[out + p] = vv[lo + p];
+        }
+      }
+    }
+    acc_ = std::move(merged);
+    stats_.dense_demotions += resident_count_;
+    resident_.clear();
+    dense_slot_.clear();
+    dense_slots_ = 0;
+    resident_count_ = 0;
   }
 
   void check_shape(const Matrix& m) const {
@@ -308,6 +566,17 @@ class Accumulator {
   std::vector<const Matrix*> fold_;  ///< scratch: [acc?, staged...]
   Runtime<IndexT, ValueT> rt_;  ///< persistent scratch + cost scan
   Stats stats_;
+
+  // Dense-resident (promoted) column state. resident_ doubles as the
+  // Options::skip_cols mask handed to the sparse fold. Invariant:
+  // resident_count_ > 0 implies have_acc_ (promotion only happens after a
+  // fold; every snapshot demotes first).
+  std::vector<std::uint8_t> resident_;   ///< 1 = column lives in dense storage
+  std::vector<std::int64_t> dense_slot_; ///< per-column slot index, -1 = none
+  std::vector<ValueT> dense_vals_;       ///< slot-major value arrays (m each)
+  std::vector<std::uint64_t> dense_mask_;///< slot-major occupancy bitmaps
+  std::size_t dense_slots_ = 0;          ///< slots in use
+  std::size_t resident_count_ = 0;       ///< == number of 1s in resident_
 };
 
 extern template class Accumulator<std::int32_t, double>;

@@ -179,7 +179,8 @@ std::size_t nearest_log_index(const std::vector<std::uint64_t>& axis,
 ColumnKernel MissCostTable::best_kernel(std::size_t k,
                                         std::uint64_t chunk_max_col_nnz,
                                         std::uint64_t chunk_width,
-                                        bool inputs_sorted) const {
+                                        bool inputs_sorted,
+                                        bool dense_eligible) const {
   if (chunk_max_col_nnz == 0) return ColumnKernel::Hash;
   const std::size_t ik = nearest_log_index(k_axis, k);
   // The table's density axis is *per-addend* column nnz; the planner sees
@@ -207,6 +208,10 @@ ColumnKernel MissCostTable::best_kernel(std::size_t k,
   for (std::size_t ki = 0; ki < kNumColumnKernels; ++ki) {
     const auto kernel = static_cast<ColumnKernel>(ki);
     if (kernel == ColumnKernel::Heap && !heap_eligible) continue;
+    // DenseAcc's cost is governed by rows — an axis this grid lacks — so
+    // the analytic fill/residency gate decides eligibility; the table
+    // only ranks it against the others inside that region.
+    if (kernel == ColumnKernel::DenseAcc && !dense_eligible) continue;
     const double c = cost(kernel, ik, id, iw);
     if (c < 0.0) continue;  // unmeasured cell
     if (c < best_cost) {
@@ -308,15 +313,27 @@ MissCostTable MissCostTable::from_json(const std::string& text) {
 
   for (const bool h : have)
     if (!h) throw std::invalid_argument("MissCostTable JSON: missing key");
+  if (table.version != kMissCostTableVersion && table.version != 1)
+    throw std::invalid_argument(
+        "MissCostTable JSON: unsupported version " +
+        std::to_string(table.version) + " (expected " +
+        std::to_string(kMissCostTableVersion) + " or the v1 back-compat "
+        "format)");
+  // Version-1 tables predate the dense kernel: synthesize its cost vector
+  // as all-unmeasured so the argmin never picks it from stale data, then
+  // upgrade in place (usable() and save() only speak the current version).
+  const auto dense_ix = static_cast<std::size_t>(ColumnKernel::DenseAcc);
+  if (table.version == 1 && !have_costs[dense_ix]) {
+    table.costs[dense_ix].assign(
+        table.k_axis.size() * table.d_axis.size() * table.width_axis.size(),
+        -1.0);
+    have_costs[dense_ix] = true;
+  }
+  if (table.version == 1) table.version = kMissCostTableVersion;
   for (const bool h : have_costs)
     if (!h)
       throw std::invalid_argument(
           "MissCostTable JSON: missing a kernel cost vector");
-  if (table.version != kMissCostTableVersion)
-    throw std::invalid_argument(
-        "MissCostTable JSON: unsupported version " +
-        std::to_string(table.version) + " (expected " +
-        std::to_string(kMissCostTableVersion) + ")");
   if (!table.usable())
     throw std::invalid_argument(
         "MissCostTable JSON: axes/cost shapes are inconsistent");

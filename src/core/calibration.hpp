@@ -15,7 +15,10 @@
 //
 // Tables are versioned JSON (kMissCostTableVersion); load() rejects any
 // file whose version or axis/cost-vector shapes disagree, so a stale
-// committed table fails loudly instead of silently misplanning.
+// committed table fails loudly instead of silently misplanning. The one
+// sanctioned back-compat path: version-1 tables (four kernels, predating
+// DenseAcc) still load, with the dense cost vector filled as unmeasured
+// (-1) so the argmin never picks it from stale data.
 #pragma once
 
 #include <array>
@@ -28,8 +31,8 @@
 
 namespace spkadd::core {
 
-inline constexpr int kMissCostTableVersion = 1;
-inline constexpr std::size_t kNumColumnKernels = 4;
+inline constexpr int kMissCostTableVersion = 2;
+inline constexpr std::size_t kNumColumnKernels = 5;
 
 /// Per-kernel weighted miss costs over a (k, per-addend column nnz,
 /// chunk width) grid. Axes are ascending; costs are indexed
@@ -47,8 +50,9 @@ struct MissCostTable {
   std::vector<std::uint64_t> width_axis;  ///< chunk width (columns)
 
   /// costs[kernel][cell]; kernel indexes ColumnKernel (heap/spa/hash/
-  /// sliding). A negative cost marks an unmeasured cell (e.g. heap grids
-  /// too large to merge); argmin skips it.
+  /// sliding/dense). A negative cost marks an unmeasured cell (e.g. heap
+  /// grids too large to merge, or the dense vector of an upgraded v1
+  /// table); argmin skips it.
   std::array<std::vector<double>, kNumColumnKernels> costs;
 
   [[nodiscard]] std::size_t cells() const {
@@ -70,13 +74,17 @@ struct MissCostTable {
   /// kernel there. Heap only competes inside the analytic compute corner
   /// (sorted inputs, k <= kHybridHeapMaxK, chunk max col nnz <=
   /// kHybridHeapMaxColNnz): it is compute-bound, so its low miss counts
-  /// say nothing about its O(lg k) per-element merge cost. Empty chunks
-  /// dispatch to Hash like hybrid_kernel_for. Ties break in enum order,
-  /// which prefers the simpler kernel.
+  /// say nothing about its O(lg k) per-element merge cost. DenseAcc only
+  /// competes when the caller says the chunk is dense-eligible
+  /// (dense_chunk_eligible): its cost is a function of *rows*, an axis
+  /// this grid does not have, so the analytic fill/residency gate stays
+  /// authoritative. Empty chunks dispatch to Hash like hybrid_kernel_for.
+  /// Ties break in enum order, which prefers the simpler kernel.
   [[nodiscard]] ColumnKernel best_kernel(std::size_t k,
                                          std::uint64_t chunk_max_col_nnz,
                                          std::uint64_t chunk_width,
-                                         bool inputs_sorted) const;
+                                         bool inputs_sorted,
+                                         bool dense_eligible = false) const;
 
   /// Versioned JSON rendering (stable key order; whole table on one
   /// schema, calibration/misscost_schema.json).

@@ -10,6 +10,8 @@
 //   hash_add_column    Alg. 5 (hash-table accumulation)
 //   sliding_symbolic_column   Alg. 7 (cache-capped symbolic partition)
 //   sliding_hash_add_column   Alg. 8 (cache-capped numeric partition)
+//   dense_symbolic_column     occupancy-bitmap distinct-row count
+//   dense_add_column   dense bitmap accumulation with SIMD dense adds
 //
 // The ColumnKernel layer at the bottom exposes all of them behind one
 // uniform symbolic/numeric per-column interface — the dispatch unit of
@@ -23,9 +25,11 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <span>
 
+#include "core/dense_simd.hpp"
 #include "core/options.hpp"
 #include "core/workspace.hpp"
 #include "matrix/column_view.hpp"
@@ -453,14 +457,197 @@ std::size_t sliding_hash_add_column(
 }
 
 // ---------------------------------------------------------------------------
+// Dense accumulator (ColumnKernel::DenseAcc)
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+/// True when `v` is the identity-dense column 0..rows-1 (one entry per
+/// row, ascending) — the shape a fully dense addend or a promoted running
+/// sum presents. Checked exactly with one vector-friendly pass rather
+/// than inferred from nnz == rows: unsorted and duplicate-row columns are
+/// legal inputs to the hash-family kernels, so a count alone proves
+/// nothing.
+template <class IndexT, class ValueT>
+[[nodiscard]] inline bool is_identity_dense(
+    const ColumnView<IndexT, ValueT>& v, IndexT rows) {
+  const std::size_t n = v.nnz();
+  if (n != static_cast<std::size_t>(rows) || n == 0) return false;
+  if (v.rows[0] != 0 || v.rows[n - 1] != rows - 1) return false;
+  for (std::size_t i = 0; i < n; ++i)
+    if (v.rows[i] != static_cast<IndexT>(i)) return false;
+  return true;
+}
+
+/// All-ones occupancy word for a word covering `len` rows (len in [1,64]).
+[[nodiscard]] inline std::uint64_t dense_word_fill(std::size_t len) {
+  return len >= 64 ? ~std::uint64_t{0}
+                   : (std::uint64_t{1} << len) - 1;
+}
+
+}  // namespace detail
+
+/// Symbolic phase of the dense kernel: count distinct rows through the
+/// occupancy bitmap (sequential word access — on dense columns this beats
+/// the random probes of the hash symbolic). Restores the workspace's
+/// all-clear mask invariant by replaying the touched words.
+template <class IndexT, class ValueT>
+std::size_t dense_symbolic_column(
+    std::span<const ColumnView<IndexT, ValueT>> cols, IndexT rows,
+    DenseAccWorkspace<ValueT>& ws, OpCounters* counters = nullptr) {
+  std::size_t inz = 0;
+  for (const auto& v : cols) inz += v.nnz();
+  if (inz == 0) return 0;
+  ws.ensure_rows(static_cast<std::size_t>(rows));
+  auto* mask = ws.mask.data();
+  std::size_t nz = 0;
+  for (const auto& v : cols) {
+    for (std::size_t i = 0; i < v.nnz(); ++i) {
+      const auto r = static_cast<std::size_t>(v.rows[i]);
+      const std::uint64_t bit = std::uint64_t{1} << (r & 63);
+      if (!(mask[r >> 6] & bit)) {
+        mask[r >> 6] |= bit;
+        ++nz;
+      }
+    }
+  }
+  // Only words an entry touched can hold set bits; zeroing them by replay
+  // is O(input nnz), never O(rows/64).
+  for (const auto& v : cols)
+    for (std::size_t i = 0; i < v.nnz(); ++i)
+      mask[static_cast<std::size_t>(v.rows[i]) >> 6] = 0;
+  if (counters) counters->dense_touches += inz;
+  return nz;
+}
+
+/// Numeric phase of the dense kernel: accumulate k columns into a dense
+/// value array guarded by an occupancy bitmap (first touch assigns, later
+/// touches add — the same strict left-fold per-element order as every
+/// sparse kernel, so any mix stays bit-identical). Fully dense addends
+/// take vectorized whole-column copy/add paths (simd::dense_*); emission
+/// scans the bitmap ascending with a full-word fast path, so the output
+/// is sorted *by construction* — no radix sort, which is the structural
+/// win over the SPA on dense columns. Returns entries written.
+template <class IndexT, class ValueT>
+std::size_t dense_add_column(std::span<const ColumnView<IndexT, ValueT>> cols,
+                             IndexT rows, DenseAccWorkspace<ValueT>& ws,
+                             IndexT* out_rows, ValueT* out_vals,
+                             OpCounters* counters = nullptr) {
+  std::size_t inz = 0;
+  for (const auto& v : cols) inz += v.nnz();
+  if (inz == 0) return 0;
+  const auto m = static_cast<std::size_t>(rows);
+  ws.ensure_rows(m);
+  const std::size_t words = (m + 63) / 64;
+  auto* vals = ws.values.data();
+  auto* mask = ws.mask.data();
+
+  std::size_t filled = 0;              // distinct rows occupied so far
+  std::size_t w_lo = words, w_hi = 0;  // touched word range
+
+  for (const auto& v : cols) {
+    if (detail::is_identity_dense(v, rows)) {
+      const ValueT* src = v.vals.data();
+      if (filled == 0) {
+        simd::dense_copy(vals, src, m);
+        for (std::size_t w = 0; w + 1 < words; ++w)
+          mask[w] = ~std::uint64_t{0};
+        mask[words - 1] = detail::dense_word_fill(m - (words - 1) * 64);
+      } else if (filled == m) {
+        simd::dense_add(vals, src, m);
+      } else {
+        // Partially filled running sum + fully dense addend: word at a
+        // time, vector-adding saturated words, bit-merging the rest.
+        for (std::size_t w = 0; w < words; ++w) {
+          const std::size_t base = w * 64;
+          const std::size_t len = std::min<std::size_t>(64, m - base);
+          const std::uint64_t full = detail::dense_word_fill(len);
+          if (mask[w] == full) {
+            simd::dense_add(vals + base, src + base, len);
+          } else {
+            std::uint64_t bits = mask[w];
+            for (std::size_t b = 0; b < len; ++b) {
+              const std::size_t r = base + b;
+              if (bits & (std::uint64_t{1} << b))
+                vals[r] += src[r];
+              else
+                vals[r] = src[r];
+            }
+            mask[w] = full;
+          }
+        }
+      }
+      filled = m;
+      w_lo = 0;
+      w_hi = words - 1;
+      continue;
+    }
+    // Sparse scatter — scalar, preserving the strict left-fold order.
+    const std::size_t n = v.nnz();
+    if (filled == m) {
+      for (std::size_t i = 0; i < n; ++i)
+        vals[static_cast<std::size_t>(v.rows[i])] += v.vals[i];
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto r = static_cast<std::size_t>(v.rows[i]);
+        const std::size_t w = r >> 6;
+        const std::uint64_t bit = std::uint64_t{1} << (r & 63);
+        if (mask[w] & bit) {
+          vals[r] += v.vals[i];
+        } else {
+          mask[w] |= bit;
+          vals[r] = v.vals[i];
+          ++filled;
+          w_lo = std::min(w_lo, w);
+          w_hi = std::max(w_hi, w);
+        }
+      }
+    }
+  }
+
+  // Emission: ascending bitmap scan, zeroing words behind itself to
+  // restore the workspace invariant.
+  std::size_t out = 0;
+  if (filled == m) {
+    simd::iota_rows(out_rows, IndexT{0}, m);
+    simd::dense_copy(out_vals, vals, m);
+    out = m;
+    for (std::size_t w = 0; w < words; ++w) mask[w] = 0;
+  } else {
+    for (std::size_t w = w_lo; w <= w_hi && w < words; ++w) {
+      std::uint64_t bits = mask[w];
+      if (bits == 0) continue;
+      const std::size_t base = w * 64;
+      if (bits == ~std::uint64_t{0}) {
+        simd::iota_rows(out_rows + out, static_cast<IndexT>(base), 64);
+        simd::dense_copy(out_vals + out, vals + base, 64);
+        out += 64;
+      } else {
+        while (bits != 0) {
+          const auto b =
+              static_cast<std::size_t>(std::countr_zero(bits));
+          out_rows[out] = static_cast<IndexT>(base + b);
+          out_vals[out++] = vals[base + b];
+          bits &= bits - 1;
+        }
+      }
+      mask[w] = 0;
+    }
+  }
+  if (counters) counters->dense_touches += inz + out;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
 // ColumnKernel — the uniform per-column dispatch layer
 // ---------------------------------------------------------------------------
 
-/// The four column-loop kernels behind one dispatch tag. This is the unit
+/// The five column-loop kernels behind one dispatch tag. This is the unit
 /// Method::Hybrid selects per nnz-balanced column chunk (the whole-matrix
-/// methods Heap/Spa/Hash/SlidingHash are the degenerate "same kernel for
-/// every chunk" points of the same surface).
-enum class ColumnKernel : std::uint8_t { Heap, Spa, Hash, SlidingHash };
+/// methods Heap/Spa/Hash/SlidingHash/DenseAcc are the degenerate "same
+/// kernel for every chunk" points of the same surface).
+enum class ColumnKernel : std::uint8_t { Heap, Spa, Hash, SlidingHash,
+                                         DenseAcc };
 
 [[nodiscard]] inline const char* column_kernel_name(ColumnKernel k) {
   switch (k) {
@@ -468,6 +655,7 @@ enum class ColumnKernel : std::uint8_t { Heap, Spa, Hash, SlidingHash };
     case ColumnKernel::Spa: return "spa";
     case ColumnKernel::Hash: return "hash";
     case ColumnKernel::SlidingHash: return "sliding";
+    case ColumnKernel::DenseAcc: return "dense";
   }
   return "?";
 }
@@ -484,6 +672,7 @@ inline void count_chunk(OpCounters& counters, ColumnKernel k) {
     case ColumnKernel::Spa: ++counters.chunks_spa; break;
     case ColumnKernel::Hash: ++counters.chunks_hash; break;
     case ColumnKernel::SlidingHash: ++counters.chunks_sliding; break;
+    case ColumnKernel::DenseAcc: ++counters.chunks_dense; break;
   }
 }
 
@@ -501,7 +690,8 @@ struct KernelEnv {
 
 /// Uniform symbolic phase: nnz of the added column under kernel `k`.
 /// Heap/SPA/Hash chunks count with the plain hash symbolic (Alg. 6);
-/// sliding chunks use the cache-capped partition (Alg. 7).
+/// sliding chunks use the cache-capped partition (Alg. 7); dense chunks
+/// count through the occupancy bitmap.
 template <class IndexT, class ValueT>
 std::size_t kernel_symbolic_column(
     ColumnKernel k, std::span<const ColumnView<IndexT, ValueT>> views,
@@ -510,6 +700,8 @@ std::size_t kernel_symbolic_column(
   if (k == ColumnKernel::SlidingHash)
     return sliding_symbolic_column(views, env.rows, env.sym_cap,
                                    env.inputs_sorted, scratch, counters);
+  if (k == ColumnKernel::DenseAcc)
+    return dense_symbolic_column(views, env.rows, scratch.dense, counters);
   return hash_symbolic_column(views, scratch.sym_table, counters);
 }
 
@@ -538,6 +730,9 @@ std::size_t kernel_numeric_column(
                                      env.num_cap, env.inputs_sorted,
                                      env.sorted_output, scratch, out_rows,
                                      out_vals, counters);
+    case ColumnKernel::DenseAcc:
+      return dense_add_column(views, env.rows, scratch.dense, out_rows,
+                              out_vals, counters);
   }
   return 0;  // unreachable
 }

@@ -117,10 +117,15 @@ std::uint64_t scan_column_input_nnz(std::span<Element> inputs,
   if (costs) costs->assign(static_cast<std::size_t>(cols), 0);
   const int nthreads =
       opts.threads > 0 ? opts.threads : omp_get_max_threads();
+  const std::uint8_t* skip = opts.skip_cols;
   std::uint64_t max_cost = 0;
 #pragma omp parallel for num_threads(nthreads) schedule(static) \
     reduction(max : max_cost)
   for (IndexT j = 0; j < cols; ++j) {
+    // Skipped (dense-resident) columns cost nothing: the fold never
+    // gathers their views, so neither the schedule nor the Auto prescan
+    // should weigh them.
+    if (skip && skip[static_cast<std::size_t>(j)] != 0) continue;
     std::uint64_t t = 0;
     for (const auto& e : inputs)
       t += static_cast<std::uint64_t>(deref(e).col_nnz(j));
@@ -265,11 +270,17 @@ void for_each_chunk(std::span<const std::pair<IndexT, IndexT>> chunks,
 }
 
 /// Gather the jth column views of all inputs into `views` (reused scratch);
-/// empty columns are skipped — they contribute nothing to any kernel.
+/// empty columns are skipped — they contribute nothing to any kernel. A
+/// column masked by `skip` (Options::skip_cols, the Accumulator's
+/// dense-resident mask) gathers NO views: every kernel then naturally
+/// emits an empty output column, which is how the sparse fold excludes
+/// dense-resident columns without per-driver special cases.
 template <class Element, class IndexT, class ValueT>
 void gather_views(std::span<Element> inputs, IndexT j,
-                  std::vector<ColumnView<IndexT, ValueT>>& views) {
+                  std::vector<ColumnView<IndexT, ValueT>>& views,
+                  const std::uint8_t* skip = nullptr) {
   views.clear();
+  if (skip && skip[static_cast<std::size_t>(j)] != 0) return;
   for (const auto& e : inputs) {
     auto col = deref(e).column(j);
     if (!col.empty()) views.push_back(col);

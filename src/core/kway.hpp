@@ -6,7 +6,7 @@
 //   2. numeric — column-parallel loop filling each output slice with the
 //      method's kernel on thread-private scratch.
 // The loop is synchronization-free because output slices are disjoint.
-// The four single-kernel drivers run one kernel for every column;
+// The five single-kernel drivers run one kernel for every column;
 // spkadd_hybrid evaluates the Fig. 2 surface per nnz-balanced column
 // chunk and mixes kernels through the uniform ColumnKernel interface.
 //
@@ -78,7 +78,7 @@ template <class IndexT, class ValueT>
   detail::for_each_column(cols, opts, R.costs_for(cols),
                           [&](IndexT j, OpCounters* c) {
     auto& s = R.scratch[static_cast<std::size_t>(omp_get_thread_num())];
-    detail::gather_views(inputs, j, s.views);
+    detail::gather_views(inputs, j, s.views, opts.skip_cols);
     const auto lo = static_cast<std::size_t>(cp[static_cast<std::size_t>(j)]);
     heap_add_column(std::span<const ColumnView<IndexT, ValueT>>(s.views),
                     s.heap, out_rows + lo, out_vals + lo, c);
@@ -111,7 +111,7 @@ template <class IndexT, class ValueT>
                           [&](IndexT j, OpCounters* c) {
     auto& s = R.scratch[static_cast<std::size_t>(omp_get_thread_num())];
     s.spa.ensure_rows(static_cast<std::size_t>(rows_copy));
-    detail::gather_views(inputs, j, s.views);
+    detail::gather_views(inputs, j, s.views, opts.skip_cols);
     const auto lo = static_cast<std::size_t>(cp[static_cast<std::size_t>(j)]);
     spa_add_column(std::span<const ColumnView<IndexT, ValueT>>(s.views), s.spa,
                    out_rows + lo, out_vals + lo, sorted, c);
@@ -142,7 +142,7 @@ template <class IndexT, class ValueT>
   detail::for_each_column(cols, opts, R.costs_for(cols),
                           [&](IndexT j, OpCounters* c) {
     auto& s = R.scratch[static_cast<std::size_t>(omp_get_thread_num())];
-    detail::gather_views(inputs, j, s.views);
+    detail::gather_views(inputs, j, s.views, opts.skip_cols);
     const auto lo = static_cast<std::size_t>(cp[static_cast<std::size_t>(j)]);
     const auto expected = static_cast<std::size_t>(
         cp[static_cast<std::size_t>(j) + 1] - cp[static_cast<std::size_t>(j)]);
@@ -184,13 +184,57 @@ template <class IndexT, class ValueT>
   detail::for_each_column(cols, opts, R.costs_for(cols),
                           [&](IndexT j, OpCounters* c) {
     auto& s = R.scratch[static_cast<std::size_t>(omp_get_thread_num())];
-    detail::gather_views(inputs, j, s.views);
+    detail::gather_views(inputs, j, s.views, opts.skip_cols);
     const auto onz = static_cast<std::size_t>(
         cp[static_cast<std::size_t>(j) + 1] - cp[static_cast<std::size_t>(j)]);
     const auto lo = static_cast<std::size_t>(cp[static_cast<std::size_t>(j)]);
     sliding_hash_add_column(
         std::span<const ColumnView<IndexT, ValueT>>(s.views), onz, rows_copy,
         cap, inputs_sorted, sorted, s, out_rows + lo, out_vals + lo, c);
+  });
+  if (opts.counters)
+    opts.counters->bytes_moved += detail::streamed_bytes<IndexT, ValueT>(
+        detail::total_nnz(inputs), out.nnz());
+  return out;
+}
+
+/// DenseAcc driver: dense bitmap accumulation per column. O(T*m) value
+/// storage like the SPA, but the occupancy bitmap replaces generation
+/// stamps and the touched list, and sorted emission is a word scan
+/// (popcount/ctz) instead of a radix sort. Identity-dense addends fold
+/// with whole-column SIMD adds. Inputs may be unsorted; output is always
+/// emitted with ascending rows.
+template <class IndexT, class ValueT>
+[[nodiscard]] CscMatrix<IndexT, ValueT> spkadd_denseacc(
+    MatrixPtrs<IndexT, ValueT> inputs, const Options& opts = {},
+    Runtime<IndexT, ValueT>* rt = nullptr) {
+  const auto [rows, cols] = detail::check_conformant(inputs);
+  Runtime<IndexT, ValueT> local;
+  auto& R = detail::prepare_runtime(inputs, opts, cols, rt, local);
+
+  std::vector<IndexT> counts(static_cast<std::size_t>(cols), IndexT{0});
+  const IndexT rows_copy = rows;
+  detail::for_each_column(cols, opts, R.costs_for(cols),
+                          [&](IndexT j, OpCounters* c) {
+    auto& s = R.scratch[static_cast<std::size_t>(omp_get_thread_num())];
+    detail::gather_views(inputs, j, s.views, opts.skip_cols);
+    counts[static_cast<std::size_t>(j)] =
+        static_cast<IndexT>(dense_symbolic_column(
+            std::span<const ColumnView<IndexT, ValueT>>(s.views), rows_copy,
+            s.dense, c));
+  });
+  auto out = detail::shell_from_counts<IndexT, ValueT>(rows, cols, counts);
+  auto* out_rows = out.mutable_row_idx().data();
+  auto* out_vals = out.mutable_values().data();
+  const auto cp = out.col_ptr();
+
+  detail::for_each_column(cols, opts, R.costs_for(cols),
+                          [&](IndexT j, OpCounters* c) {
+    auto& s = R.scratch[static_cast<std::size_t>(omp_get_thread_num())];
+    detail::gather_views(inputs, j, s.views, opts.skip_cols);
+    const auto lo = static_cast<std::size_t>(cp[static_cast<std::size_t>(j)]);
+    dense_add_column(std::span<const ColumnView<IndexT, ValueT>>(s.views),
+                     rows_copy, s.dense, out_rows + lo, out_vals + lo, c);
   });
   if (opts.counters)
     opts.counters->bytes_moved += detail::streamed_bytes<IndexT, ValueT>(
@@ -253,7 +297,7 @@ template <class IndexT, class ValueT>
         const ColumnKernel kernel = plan.kernels[ci];
         for (IndexT j = plan.chunks[ci].first; j < plan.chunks[ci].second;
              ++j) {
-          detail::gather_views(inputs, j, s.views);
+          detail::gather_views(inputs, j, s.views, opts.skip_cols);
           const auto lo =
               static_cast<std::size_t>(cp[static_cast<std::size_t>(j)]);
           const auto expected = static_cast<std::size_t>(
@@ -305,6 +349,15 @@ template <class IndexT, class ValueT>
   std::vector<const CscMatrix<IndexT, ValueT>*> ptrs;
   detail::borrow_all(inputs, ptrs);
   return spkadd_sliding_hash(MatrixPtrs<IndexT, ValueT>(ptrs), opts);
+}
+
+template <class IndexT, class ValueT>
+[[nodiscard]] CscMatrix<IndexT, ValueT> spkadd_denseacc(
+    std::span<const CscMatrix<IndexT, ValueT>> inputs,
+    const Options& opts = {}) {
+  std::vector<const CscMatrix<IndexT, ValueT>*> ptrs;
+  detail::borrow_all(inputs, ptrs);
+  return spkadd_denseacc(MatrixPtrs<IndexT, ValueT>(ptrs), opts);
 }
 
 template <class IndexT, class ValueT>

@@ -35,6 +35,7 @@ std::string method_name(Method m) {
     case Method::ReferenceTree: return "Ref(MKL) Tree";
     case Method::Auto: return "Auto";
     case Method::Hybrid: return "Hybrid";
+    case Method::DenseAcc: return "DenseAcc";
   }
   return "?";
 }
@@ -74,6 +75,8 @@ Method method_from_name(const std::string& name) {
       {"reftree", Method::ReferenceTree},
       {"auto", Method::Auto},
       {"hybrid", Method::Hybrid},
+      {"denseacc", Method::DenseAcc},
+      {"dense", Method::DenseAcc},
   };
   const std::string key = normalized(name);
   for (const Entry& e : entries)
@@ -81,7 +84,7 @@ Method method_from_name(const std::string& name) {
   throw std::invalid_argument(
       "unknown SpKAdd method '" + name +
       "' (expected one of: 2way-incremental, 2way-tree, heap, spa, hash, "
-      "sliding-hash, ref-incremental, ref-tree, auto, hybrid)");
+      "sliding-hash, dense, ref-incremental, ref-tree, auto, hybrid)");
 }
 
 ColumnKernel column_kernel_from_name(const std::string& name) {
@@ -91,9 +94,10 @@ ColumnKernel column_kernel_from_name(const std::string& name) {
   if (key == "hash") return ColumnKernel::Hash;
   if (key == "sliding" || key == "slidinghash")
     return ColumnKernel::SlidingHash;
+  if (key == "dense" || key == "denseacc") return ColumnKernel::DenseAcc;
   throw std::invalid_argument(
       "unknown column kernel '" + name +
-      "' (expected one of: heap, spa, hash, sliding)");
+      "' (expected one of: heap, spa, hash, sliding, dense)");
 }
 
 Schedule schedule_from_name(const std::string& name) {

@@ -22,6 +22,7 @@ enum class Method {
   ReferenceTree,         ///< MKL-substitute pairwise add, tree
   Auto,               ///< pick ONE kernel per Fig. 2's decision surface
   Hybrid,             ///< pick a kernel PER nnz-balanced column chunk
+  DenseAcc,           ///< dense bitmap accumulator with SIMD dense adds
 };
 
 [[nodiscard]] std::string method_name(Method m);
@@ -56,6 +57,7 @@ struct OpCounters {
   std::uint64_t heap_ops = 0;     ///< heap inserts + extract-mins
   std::uint64_t hash_probes = 0;  ///< hash slots inspected (incl. collisions)
   std::uint64_t spa_touches = 0;  ///< SPA reads+writes
+  std::uint64_t dense_touches = 0;  ///< dense-accumulator scatter/add steps
   std::uint64_t bytes_moved = 0;  ///< streamed matrix bytes (I/O model)
   std::uint64_t table_inits = 0;  ///< hash-table slots initialized
 
@@ -67,38 +69,65 @@ struct OpCounters {
   std::uint64_t chunks_spa = 0;      ///< chunks dispatched to the SPA
   std::uint64_t chunks_hash = 0;     ///< chunks dispatched to plain hash
   std::uint64_t chunks_sliding = 0;  ///< chunks dispatched to sliding hash
+  std::uint64_t chunks_dense = 0;    ///< chunks dispatched to the dense acc
 
   OpCounters& operator+=(const OpCounters& o) {
     merge_ops += o.merge_ops;
     heap_ops += o.heap_ops;
     hash_probes += o.hash_probes;
     spa_touches += o.spa_touches;
+    dense_touches += o.dense_touches;
     bytes_moved += o.bytes_moved;
     table_inits += o.table_inits;
     chunks_heap += o.chunks_heap;
     chunks_spa += o.chunks_spa;
     chunks_hash += o.chunks_hash;
     chunks_sliding += o.chunks_sliding;
+    chunks_dense += o.chunks_dense;
     return *this;
   }
 
   /// Total "work" events across data structures (Table I's Work column).
   [[nodiscard]] std::uint64_t work() const {
-    return merge_ops + heap_ops + hash_probes + spa_touches;
+    return merge_ops + heap_ops + hash_probes + spa_touches + dense_touches;
   }
 
   /// Total hybrid chunks dispatched (0 under single-kernel methods).
   [[nodiscard]] std::uint64_t chunks_total() const {
-    return chunks_heap + chunks_spa + chunks_hash + chunks_sliding;
+    return chunks_heap + chunks_spa + chunks_hash + chunks_sliding +
+           chunks_dense;
   }
 
-  /// Compact "heap/spa/hash/sliding" rendering of the hybrid decision mix
-  /// for bench tables, e.g. "2/0/29/1".
+  /// Compact "heap/spa/hash/sliding/dense" rendering of the hybrid
+  /// decision mix for bench tables, e.g. "2/0/29/1/4".
   [[nodiscard]] std::string chunk_mix() const {
     return std::to_string(chunks_heap) + "/" + std::to_string(chunks_spa) +
            "/" + std::to_string(chunks_hash) + "/" +
-           std::to_string(chunks_sliding);
+           std::to_string(chunks_sliding) + "/" +
+           std::to_string(chunks_dense);
   }
+};
+
+/// Sparse→dense promotion policy of the streaming Accumulator (ROADMAP
+/// item 1, mirroring the HLL sparse→dense representation switch): a
+/// running partial-sum column whose fill fraction crosses `promote_fill`
+/// is promoted to dense column storage and subsequent addends fold into
+/// it with vectorized scatter/dense adds; finalize()/partial_sum() demote
+/// back to CSC, so every output format — and every output *byte* — is
+/// unchanged. Promotion requires Options::sorted_output (demotion emits
+/// rows ascending) and a column-kernel method; TwoWay*/Reference* folds
+/// never promote.
+struct DensePolicy {
+  bool enabled = true;
+  /// Promote a column once nnz >= promote_fill * rows (the calibratable
+  /// threshold BENCH_dense.json sweeps).
+  double promote_fill = 0.5;
+  /// Never promote matrices shorter than this: the dense win needs enough
+  /// rows to amortize per-column bookkeeping.
+  std::int64_t min_rows = 64;
+  /// Cap on total dense-resident bytes per accumulator; promotion stops
+  /// (new candidates stay sparse) once reached.
+  std::size_t max_resident_bytes = 256ull << 20;
 };
 
 struct Options {
@@ -138,6 +167,19 @@ struct Options {
   /// When non-null, kernels count their operations here (not thread-safe to
   /// share across concurrent spkadd() calls; one counter per call).
   OpCounters* counters = nullptr;
+
+  /// Sparse→dense promotion policy consumed by the streaming Accumulator
+  /// (travels with the fold options so service shards inherit it without
+  /// extra plumbing). Ignored by one-shot spkadd() calls.
+  DensePolicy dense;
+
+  /// Internal (Accumulator) contract: when non-null, a byte per column;
+  /// nonzero marks a column the fold must SKIP — its views are never
+  /// gathered and its output column is empty. The Accumulator points this
+  /// at its dense-resident mask so promoted columns bypass the sparse fold
+  /// entirely. Only the column-kernel drivers honor it; spkadd() rejects
+  /// TwoWay*/Reference* methods under a mask.
+  const std::uint8_t* skip_cols = nullptr;
 };
 
 }  // namespace spkadd::core

@@ -90,7 +90,16 @@ template <class IndexT, class ValueT>
     MatrixPtrs<IndexT, ValueT> inputs, const Options& opts = {},
     Runtime<IndexT, ValueT>* rt = nullptr) {
   detail::check_conformant(inputs);
-  if (inputs.size() == 1) {
+  if (opts.skip_cols != nullptr &&
+      (opts.method == Method::TwoWayIncremental ||
+       opts.method == Method::TwoWayTree ||
+       opts.method == Method::ReferenceIncremental ||
+       opts.method == Method::ReferenceTree))
+    throw std::invalid_argument(
+        "spkadd: skip_cols requires a column-kernel method");
+  // A skip mask must reach a column-loop driver: the whole-matrix copy
+  // shortcut and the pairwise folds cannot honor it.
+  if (inputs.size() == 1 && opts.skip_cols == nullptr) {
     CscMatrix<IndexT, ValueT> out = *inputs[0];
     if (opts.sorted_output && !out.is_sorted()) out.sort_columns();
     return out;
@@ -101,7 +110,8 @@ template <class IndexT, class ValueT>
   Method method = opts.method;
   // Fig. 2's 2-way corner needs no column scan; resolve it first so tiny-k
   // Auto calls (e.g. pairwise accumulator folds) stay O(1) in dispatch.
-  if (method == Method::Auto && inputs.size() <= 2 && opts.inputs_sorted)
+  if (method == Method::Auto && inputs.size() <= 2 && opts.inputs_sorted &&
+      opts.skip_cols == nullptr)
     method = Method::TwoWayTree;
   // Only the column-loop drivers consume costs; TwoWay*/Reference* never
   // schedule by them, so skip the scan for those even under NnzBalanced.
@@ -110,7 +120,7 @@ template <class IndexT, class ValueT>
   const bool kway_driver =
       method == Method::Auto || method == Method::Heap ||
       method == Method::Spa || method == Method::Hash ||
-      method == Method::SlidingHash;
+      method == Method::SlidingHash || method == Method::DenseAcc;
   const bool want_costs =
       (opts.schedule == Schedule::NnzBalanced && kway_driver) ||
       method == Method::Hybrid;
@@ -122,9 +132,14 @@ template <class IndexT, class ValueT>
     const std::uint64_t max_col_nnz =
         want_costs ? detail::column_input_nnz(inputs, opts, R.col_costs)
                    : detail::max_column_input_nnz(inputs, opts);
-    if (method == Method::Auto)
+    if (method == Method::Auto) {
       method = auto_select_from_max<IndexT, ValueT>(
           inputs.size(), opts.inputs_sorted, max_col_nnz, opts);
+      // Under a skip mask the 2-way corner is off-limits (pairwise folds
+      // can't skip columns); hash is the nearest column-loop kernel.
+      if (opts.skip_cols != nullptr && method == Method::TwoWayTree)
+        method = Method::Hash;
+    }
   }
   switch (method) {
     case Method::TwoWayIncremental:
@@ -139,6 +154,8 @@ template <class IndexT, class ValueT>
       return spkadd_hash(inputs, opts, &R);
     case Method::SlidingHash:
       return spkadd_sliding_hash(inputs, opts, &R);
+    case Method::DenseAcc:
+      return spkadd_denseacc(inputs, opts, &R);
     case Method::Hybrid:
       return spkadd_hybrid(inputs, opts, &R);
     case Method::ReferenceIncremental:

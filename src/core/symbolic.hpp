@@ -78,7 +78,7 @@ std::vector<IndexT> symbolic_nnz_per_column(
   const IndexT rows_copy = rows;
   detail::for_each_column(cols, opts, costs, [&](IndexT j, OpCounters* c) {
     auto& s = R.scratch[static_cast<std::size_t>(omp_get_thread_num())];
-    detail::gather_views(inputs, j, s.views);
+    detail::gather_views(inputs, j, s.views, opts.skip_cols);
     const std::span<const ColumnView<IndexT, ValueT>> views(s.views);
     const std::size_t nz =
         sliding ? sliding_symbolic_column(views, rows_copy, cap,
@@ -112,6 +112,27 @@ std::vector<IndexT> symbolic_nnz_per_column(
 inline constexpr std::size_t kHybridHeapMaxK = 4;
 inline constexpr std::uint64_t kHybridHeapMaxColNnz = 64;
 
+/// Dense-chunk gate: a chunk is dense enough for the bitmap accumulator
+/// when its heaviest column's summed input nnz is at least rows / this
+/// divisor — enough scatter work to amortize the O(rows/64) bitmap sweep
+/// and beat the SPA's radix sort.
+inline constexpr std::uint64_t kHybridDenseMinFillDivisor = 8;
+
+/// The analytic dense eligibility test shared by the analytic surface and
+/// the calibrated argmin (the miss-cost grid has no rows axis, and the
+/// dense kernel's cost is a function of rows above all): the chunk must
+/// be dense enough (see kHybridDenseMinFillDivisor) and the T per-thread
+/// dense arrays (value + mask bit per row) must stay LLC-resident.
+template <class IndexT>
+[[nodiscard]] inline bool dense_chunk_eligible(
+    std::uint64_t chunk_max_col_nnz, IndexT rows,
+    std::uint64_t dense_fit_rows) {
+  return rows > 0 &&
+         static_cast<std::uint64_t>(rows) <= dense_fit_rows &&
+         chunk_max_col_nnz * kHybridDenseMinFillDivisor >=
+             static_cast<std::uint64_t>(rows);
+}
+
 /// Classify one nnz-balanced column chunk from its heaviest column's
 /// summed input nnz. `llc_fit_nnz` is the largest per-column input nnz
 /// whose numeric tables (all T threads') still fit the LLC — the same
@@ -122,18 +143,25 @@ inline constexpr std::uint64_t kHybridHeapMaxColNnz = 64;
 /// indexing beats hashing (no probes, no per-column table init) right up
 /// until its O(T*m) scratch falls out of cache, which is exactly where
 /// the paper's large-m multithreaded runs see it collapse.
-///   1. tables overflow the cache      -> SlidingHash
-///   2. tiny-k sorted sparse chunks    -> Heap
-///   3. SPA arrays stay cache-resident -> Spa
-///   4. everything else                -> Hash
+/// `dense_fit_rows` is the same test for the dense accumulator's
+/// value-plus-mask-bit per-row footprint.
+///   1. dense chunks w/ resident arrays -> DenseAcc (bounded by rows, so
+///      it absorbs the hub columns whose *input* nnz overflows the LLC)
+///   2. tables overflow the cache      -> SlidingHash
+///   3. tiny-k sorted sparse chunks    -> Heap
+///   4. SPA arrays stay cache-resident -> Spa
+///   5. everything else                -> Hash
 /// Empty chunks dispatch to Hash (a no-op kernel invocation).
 template <class IndexT>
 [[nodiscard]] ColumnKernel hybrid_kernel_for(std::uint64_t chunk_max_col_nnz,
                                              std::size_t k, IndexT rows,
                                              bool inputs_sorted,
                                              std::uint64_t llc_fit_nnz,
-                                             std::uint64_t spa_fit_rows) {
+                                             std::uint64_t spa_fit_rows,
+                                             std::uint64_t dense_fit_rows) {
   if (chunk_max_col_nnz == 0) return ColumnKernel::Hash;
+  if (dense_chunk_eligible(chunk_max_col_nnz, rows, dense_fit_rows))
+    return ColumnKernel::DenseAcc;
   if (chunk_max_col_nnz > llc_fit_nnz) return ColumnKernel::SlidingHash;
   if (inputs_sorted && k <= kHybridHeapMaxK &&
       chunk_max_col_nnz <= kHybridHeapMaxColNnz)
@@ -188,6 +216,9 @@ void plan_hybrid(std::span<const std::uint64_t> costs, IndexT rows,
   // SPA footprint per row: one ValueT plus one generation stamp.
   const std::uint64_t spa_fit =
       llc / ((sizeof(ValueT) + sizeof(std::uint32_t)) * T);
+  // Dense-accumulator footprint per row: one ValueT plus one mask bit
+  // (rounded up to a byte for the residency test).
+  const std::uint64_t dense_fit = llc / ((sizeof(ValueT) + 1) * T);
   for (const auto& [c0, c1] : plan.chunks) {
     std::uint64_t mx = 0;
     for (IndexT j = c0; j < c1; ++j)
@@ -196,9 +227,10 @@ void plan_hybrid(std::span<const std::uint64_t> costs, IndexT rows,
         table != nullptr
             ? table->best_kernel(k, mx,
                                  static_cast<std::uint64_t>(c1 - c0),
-                                 opts.inputs_sorted)
+                                 opts.inputs_sorted,
+                                 dense_chunk_eligible(mx, rows, dense_fit))
             : hybrid_kernel_for(mx, k, rows, opts.inputs_sorted, fit,
-                                spa_fit));
+                                spa_fit, dense_fit));
   }
 }
 
@@ -227,7 +259,7 @@ std::vector<IndexT> symbolic_nnz_per_column_hybrid(
         const ColumnKernel kernel = plan.kernels[ci];
         for (IndexT j = plan.chunks[ci].first; j < plan.chunks[ci].second;
              ++j) {
-          detail::gather_views(inputs, j, s.views);
+          detail::gather_views(inputs, j, s.views, opts.skip_cols);
           counts[static_cast<std::size_t>(j)] = static_cast<IndexT>(
               kernel_symbolic_column(
                   kernel,

@@ -110,6 +110,26 @@ struct SpaWorkspace {
   }
 };
 
+/// Dense-accumulator scratch for the DenseAcc kernel: a dense value array
+/// of length m plus an occupancy bitmap (one bit per row). The bitmap
+/// replaces both the SPA's generation stamps *and* its touched list —
+/// sorted emission is a word scan with popcount/ctz, so no radix sort is
+/// ever needed. The kernel's contract is that `mask` is all-zero between
+/// columns: every column pass clears exactly the words it set.
+template <class ValueT>
+struct DenseAccWorkspace {
+  std::vector<ValueT> values;
+  std::vector<std::uint64_t> mask;
+
+  /// Allocate for matrices with `rows` rows (idempotent). New mask words
+  /// start zero, establishing the all-clear invariant.
+  void ensure_rows(std::size_t rows) {
+    if (values.size() < rows) values.resize(rows);
+    const std::size_t words = (rows + 63) / 64;
+    if (mask.size() < words) mask.resize(words, 0);
+  }
+};
+
 /// Min-heap scratch for Alg. 3: array-based binary heap of (row, source)
 /// pairs plus one cursor per input column. Values are read through the
 /// cursor on extraction, so the heap nodes stay 8 bytes.
@@ -128,7 +148,7 @@ struct HeapWorkspace {
   }
 };
 
-/// Everything one thread needs across any SpKAdd phase: the four method
+/// Everything one thread needs across any SpKAdd phase: the five method
 /// scratch structures plus the view/partition buffers of the symbolic and
 /// sliding passes. One superset struct (rather than one per driver) lets a
 /// single pool serve symbolic + numeric phases and every method, so a
@@ -143,6 +163,7 @@ struct ThreadScratch {
   SymbolicHashWorkspace<IndexT> sym_table;
   SpaWorkspace<IndexT, ValueT> spa;
   HeapWorkspace<IndexT> heap;
+  DenseAccWorkspace<ValueT> dense;
   std::vector<ColumnView<IndexT, ValueT>> views;
   std::vector<ColumnView<IndexT, ValueT>> part_views;
   std::vector<IndexT> rows_scratch;
@@ -158,6 +179,8 @@ struct ThreadScratch {
            spa.values.capacity() * sizeof(ValueT) +
            spa.stamp.capacity() * sizeof(std::uint32_t) +
            spa.touched.capacity() * sizeof(IndexT) +
+           dense.values.capacity() * sizeof(ValueT) +
+           dense.mask.capacity() * sizeof(std::uint64_t) +
            heap.nodes.capacity() *
                sizeof(typename HeapWorkspace<IndexT>::Node) +
            heap.cursor.capacity() * sizeof(std::size_t) +

@@ -1,9 +1,11 @@
-// Small dense matrix used as the oracle in tests: every SpKAdd / SpGEMM
-// result is checked against a dense accumulation, which is trivially correct.
-// Not intended for large sizes.
+// Column-major dense matrix. Serves as the correctness oracle in tests
+// (every SpKAdd / SpGEMM result is checked against a dense accumulation)
+// and as a plain dense container elsewhere — e.g. density sweeps in the
+// benches. Storage is O(rows * cols); size accordingly.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -15,11 +17,7 @@ template <class ValueT = double>
 class DenseMatrix {
  public:
   DenseMatrix(std::int64_t rows, std::int64_t cols)
-      : rows_(rows), cols_(cols),
-        data_(static_cast<std::size_t>(rows * cols), ValueT{}) {
-    if (rows < 0 || cols < 0)
-      throw std::invalid_argument("DenseMatrix: negative dimension");
-  }
+      : rows_(rows), cols_(cols), data_(checked_size(rows, cols), ValueT{}) {}
 
   [[nodiscard]] std::int64_t rows() const { return rows_; }
   [[nodiscard]] std::int64_t cols() const { return cols_; }
@@ -68,6 +66,23 @@ class DenseMatrix {
   }
 
  private:
+  /// Validate dimensions BEFORE forming the product: rows * cols in
+  /// std::int64_t can overflow (UB) or wrap through the size_t cast into a
+  /// huge allocation; reject negatives first and multiply in an overflow-
+  /// checked way.
+  static std::size_t checked_size(std::int64_t rows, std::int64_t cols) {
+    if (rows < 0 || cols < 0)
+      throw std::invalid_argument("DenseMatrix: negative dimension");
+    const auto r = static_cast<std::uint64_t>(rows);
+    const auto c = static_cast<std::uint64_t>(cols);
+    if (r != 0 && c > std::numeric_limits<std::uint64_t>::max() / r)
+      throw std::invalid_argument("DenseMatrix: rows * cols overflows");
+    const std::uint64_t n = r * c;
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(ValueT))
+      throw std::invalid_argument("DenseMatrix: rows * cols overflows");
+    return static_cast<std::size_t>(n);
+  }
+
   std::int64_t rows_;
   std::int64_t cols_;
   std::vector<ValueT> data_;  // column-major

@@ -40,6 +40,13 @@ struct ShardStats {
   std::uint64_t chunks_spa = 0;
   std::uint64_t chunks_hash = 0;
   std::uint64_t chunks_sliding = 0;
+  std::uint64_t chunks_dense = 0;
+  // Representation adaptivity (core::DensePolicy): sparse→dense column
+  // promotions and demotions performed by this shard's accumulators, and
+  // the columns currently held dense across them (a gauge, not a counter).
+  std::uint64_t dense_promotions = 0;
+  std::uint64_t dense_demotions = 0;
+  std::size_t dense_resident_cols = 0;
 };
 
 /// Producer-side burst/watermark counters for the batched ingest path.

@@ -136,6 +136,7 @@ WindowStats TenantWindow::stats() const {
   out.chunks_spa = counters_.chunks_spa;
   out.chunks_hash = counters_.chunks_hash;
   out.chunks_sliding = counters_.chunks_sliding;
+  out.chunks_dense = counters_.chunks_dense;
   return out;
 }
 

@@ -87,6 +87,7 @@ struct WindowStats {
   std::uint64_t chunks_spa = 0;
   std::uint64_t chunks_hash = 0;
   std::uint64_t chunks_sliding = 0;
+  std::uint64_t chunks_dense = 0;
 };
 
 /// One tenant's ring of window buckets. External synchronization

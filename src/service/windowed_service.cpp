@@ -340,6 +340,7 @@ void WindowedAggService::export_metrics(obs::CollectorSink& sink) const {
     totals.chunks_spa += ws.chunks_spa;
     totals.chunks_hash += ws.chunks_hash;
     totals.chunks_sliding += ws.chunks_sliding;
+    totals.chunks_dense += ws.chunks_dense;
   }
   sink.counter("spkadd_shard_fold_flushes_total",
                "Accumulator folds performed across tenant windows", svc,
@@ -356,6 +357,7 @@ void WindowedAggService::export_metrics(obs::CollectorSink& sink) const {
   chunk("spa", totals.chunks_spa);
   chunk("hash", totals.chunks_hash);
   chunk("sliding", totals.chunks_sliding);
+  chunk("dense", totals.chunks_dense);
 }
 
 }  // namespace spkadd::service

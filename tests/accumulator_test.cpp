@@ -103,7 +103,7 @@ TEST(Accumulator, PropertyAcrossMethodsAndCapacities) {
   const auto inputs = random_collection(13, 64, 8, 150, 11);
   const auto oracle = dense_sum_oracle(std::span<const Csc>(inputs));
   for (auto m : {Method::Auto, Method::TwoWayTree, Method::Heap, Method::Spa,
-                 Method::Hash, Method::SlidingHash}) {
+                 Method::Hash, Method::SlidingHash, Method::DenseAcc}) {
     for (const std::size_t cap : {1u, 2u, 4u, 13u, 100u}) {
       Options opts;
       opts.method = m;
@@ -321,6 +321,65 @@ TEST(Accumulator, HeapMethodStreamingIsBitIdenticalToOneShot) {
     Accumulator<> acc(96, 10, opts, cap);
     acc.add_batch(std::span<const Csc>(inputs));
     EXPECT_TRUE(acc.finalize() == one_shot) << "cap=" << cap;
+  }
+}
+
+// ------------------------------------------------- sparse→dense residency
+TEST(DenseResidency, PromotedStreamIsByteIdenticalToSparseStream) {
+  // Columns promoted to dense storage scatter addends in staged order, so
+  // every snapshot must reproduce the never-promoted stream bit for bit —
+  // including a mid-stream partial_sum() that forces demotion and a
+  // second promotion wave afterwards.
+  const auto inputs = random_collection(10, 64, 8, 300, 51);
+  Options hot;
+  hot.method = Method::Hash;
+  hot.dense.promote_fill = 0.1;  // promote almost immediately
+  Options cold = hot;
+  cold.dense.enabled = false;
+
+  Accumulator<> promoted(64, 8, hot, 2);
+  Accumulator<> sparse(64, 8, cold, 2);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    promoted.add(inputs[i]);
+    sparse.add(inputs[i]);
+    if (i == 5) {
+      EXPECT_TRUE(promoted.partial_sum() == sparse.partial_sum());
+      EXPECT_EQ(promoted.dense_resident_cols(), 0u);  // snapshot demotes
+    }
+  }
+  promoted.flush();
+  EXPECT_GT(promoted.dense_resident_cols(), 0u);
+  EXPECT_GT(promoted.stats().dense_promotions, 0u);
+  EXPECT_TRUE(promoted.finalize() == sparse.finalize());
+  EXPECT_EQ(promoted.dense_resident_cols(), 0u);
+  EXPECT_EQ(promoted.stats().dense_demotions,
+            promoted.stats().dense_promotions);
+  EXPECT_EQ(sparse.stats().dense_promotions, 0u);
+}
+
+TEST(DenseResidency, BudgetMinRowsAndSortednessGatePromotion) {
+  const auto inputs = random_collection(6, 64, 8, 300, 53);
+  const auto oracle = dense_sum_oracle(std::span<const Csc>(inputs));
+  // A residency budget smaller than one column slot: nothing promotes.
+  Options tiny;
+  tiny.dense.promote_fill = 0.1;
+  tiny.dense.max_resident_bytes = 8;
+  // A min_rows taller than the matrix: nothing promotes.
+  Options tall;
+  tall.dense.promote_fill = 0.0;
+  tall.dense.min_rows = 1000;
+  // Unsorted running sums cannot host dense residents.
+  Options unsorted;
+  unsorted.method = Method::Hash;
+  unsorted.sorted_output = false;
+  unsorted.dense.promote_fill = 0.0;
+  for (const Options& opts : {tiny, tall, unsorted}) {
+    Accumulator<> acc(64, 8, opts, 2);
+    acc.add_batch(std::span<const Csc>(inputs));
+    acc.flush();
+    EXPECT_EQ(acc.dense_resident_cols(), 0u);
+    EXPECT_EQ(acc.stats().dense_promotions, 0u);
+    EXPECT_TRUE(approx_equal(oracle, canonicalized(acc.finalize())));
   }
 }
 

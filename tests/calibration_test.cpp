@@ -86,12 +86,13 @@ TEST(MissCostTable, LoaderRejectsMalformed) {
   EXPECT_THROW(MissCostTable::from_json(""), std::invalid_argument);
   EXPECT_THROW(MissCostTable::from_json("{}"), std::invalid_argument);
   EXPECT_THROW(MissCostTable::from_json("not json"), std::invalid_argument);
-  // Wrong version.
+  // Wrong version (3 is from the future; 1 is the sanctioned back-compat
+  // path, tested separately).
   MissCostTable t = tiny_table();
   std::string json = t.to_json();
-  const auto pos = json.find("\"version\": 1");
+  const auto pos = json.find("\"version\": 2");
   ASSERT_NE(pos, std::string::npos);
-  json.replace(pos, 12, "\"version\": 2");
+  json.replace(pos, 12, "\"version\": 3");
   EXPECT_THROW(MissCostTable::from_json(json), std::invalid_argument);
   // Truncated cost vector.
   MissCostTable cut = tiny_table();
@@ -107,6 +108,31 @@ TEST(MissCostTable, LoaderRejectsMalformed) {
   // Missing file.
   EXPECT_THROW(MissCostTable::load("/nonexistent/misscost.json"),
                std::runtime_error);
+}
+
+TEST(MissCostTable, LoadsVersion1TablesWithoutDenseVector) {
+  // A committed 4-kernel table from before the dense kernel must still
+  // load: its dense cost vector is synthesized as all-unmeasured and the
+  // table upgrades to the current version in memory.
+  const MissCostTable t = tiny_table();
+  std::string json = t.to_json();
+  const auto vpos = json.find("\"version\": 2");
+  ASSERT_NE(vpos, std::string::npos);
+  json.replace(vpos, 12, "\"version\": 1");
+  const auto dpos = json.find(",\n    \"dense\"");
+  ASSERT_NE(dpos, std::string::npos);
+  const auto dend = json.find(']', dpos);
+  ASSERT_NE(dend, std::string::npos);
+  json.erase(dpos, dend - dpos + 1);
+
+  const MissCostTable back = MissCostTable::from_json(json);
+  EXPECT_EQ(back.version, spkadd::core::kMissCostTableVersion);
+  EXPECT_TRUE(back.usable());
+  const auto dense_ix = static_cast<std::size_t>(ColumnKernel::DenseAcc);
+  ASSERT_EQ(back.costs[dense_ix].size(), t.cells());
+  for (const double c : back.costs[dense_ix]) EXPECT_LT(c, 0.0);
+  for (std::size_t ki = 0; ki < dense_ix; ++ki)
+    EXPECT_EQ(back.costs[ki], t.costs[ki]) << ki;
 }
 
 TEST(MissCostTable, NearestLogIndexSnapsGeometrically) {
@@ -132,6 +158,18 @@ TEST(MissCostTable, BestKernelArgminAndSortedContract) {
   EXPECT_EQ(t.best_kernel(64, 64 * 2, 4, true), ColumnKernel::Hash);
   // Empty chunks always dispatch to Hash.
   EXPECT_EQ(t.best_kernel(64, 0, 4, true), ColumnKernel::Hash);
+}
+
+TEST(MissCostTable, DenseCompetesOnlyWhenEligible) {
+  // The grid has no rows axis, so the dense kernel only joins the argmin
+  // when the caller's analytic fill/residency gate says the chunk is
+  // dense-eligible — even when its measured cost is the cheapest.
+  MissCostTable t = tiny_table();
+  const auto kDense = static_cast<std::size_t>(ColumnKernel::DenseAcc);
+  for (auto& c : t.costs[kDense]) c = 0.5;
+  EXPECT_EQ(t.best_kernel(64, 128, 4, true), ColumnKernel::Hash);
+  EXPECT_EQ(t.best_kernel(64, 128, 4, true, /*dense_eligible=*/true),
+            ColumnKernel::DenseAcc);
 }
 
 TEST(MissCostTable, UnmeasuredCellsAreSkipped) {

@@ -24,8 +24,8 @@ TEST(Dispatch, EveryMethodProducesTheSameSum) {
   const auto oracle = dense_sum_oracle(std::span<const Csc>(inputs));
   for (auto m : {Method::TwoWayIncremental, Method::TwoWayTree, Method::Heap,
                  Method::Spa, Method::Hash, Method::SlidingHash,
-                 Method::ReferenceIncremental, Method::ReferenceTree,
-                 Method::Auto, Method::Hybrid}) {
+                 Method::DenseAcc, Method::ReferenceIncremental,
+                 Method::ReferenceTree, Method::Auto, Method::Hybrid}) {
     Options opts;
     opts.method = m;
     EXPECT_TRUE(approx_equal(oracle, core::spkadd(inputs, opts)))
@@ -122,6 +122,7 @@ constexpr Method kAllMethods[] = {
     Method::TwoWayIncremental, Method::TwoWayTree,
     Method::Heap,              Method::Spa,
     Method::Hash,              Method::SlidingHash,
+    Method::DenseAcc,
     Method::ReferenceIncremental,
     Method::ReferenceTree,     Method::Auto,
     Method::Hybrid};
@@ -130,7 +131,7 @@ constexpr Method kAllMethods[] = {
 TEST(MethodName, AllNamesDistinct) {
   std::set<std::string> names;
   for (auto m : kAllMethods) names.insert(method_name(m));
-  EXPECT_EQ(names.size(), 10u);
+  EXPECT_EQ(names.size(), 11u);
 }
 
 TEST(MethodName, FromNameRoundTripsEveryMethod) {
@@ -144,6 +145,8 @@ TEST(MethodName, FromNameAcceptsCliSpellings) {
   EXPECT_EQ(method_from_name("2way-tree"), Method::TwoWayTree);
   EXPECT_EQ(method_from_name("ref-tree"), Method::ReferenceTree);
   EXPECT_EQ(method_from_name("Hybrid"), Method::Hybrid);
+  EXPECT_EQ(method_from_name("dense"), Method::DenseAcc);
+  EXPECT_EQ(method_from_name("DenseAcc"), Method::DenseAcc);
   EXPECT_THROW((void)method_from_name("hashish"), std::invalid_argument);
   EXPECT_THROW((void)method_from_name(""), std::invalid_argument);
 }

@@ -57,15 +57,15 @@ void quantize(std::vector<Csc>& inputs) {
 // ---------------------------------------------------------------------------
 
 TEST(HybridClassify, EmptyChunkIsAHashNoop) {
-  EXPECT_EQ(hybrid_kernel_for<std::int32_t>(0, 16, 1 << 20, true, 100, 0),
+  EXPECT_EQ(hybrid_kernel_for<std::int32_t>(0, 16, 1 << 20, true, 100, 0, 0),
             ColumnKernel::Hash);
 }
 
 TEST(HybridClassify, CacheOverflowPicksSliding) {
-  EXPECT_EQ(hybrid_kernel_for<std::int32_t>(101, 16, 1 << 20, true, 100, 0),
+  EXPECT_EQ(hybrid_kernel_for<std::int32_t>(101, 16, 1 << 20, true, 100, 0, 0),
             ColumnKernel::SlidingHash);
   // Boundary: exactly fitting stays off sliding (b*T*max > M is strict).
-  EXPECT_NE(hybrid_kernel_for<std::int32_t>(100, 16, 1 << 20, true, 100, 0),
+  EXPECT_NE(hybrid_kernel_for<std::int32_t>(100, 16, 1 << 20, true, 100, 0, 0),
             ColumnKernel::SlidingHash);
 }
 
@@ -73,29 +73,46 @@ TEST(HybridClassify, CacheResidentSpaArraysPickSpa) {
   // rows <= spa_fit_rows (the T dense arrays stay LLC-resident) -> SPA;
   // one row past the budget falls back to hash (the Fig. 3 collapse).
   EXPECT_EQ(hybrid_kernel_for<std::int32_t>(256, 16, 1024, true, 1 << 20,
-                                            1024),
+                                            1024, 0),
             ColumnKernel::Spa);
   EXPECT_EQ(hybrid_kernel_for<std::int32_t>(256, 16, 1025, true, 1 << 20,
-                                            1024),
+                                            1024, 0),
             ColumnKernel::Hash);
 }
 
 TEST(HybridClassify, TinyKSortedSparseChunkPicksHeap) {
   EXPECT_EQ(hybrid_kernel_for<std::int32_t>(kHybridHeapMaxColNnz,
                                             kHybridHeapMaxK, 1 << 20, true,
-                                            1 << 20, 0),
+                                            1 << 20, 0, 0),
             ColumnKernel::Heap);
   // k above the corner, nnz above the corner, or unsorted inputs -> hash.
   EXPECT_EQ(hybrid_kernel_for<std::int32_t>(64, kHybridHeapMaxK + 1, 1 << 20,
-                                            true, 1 << 20, 0),
+                                            true, 1 << 20, 0, 0),
             ColumnKernel::Hash);
   EXPECT_EQ(hybrid_kernel_for<std::int32_t>(kHybridHeapMaxColNnz + 1,
                                             kHybridHeapMaxK, 1 << 20, true,
-                                            1 << 20, 0),
+                                            1 << 20, 0, 0),
             ColumnKernel::Hash);
   EXPECT_EQ(hybrid_kernel_for<std::int32_t>(64, kHybridHeapMaxK, 1 << 20,
-                                            false, 1 << 20, 0),
+                                            false, 1 << 20, 0, 0),
             ColumnKernel::Hash);
+}
+
+TEST(HybridClassify, DenseChunkPicksDenseAccBeforeSliding) {
+  // A hub chunk whose *input* nnz overflows the LLC but whose rows fit
+  // the dense arrays goes dense, not sliding: dense storage is bounded by
+  // rows, so the overflow test on input nnz is moot.
+  EXPECT_EQ(hybrid_kernel_for<std::int32_t>(4096, 16, 1024, true, 100, 0,
+                                            2048),
+            ColumnKernel::DenseAcc);
+  // Fill fraction below rows/kHybridDenseMinFillDivisor: not dense.
+  EXPECT_NE(hybrid_kernel_for<std::int32_t>(64, 16, 1024, true, 1 << 20, 0,
+                                            2048),
+            ColumnKernel::DenseAcc);
+  // Rows past the dense budget: falls through to the sliding test.
+  EXPECT_EQ(hybrid_kernel_for<std::int32_t>(4096, 16, 4096, true, 100, 0,
+                                            1024),
+            ColumnKernel::SlidingHash);
 }
 
 TEST(HybridPlanTest, ChunksPartitionTheColumns) {
@@ -230,6 +247,30 @@ TEST(HybridBitIdentity, DenseHubAmongSparseMixesKernels) {
       dense_sum_oracle(std::span<const Csc>(inputs)), hybrid));
 }
 
+TEST(HybridBitIdentity, DenseHubChunkDispatchesDenseAcc) {
+  // Same hub workload, but with rows inside the dense budget: the hub
+  // chunk must dispatch to DenseAcc (not sliding) and stay bit-identical
+  // to a plain hash run.
+  const auto inputs = hub_collection(8, 1024, 16, 177);
+  Options opts;
+  opts.method = Method::Hybrid;
+  opts.threads = 2;
+  // dense_fit = llc / ((8+1)*2) = 2048 rows >= 1024; the hub column's
+  // ~4096 summed input nnz would overflow the sliding fit of 1536.
+  opts.llc_bytes = (sizeof(double) + 1) * 2 * 2048;
+  OpCounters counters;
+  opts.counters = &counters;
+  const Csc hybrid = core::spkadd(inputs, opts);
+
+  EXPECT_GE(counters.chunks_dense, 1u)
+      << "mix " << counters.chunk_mix();
+  Options hash_opts;
+  hash_opts.method = Method::Hash;
+  EXPECT_TRUE(hybrid == core::spkadd(inputs, hash_opts));
+  EXPECT_TRUE(approx_equal(
+      dense_sum_oracle(std::span<const Csc>(inputs)), hybrid));
+}
+
 TEST(HybridBitIdentity, IdenticalAcrossSchedules) {
   const auto inputs = random_collection(12, 512, 16, 600, 21);
   Csc results[3];
@@ -311,7 +352,7 @@ TEST(CalibratedDispatch, BitIdenticalToAnalyticForEveryForcedKernel) {
       const Csc expected = core::spkadd(inputs, analytic);
       for (const ColumnKernel kern :
            {ColumnKernel::Heap, ColumnKernel::Spa, ColumnKernel::Hash,
-            ColumnKernel::SlidingHash}) {
+            ColumnKernel::SlidingHash, ColumnKernel::DenseAcc}) {
         const MissCostTable table = table_favoring(kern);
         Options opts = analytic;
         opts.calibration = &table;

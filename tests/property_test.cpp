@@ -77,7 +77,8 @@ std::vector<SweepCase> sweep_cases() {
   std::vector<SweepCase> cases;
   const Method methods[] = {Method::TwoWayIncremental, Method::TwoWayTree,
                             Method::Heap, Method::Spa, Method::Hash,
-                            Method::SlidingHash, Method::Hybrid};
+                            Method::SlidingHash, Method::DenseAcc,
+                            Method::Hybrid};
   for (Pattern p : {Pattern::ER, Pattern::RMAT})
     for (int k : {2, 4, 8, 16})
       for (int d : {2, 8, 32})
@@ -93,6 +94,34 @@ std::vector<SweepCase> sweep_cases() {
 
 INSTANTIATE_TEST_SUITE_P(AllPatternsMethodsSizes, SpkaddSweep,
                          ::testing::ValuesIn(sweep_cases()), case_name);
+
+TEST(DenseAccBitIdentity, MatchesReferenceIncrementalOnRandomBatches) {
+  // The dense bitmap accumulator runs the same strict left fold as the
+  // pairwise reference chain, so raw FP results must match bit for bit —
+  // no quantization, every pattern, k across the sparse/dense boundary.
+  for (Pattern p : {Pattern::ER, Pattern::RMAT}) {
+    for (int k : {2, 4, 8, 16}) {
+      for (int d : {2, 32, 128}) {
+        WorkloadSpec spec;
+        spec.pattern = p;
+        spec.rows = 256;
+        spec.cols = 16;
+        spec.avg_nnz_per_col = d;
+        spec.k = k;
+        spec.seed = 4242 + static_cast<std::uint64_t>(k) * 13 +
+                    static_cast<std::uint64_t>(d);
+        const auto inputs = spkadd::gen::make_workload(spec);
+        Options dense_opts;
+        dense_opts.method = Method::DenseAcc;
+        Options ref_opts;
+        ref_opts.method = Method::ReferenceIncremental;
+        EXPECT_TRUE(core::spkadd(inputs, dense_opts) ==
+                    core::spkadd(inputs, ref_opts))
+            << "k=" << k << " d=" << d;
+      }
+    }
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Cross-type instantiation: the kernels are index/value generic.
@@ -117,8 +146,11 @@ void check_generic_roundtrip() {
   const auto heap_out =
       spkadd_heap(std::span<const M>(inputs), Options{});
   const auto spa_out = spkadd_spa(std::span<const M>(inputs), Options{});
+  const auto dense_out =
+      spkadd_denseacc(std::span<const M>(inputs), Options{});
   EXPECT_TRUE(hash_out == heap_out);
   EXPECT_TRUE(hash_out == spa_out);
+  EXPECT_TRUE(hash_out == dense_out);
   EXPECT_EQ(hash_out.rows(), 16);
 }
 
